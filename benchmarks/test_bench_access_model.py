@@ -1,0 +1,11 @@
+"""Benchmark E7 — regenerate the access-model comparison table."""
+
+from repro.experiments.access_model import run
+from repro.experiments.harness import assert_all_claims
+
+
+def test_bench_access_model(run_once):
+    result = run_once(run, seed=0)
+    print()
+    print(result.render())
+    assert_all_claims(result)

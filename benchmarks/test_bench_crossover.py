@@ -1,0 +1,11 @@
+"""Benchmark E6 — regenerate the Section 4 strategy crossover map."""
+
+from repro.experiments.crossover import run
+from repro.experiments.harness import assert_all_claims
+
+
+def test_bench_crossover(run_once):
+    result = run_once(run, seed=0)
+    print()
+    print(result.render())
+    assert_all_claims(result)

@@ -1,0 +1,11 @@
+"""Benchmark E1 — regenerate Fig 1 (quantum job time scales)."""
+
+from repro.experiments.fig1_timescales import run
+from repro.experiments.harness import assert_all_claims
+
+
+def test_bench_fig1_timescales(run_once):
+    result = run_once(run, seed=0)
+    print()
+    print(result.render())
+    assert_all_claims(result)

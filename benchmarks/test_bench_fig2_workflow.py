@@ -1,0 +1,11 @@
+"""Benchmark E3 — regenerate Fig 2 (workflow execution trade-offs)."""
+
+from repro.experiments.fig2_workflow import run
+from repro.experiments.harness import assert_all_claims
+
+
+def test_bench_fig2_workflow(run_once):
+    result = run_once(run, seed=0)
+    print()
+    print(result.render())
+    assert_all_claims(result)

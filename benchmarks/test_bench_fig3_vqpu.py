@@ -1,0 +1,11 @@
+"""Benchmark E4 — regenerate Fig 3 (virtual QPU interleaving sweep)."""
+
+from repro.experiments.fig3_vqpu import run
+from repro.experiments.harness import assert_all_claims
+
+
+def test_bench_fig3_vqpu(run_once):
+    result = run_once(run, seed=0)
+    print()
+    print(result.render())
+    assert_all_claims(result)

@@ -1,0 +1,11 @@
+"""Benchmark E5 — regenerate Fig 4 (malleability scenarios)."""
+
+from repro.experiments.fig4_malleability import run
+from repro.experiments.harness import assert_all_claims
+
+
+def test_bench_fig4_malleability(run_once):
+    result = run_once(run, seed=0)
+    print()
+    print(result.render())
+    assert_all_claims(result)

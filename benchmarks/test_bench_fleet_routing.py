@@ -1,0 +1,83 @@
+"""A6 — heterogeneous fleet routing-policy ablation.
+
+A burst of mixed-size kernels hits a fleet of two superconducting
+devices plus one (slow) trapped-ion device.  Capability-order routing
+pile-drives everything onto the first device; round-robin and
+queue-length routing waste kernels on the slow machine; EFT-style
+``fastest_completion`` balances the twin fast devices and must win on
+makespan.
+"""
+
+from repro.metrics.report import render_series
+from repro.quantum.circuit import Circuit
+from repro.quantum.fleet import ROUTING_POLICIES, QPUFleet
+from repro.quantum.qpu import QPU
+from repro.quantum.technology import SUPERCONDUCTING, TRAPPED_ION
+from repro.sim.kernel import Kernel
+from repro.sim.rng import RandomStreams
+
+
+def _workload(streams: RandomStreams):
+    """60 narrow kernels with shot counts spanning a decade."""
+    rng = streams.stream("fleet-workload")
+    kernels = []
+    for index in range(60):
+        shots = int(rng.integers(500, 5000))
+        kernels.append((Circuit(12, 80, name=f"k{index}"), shots))
+    return kernels
+
+
+def _run_policy(policy: str, seed: int = 0) -> float:
+    kernel = Kernel()
+    streams = RandomStreams(seed)
+    fleet = QPUFleet(
+        [
+            QPU(kernel, SUPERCONDUCTING, name="sc0"),
+            QPU(kernel, SUPERCONDUCTING, name="sc1"),
+            QPU(kernel, TRAPPED_ION, name="ti0"),
+        ],
+        policy=policy,
+    )
+    events = [
+        fleet.run(circuit, shots)
+        for circuit, shots in _workload(streams)
+    ]
+    kernel.run()
+    assert all(event.processed for event in events)
+    return kernel.now
+
+
+def _sweep(seed: int = 0):
+    return {
+        policy: _run_policy(policy, seed) for policy in ROUTING_POLICIES
+    }
+
+
+def test_bench_fleet_routing(run_once):
+    makespans = run_once(_sweep, seed=0)
+    print()
+    print(
+        render_series(
+            "policy",
+            ["makespan_s"],
+            list(makespans),
+            [[makespans[p] for p in makespans]],
+            title=(
+                "A6: fleet routing policies, 60 kernels, 2x SC + 1x TI"
+            ),
+        )
+    )
+    # Backlog-aware routing dominates naive first-fit: first-fit stacks
+    # the whole burst on sc0 while sc1 idles.
+    assert (
+        makespans["fastest_completion"]
+        < 0.7 * makespans["capability"]
+    ), makespans
+    # Service-time awareness beats both load-blind policies, which
+    # waste kernels on the slow trapped-ion device.
+    assert (
+        makespans["fastest_completion"] <= makespans["round_robin"]
+    ), makespans
+    assert (
+        makespans["fastest_completion"] <= makespans["least_loaded"]
+    ), makespans

@@ -1,0 +1,74 @@
+"""Microbenchmarks of the discrete-event kernel itself.
+
+These are throughput benchmarks (events/second) rather than paper
+artefacts: they justify the simulator's scalability claims and guard
+against performance regressions in the hot path.
+"""
+
+from repro.sim.kernel import Kernel
+from repro.sim.resources import Resource
+from repro.sim.store import Store
+
+EVENTS = 20000
+
+
+def _timeout_churn():
+    kernel = Kernel()
+
+    def ticker(k, count):
+        for _ in range(count):
+            yield k.timeout(1.0)
+
+    kernel.process(ticker(kernel, EVENTS))
+    kernel.run()
+    return kernel.now
+
+
+def _resource_contention():
+    kernel = Kernel()
+    resource = Resource(kernel, capacity=4)
+
+    def user(k):
+        for _ in range(200):
+            with resource.request() as request:
+                yield request
+                yield k.timeout(1.0)
+
+    for _ in range(25):
+        kernel.process(user(kernel))
+    kernel.run()
+    return kernel.now
+
+
+def _producer_consumer():
+    kernel = Kernel()
+    store = Store(kernel, capacity=16)
+    total = 10000
+
+    def producer(k):
+        for index in range(total):
+            yield store.put(index)
+
+    def consumer(k):
+        for _ in range(total):
+            yield store.get()
+
+    kernel.process(producer(kernel))
+    kernel.process(consumer(kernel))
+    kernel.run()
+    return store.size
+
+
+def test_bench_kernel_timeout_churn(benchmark):
+    result = benchmark(_timeout_churn)
+    assert result == EVENTS
+
+
+def test_bench_kernel_resource_contention(benchmark):
+    result = benchmark(_resource_contention)
+    assert result == 25 * 200 / 4  # perfect pipelining at capacity 4
+
+
+def test_bench_kernel_producer_consumer(benchmark):
+    result = benchmark(_producer_consumer)
+    assert result == 0

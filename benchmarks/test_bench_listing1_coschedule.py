@@ -1,0 +1,11 @@
+"""Benchmark E2 — regenerate the Listing 1 co-scheduling waste table."""
+
+from repro.experiments.harness import assert_all_claims
+from repro.experiments.listing1_coschedule import run
+
+
+def test_bench_listing1_coschedule(run_once):
+    result = run_once(run, seed=0)
+    print()
+    print(result.render())
+    assert_all_claims(result)

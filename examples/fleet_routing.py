@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Routing kernels across a heterogeneous QPU fleet.
+
+Facilities will operate mixed fleets (the paper: technologies differ by
+orders of magnitude in time scale, and every vendor brings its own
+access path).  This example routes a bursty mixed-size kernel stream
+across two superconducting devices and one trapped-ion device under
+each routing policy of :class:`repro.quantum.fleet.QPUFleet` and
+reports makespan and per-device load.
+
+Run with::
+
+    python examples/fleet_routing.py
+"""
+
+from repro.metrics.report import render_table
+from repro.quantum import SUPERCONDUCTING, TRAPPED_ION, Circuit
+from repro.quantum.fleet import ROUTING_POLICIES, QPUFleet
+from repro.quantum.qpu import QPU
+from repro.sim import Kernel, RandomStreams
+
+KERNELS = 60
+
+
+def workload(streams: RandomStreams):
+    rng = streams.stream("workload")
+    stream = []
+    for index in range(KERNELS):
+        shots = int(rng.integers(500, 5000))
+        stream.append((Circuit(12, 80, name=f"k{index}"), shots))
+    return stream
+
+
+def main() -> None:
+    rows = []
+    for policy in ROUTING_POLICIES:
+        kernel = Kernel()
+        streams = RandomStreams(21)
+        fleet = QPUFleet(
+            [
+                QPU(kernel, SUPERCONDUCTING, name="sc0"),
+                QPU(kernel, SUPERCONDUCTING, name="sc1"),
+                QPU(kernel, TRAPPED_ION, name="ti0"),
+            ],
+            policy=policy,
+        )
+        for circuit, shots in workload(streams):
+            fleet.run(circuit, shots)
+        kernel.run()
+        rows.append(
+            [
+                policy,
+                f"{kernel.now:.1f}",
+                fleet.routed_counts["sc0"],
+                fleet.routed_counts["sc1"],
+                fleet.routed_counts["ti0"],
+            ]
+        )
+
+    print(
+        render_table(
+            ["policy", "makespan_s", "sc0", "sc1", "ti0"],
+            rows,
+            title=(
+                f"{KERNELS} mixed kernels across 2x superconducting + "
+                "1x trapped-ion"
+            ),
+        )
+    )
+    print()
+    print(
+        "Earliest-finish-time routing balances the fast twins and "
+        "keeps kernels off\nthe slow device; queue-length or "
+        "round-robin routing poisons the makespan\nwith minute-scale "
+        "trapped-ion jobs."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""A malleable hybrid job on a busy cluster (paper Fig 4).
+
+A saturated classical partition makes every extra queue entry
+expensive.  The malleable job queues once, shrinks to a single node
+while its kernels run on the QPU (returning nodes to the backfill
+scheduler), and grows back afterwards — the scheduler grants regrowth
+ahead of new jobs.  Compared against a workflow, which re-queues at
+every step.
+
+Run with::
+
+    python examples/malleable_cluster.py
+"""
+
+from repro.metrics.report import render_table
+from repro.quantum import SUPERCONDUCTING, Circuit
+from repro.strategies import (
+    CoScheduleStrategy,
+    MalleableStrategy,
+    WorkflowStrategy,
+    make_environment,
+    vqe_like,
+)
+from repro.workloads import CampaignDriver
+from repro.experiments.common import start_background
+
+BACKGROUND_RHO = 1.15     # offered load on the classical partition
+WARMUP = 3600.0           # let the queue build before submitting
+HORIZON = 8 * 3600.0
+
+
+def make_app():
+    return vqe_like(
+        iterations=5,
+        classical_work=300.0 * 8,
+        circuit=Circuit(num_qubits=12, depth=100, geometry="g0"),
+        shots=1000,
+        classical_nodes=8,
+        min_classical_nodes=1,
+        name="malleable-demo",
+    )
+
+
+def main() -> None:
+    rows = []
+    for strategy in (
+        CoScheduleStrategy(),
+        WorkflowStrategy(),
+        MalleableStrategy(reconfiguration_cost=5.0),
+    ):
+        env = make_environment(
+            classical_nodes=32,
+            technology=SUPERCONDUCTING,
+            seed=0,
+        )
+        start_background(env, BACKGROUND_RHO, HORIZON)
+        driver = CampaignDriver(env, strategy)
+        driver.launch_all([make_app()], submit_times=[WARMUP])
+        [record] = driver.collect()
+        grow_waits = record.details.get("grow_waits_s", [])
+        rows.append(
+            [
+                record.strategy,
+                f"{record.turnaround:.0f}",
+                len(record.queue_waits),
+                f"{record.total_queue_wait:.0f}",
+                record.details.get("resizes", 0),
+                f"{sum(grow_waits):.0f}" if grow_waits else "-",
+                record.details.get("final_state", "?"),
+            ]
+        )
+
+    print(
+        render_table(
+            [
+                "strategy",
+                "turnaround_s",
+                "queue entries",
+                "queue_wait_s",
+                "resizes",
+                "grow_wait_s",
+                "state",
+            ],
+            rows,
+            title=(
+                f"Hybrid job on a saturated cluster "
+                f"(offered load {BACKGROUND_RHO:.2f})"
+            ),
+        )
+    )
+    print()
+    print(
+        "The malleable job pays the queue once and renegotiates "
+        "resources in place;\nthe workflow re-queues at every step.  "
+        "The malleable price is visible too:\nregrowth after a quantum "
+        "phase competes with the saturated queue (grow_wait_s)."
+    )
+
+
+if __name__ == "__main__":
+    main()

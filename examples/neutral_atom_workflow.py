@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Neutral-atom sampling pipeline as a loosely-coupled workflow.
+
+A neutral-atom QPU takes >30 minutes per job once register-geometry
+calibration is counted (paper Fig 1), so exclusively co-scheduling
+classical nodes alongside it wastes them (Section 3).  This example
+runs a three-stage analysis pipeline — prepare → sample (quantum) →
+post-process, twice, with a final aggregation — both ways and shows
+the workflow's node-hour savings.
+
+Run with::
+
+    python examples/neutral_atom_workflow.py
+"""
+
+from repro.metrics.report import render_table
+from repro.quantum import NEUTRAL_ATOM, Circuit
+from repro.strategies import (
+    CoScheduleStrategy,
+    HybridApplication,
+    WorkflowStrategy,
+    classical,
+    make_environment,
+    quantum,
+)
+
+
+def make_pipeline() -> HybridApplication:
+    circuit = Circuit(
+        num_qubits=100,
+        depth=60,
+        geometry="kagome-lattice",
+        name="rydberg-sampler",
+    )
+    return HybridApplication(
+        phases=[
+            classical(600.0 * 16),   # 10 min prepare at 16 nodes
+            quantum(circuit, 1000),  # ~30+ min incl. calibration
+            classical(900.0 * 16),   # 15 min analysis
+            quantum(circuit, 1000),  # geometry cached: faster
+            classical(1200.0 * 16),  # 20 min final aggregation
+        ],
+        classical_nodes=16,
+        min_classical_nodes=1,
+        name="neutral-atom-pipeline",
+    )
+
+
+def main() -> None:
+    app = make_pipeline()
+    print(f"Pipeline: {app.name}")
+    print(
+        "  quantum job estimate (first, incl. geometry calibration): "
+        f"{NEUTRAL_ATOM.job_time_with_calibration(app.phases[1].circuit, 1000) / 60:.1f} min"
+    )
+    print()
+
+    rows = []
+    for strategy in (CoScheduleStrategy(), WorkflowStrategy()):
+        env = make_environment(
+            classical_nodes=32, technology=NEUTRAL_ATOM, seed=3
+        )
+        run = strategy.launch(env, app)
+        env.kernel.run(until=run.done)
+        record = run.record
+        node_hours_held = record.classical_held_node_seconds / 3600.0
+        node_hours_used = record.classical_useful_node_seconds / 3600.0
+        rows.append(
+            [
+                record.strategy,
+                f"{record.turnaround / 60:.1f}",
+                f"{node_hours_held:.1f}",
+                f"{node_hours_used:.1f}",
+                f"{record.classical_efficiency:.2f}",
+                f"{record.qpu_efficiency:.2f}",
+            ]
+        )
+
+    print(
+        render_table(
+            [
+                "strategy",
+                "turnaround_min",
+                "node_hours_held",
+                "node_hours_used",
+                "classical_eff",
+                "qpu_eff",
+            ],
+            rows,
+            title="Neutral-atom pipeline: co-scheduling vs workflow",
+        )
+    )
+    print()
+    print(
+        "While the QPU grinds through its half-hour jobs, the "
+        "co-scheduled variant\nkeeps 16 classical nodes captive; the "
+        "workflow releases them between steps\nand burns a fraction of "
+        "the node-hours for the same turnaround."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Quickstart: one hybrid application under all four strategies.
+
+Builds a small HPC-QC facility (32 classical nodes + 1 superconducting
+QPU), defines a VQE-style hybrid application (5 optimiser iterations,
+each a 5-minute classical phase followed by a 1000-shot kernel), and
+runs it under:
+
+- exclusive co-scheduling (the paper's Listing 1 baseline),
+- a loosely-coupled workflow (Fig 2),
+- a virtual-QPU share (Fig 3),
+- a malleable job (Fig 4),
+
+printing the per-strategy turnaround and held-vs-used efficiencies.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro.metrics.report import render_table
+from repro.quantum import SUPERCONDUCTING, Circuit
+from repro.strategies import (
+    CoScheduleStrategy,
+    MalleableStrategy,
+    VQPUStrategy,
+    WorkflowStrategy,
+    make_environment,
+    vqe_like,
+)
+
+
+def main() -> None:
+    app = vqe_like(
+        iterations=5,
+        classical_work=300.0 * 8,  # 300 s wall per phase at 8 nodes
+        circuit=Circuit(num_qubits=12, depth=120, geometry="ansatz-1"),
+        shots=1000,
+        classical_nodes=8,
+        min_classical_nodes=1,
+        name="quickstart-vqe",
+    )
+    print(f"Application: {app.name}")
+    print(f"  phases: {len(app.phases)} "
+          f"({app.classical_phase_count} classical, "
+          f"{app.quantum_phase_count} quantum)")
+    print(f"  ideal makespan on superconducting: "
+          f"{app.ideal_makespan(SUPERCONDUCTING):.0f} s")
+    print()
+
+    strategies = [
+        (CoScheduleStrategy(), 1),
+        (WorkflowStrategy(), 1),
+        (VQPUStrategy(), 4),
+        (MalleableStrategy(reconfiguration_cost=5.0), 1),
+    ]
+    rows = []
+    for strategy, vqpus in strategies:
+        # Fresh facility per strategy: same topology, same seed.
+        env = make_environment(
+            classical_nodes=32,
+            technology=SUPERCONDUCTING,
+            vqpus_per_qpu=vqpus,
+            seed=42,
+        )
+        run = strategy.launch(env, app)
+        env.kernel.run(until=run.done)
+        record = run.record
+        rows.append(
+            [
+                record.strategy,
+                f"{record.turnaround:.0f}",
+                f"{record.total_queue_wait:.0f}",
+                f"{record.classical_efficiency:.2f}",
+                f"{record.qpu_efficiency:.3f}",
+                record.details.get("final_state", "?"),
+            ]
+        )
+
+    print(
+        render_table(
+            [
+                "strategy",
+                "turnaround_s",
+                "queue_wait_s",
+                "classical_eff",
+                "qpu_eff",
+                "state",
+            ],
+            rows,
+            title="One hybrid app, four integration strategies (idle cluster)",
+        )
+    )
+    print()
+    print(
+        "Note the paper's core observation: co-scheduling completes as "
+        "fast as\nanything on an idle cluster but leaves the "
+        "exclusively-held QPU ~99% idle;\nthe other strategies trade "
+        "that waste against queueing, sharing bounds,\nor "
+        "reconfiguration cost."
+    )
+
+
+if __name__ == "__main__":
+    main()

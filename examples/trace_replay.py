@@ -1,0 +1,125 @@
+#!/usr/bin/env python
+"""Synthetic SWF trace replay comparing backfill policies.
+
+Generates an archive-shaped synthetic workload trace (log-uniform
+runtimes, power-of-two job sizes, Poisson arrivals), writes it to SWF,
+reads it back, and replays it through the batch scheduler under FIFO,
+EASY and conservative backfill — alongside a stream of hybrid HPC-QC
+hetjobs, which are exactly the jobs head-of-line blocking punishes.
+
+Run with::
+
+    python examples/trace_replay.py
+"""
+
+import tempfile
+
+from repro.metrics.report import render_table
+from repro.metrics.stats import mean
+from repro.quantum import SUPERCONDUCTING
+from repro.strategies import CoScheduleStrategy, make_environment
+from repro.experiments.common import standard_hybrid_app
+from repro.workloads import (
+    CampaignDriver,
+    LogUniform,
+    PowerOfTwoNodes,
+    read_swf,
+    submit_trace,
+    synthesise_trace,
+    write_swf,
+)
+
+TRACE_JOBS = 80
+POLICIES = ("fifo", "easy", "conservative")
+
+
+def main() -> None:
+    # Synthesise once, persist to SWF, and reuse the identical trace
+    # for every policy (as a trace-replay study would).
+    seed_env = make_environment(seed=99)
+    # Runtime/size marginals chosen for an offered load of ~0.8 on the
+    # 32-node partition: mean work ~2900 node-s per job every ~115 s.
+    trace = synthesise_trace(
+        seed_env.streams.stream("trace"),
+        job_count=TRACE_JOBS,
+        mean_interarrival=115.0,
+        runtimes=LogUniform(120.0, 1800.0),
+        sizes=PowerOfTwoNodes(2, 8),
+    )
+    with tempfile.NamedTemporaryFile(
+        "w", suffix=".swf", delete=False
+    ) as handle:
+        write_swf(trace, handle)
+        path = handle.name
+    trace = read_swf(path)
+    print(f"Synthesised {len(trace)} jobs -> {path}")
+    print()
+
+    rows = []
+    for policy in POLICIES:
+        env = make_environment(
+            classical_nodes=32,
+            technology=SUPERCONDUCTING,
+            policy=policy,
+            seed=99,
+        )
+        jobs = submit_trace(env, trace)
+        driver = CampaignDriver(env, CoScheduleStrategy())
+        hybrids = [
+            standard_hybrid_app(
+                SUPERCONDUCTING,
+                iterations=3,
+                classical_phase_seconds=120.0,
+                classical_nodes=8,
+                name=f"hybrid-{index}",
+            )
+            for index in range(4)
+        ]
+        driver.launch_all(
+            hybrids, submit_times=[900.0 * i for i in range(4)]
+        )
+        hybrid_records = driver.collect()
+        env.kernel.run()  # drain the rest of the trace
+
+        waits = [j.wait_time for j in jobs if j.wait_time is not None]
+        slowdowns = [
+            j.slowdown() for j in jobs if j.slowdown() is not None
+        ]
+        rows.append(
+            [
+                policy,
+                f"{mean(waits):.0f}",
+                f"{mean(slowdowns):.2f}",
+                f"{mean([r.total_queue_wait for r in hybrid_records]):.0f}",
+                f"{env.cluster.node_utilisation('classical'):.3f}",
+                f"{env.kernel.now / 3600:.2f}",
+            ]
+        )
+
+    print(
+        render_table(
+            [
+                "policy",
+                "trace mean_wait_s",
+                "trace mean_slowdown",
+                "hybrid queue_wait_s",
+                "classical_util",
+                "makespan_h",
+            ],
+            rows,
+            title=(
+                f"SWF replay ({TRACE_JOBS} classical jobs + 4 hybrid "
+                "hetjobs, 32 nodes)"
+            ),
+        )
+    )
+    print()
+    print(
+        "Backfill keeps the machine dense around the rigid hetjobs; "
+        "strict FIFO\nhead-blocking shows up directly in the trace "
+        "jobs' waits and slowdowns."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Multi-user VQE campaign sharing one superconducting QPU via VQPUs.
+
+Eight research groups each run a VQE campaign (classical optimisation
+interleaved with second-scale kernels).  The facility exposes the
+single physical QPU as a configurable number of *virtual* QPU gres
+units (paper Fig 3).  The script sweeps the VQPU count and reports
+campaign makespan, tenant turnaround, physical-device utilisation and
+the measured interleaving delay against the (V-1)·task bound.
+
+Run with::
+
+    python examples/vqe_campaign.py
+"""
+
+from repro.metrics.report import render_table
+from repro.metrics.stats import mean
+from repro.quantum import SUPERCONDUCTING, Circuit
+from repro.strategies import VQPUStrategy, make_environment, vqe_like
+from repro.workloads import CampaignDriver
+
+GROUPS = 8
+VQPU_SWEEP = (1, 2, 4, 8)
+
+
+def make_campaign_apps():
+    """One VQE app per research group (varied ansatz depths)."""
+    apps = []
+    for index in range(GROUPS):
+        circuit = Circuit(
+            num_qubits=10 + index,
+            depth=80 + 20 * index,
+            geometry=f"ansatz-{index}",
+            name=f"group{index}-ansatz",
+        )
+        apps.append(
+            vqe_like(
+                iterations=4,
+                classical_work=150.0 * 2,  # 150 s at 2 nodes
+                circuit=circuit,
+                shots=1000,
+                classical_nodes=2,
+                name=f"group-{index}",
+            )
+        )
+    return apps
+
+
+def main() -> None:
+    rows = []
+    for vqpus in VQPU_SWEEP:
+        env = make_environment(
+            classical_nodes=4 * GROUPS,
+            technology=SUPERCONDUCTING,
+            vqpus_per_qpu=vqpus,
+            seed=7,
+        )
+        driver = CampaignDriver(env, VQPUStrategy())
+        driver.launch_all(make_campaign_apps())
+        records = driver.collect()
+
+        makespan = max(r.end_time for r in records) - min(
+            r.submit_time for r in records
+        )
+        qpu = env.primary_qpu()
+        waits = [w for r in records for w in r.quantum_access_waits]
+        kernel_times = [
+            r.qpu_busy_seconds / max(len(r.quantum_access_waits), 1)
+            for r in records
+        ]
+        bound = (vqpus - 1) * max(kernel_times)
+        rows.append(
+            [
+                vqpus,
+                f"{makespan:.0f}",
+                f"{mean([r.turnaround for r in records]):.0f}",
+                f"{qpu.busy.time_average(makespan):.4f}",
+                f"{max(waits):.2f}",
+                f"{bound:.2f}",
+            ]
+        )
+
+    print(
+        render_table(
+            [
+                "VQPUs",
+                "makespan_s",
+                "mean_turnaround_s",
+                "qpu_busy_fraction",
+                "max_kernel_wait_s",
+                "(V-1)*task bound_s",
+            ],
+            rows,
+            title=(
+                f"{GROUPS} VQE campaigns sharing one superconducting QPU"
+            ),
+        )
+    )
+    print()
+    print(
+        "Temporal interleaving collapses the campaign makespan while "
+        "keeping every\nkernel's extra wait under the (V-1) x task-time "
+        "bound the paper states."
+    )
+
+
+if __name__ == "__main__":
+    main()

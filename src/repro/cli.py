@@ -1,0 +1,89 @@
+"""Command-line interface: run experiments and print their tables.
+
+Usage::
+
+    repro-hpcqc list
+    repro-hpcqc run E1 E4            # specific experiments
+    repro-hpcqc run all --seed 7     # everything
+    repro-hpcqc run all --markdown   # EXPERIMENTS.md-style output
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro._version import __version__
+from repro.experiments import EXPERIMENTS
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-hpcqc",
+        description=(
+            "Hybrid HPC-QC scheduling simulator - experiment runner "
+            "(reproduction of Viviani et al., DSN 2025)"
+        ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    subparsers = parser.add_subparsers(dest="command")
+
+    subparsers.add_parser("list", help="list available experiments")
+
+    run_parser = subparsers.add_parser("run", help="run experiments")
+    run_parser.add_argument(
+        "experiments",
+        nargs="+",
+        help="experiment ids (e.g. E1 E4) or 'all'",
+    )
+    run_parser.add_argument(
+        "--seed", type=int, default=0, help="root RNG seed (default 0)"
+    )
+    run_parser.add_argument(
+        "--markdown",
+        action="store_true",
+        help="render results as markdown instead of plain tables",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        for experiment_id, runner in sorted(EXPERIMENTS.items()):
+            doc = (runner.__module__ or "").rsplit(".", 1)[-1]
+            print(f"{experiment_id}: {doc}")
+        return 0
+    if args.command == "run":
+        requested = args.experiments
+        if any(token.lower() == "all" for token in requested):
+            requested = sorted(EXPERIMENTS)
+        unknown = [token for token in requested if token not in EXPERIMENTS]
+        if unknown:
+            parser.error(
+                f"unknown experiment(s): {unknown}; "
+                f"known: {sorted(EXPERIMENTS)}"
+            )
+        any_failed = False
+        for experiment_id in requested:
+            result = EXPERIMENTS[experiment_id](seed=args.seed)
+            output = (
+                result.render_markdown()
+                if args.markdown
+                else result.render()
+            )
+            print(output)
+            print()
+            if not result.all_passed:
+                any_failed = True
+        return 1 if any_failed else 0
+    parser.print_help()
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,82 @@
+"""Convenience builders for common cluster shapes.
+
+Every experiment in the paper uses the same basic topology — a
+``classical`` CPU partition plus a ``quantum`` partition whose nodes
+expose QPU gres (Listing 1) — so we provide one canonical builder.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.node import GresInstance, Node
+from repro.cluster.partition import Partition
+from repro.sim.kernel import Kernel
+
+#: Default partition names matching the paper's Listing 1.
+CLASSICAL_PARTITION = "classical"
+QUANTUM_PARTITION = "quantum"
+
+
+def make_nodes(
+    prefix: str, count: int, cores: int = 64, memory_gb: float = 256.0
+) -> List[Node]:
+    """``count`` homogeneous nodes named ``{prefix}{index:04d}``."""
+    return [
+        Node(f"{prefix}{index:04d}", cores=cores, memory_gb=memory_gb)
+        for index in range(count)
+    ]
+
+
+def make_qpu_node(
+    name: str,
+    devices: Sequence[Any],
+    gres_type: str = "qpu",
+    cores: int = 16,
+) -> Node:
+    """A quantum-partition front-end node exposing ``devices`` as gres.
+
+    Each device (usually a :class:`repro.quantum.qpu.QPU` or a virtual
+    QPU lease broker) becomes one gres unit bound to that device.
+    """
+    gres = [
+        GresInstance(gres_type, index, device=device)
+        for index, device in enumerate(devices)
+    ]
+    return Node(name, cores=cores, memory_gb=64.0, gres=gres)
+
+
+def build_hpcqc_cluster(
+    kernel: Kernel,
+    classical_nodes: int,
+    qpu_devices: Sequence[Any],
+    qpus_per_node: int = 1,
+    classical_max_walltime: Optional[float] = None,
+    quantum_max_walltime: Optional[float] = None,
+    cores_per_node: int = 64,
+) -> Cluster:
+    """Canonical two-partition HPC-QC cluster (paper Listing 1 topology).
+
+    Parameters
+    ----------
+    classical_nodes:
+        Number of CPU nodes in the ``classical`` partition.
+    qpu_devices:
+        Device objects to expose as ``qpu`` gres; they are packed onto
+        quantum front-end nodes ``qpus_per_node`` at a time.
+    """
+    classical = Partition(
+        CLASSICAL_PARTITION,
+        make_nodes("cn", classical_nodes, cores=cores_per_node),
+        max_walltime=classical_max_walltime,
+    )
+    devices = list(qpu_devices)
+    quantum_nodes: List[Node] = []
+    for index in range(0, max(len(devices), 1), qpus_per_node):
+        chunk = devices[index : index + qpus_per_node]
+        quantum_nodes.append(make_qpu_node(f"qn{index // qpus_per_node:02d}", chunk))
+    quantum = Partition(
+        QUANTUM_PARTITION, quantum_nodes, max_walltime=quantum_max_walltime
+    )
+    return Cluster(kernel, [classical, quantum])

@@ -1,0 +1,248 @@
+"""The cluster: partitions, allocation bookkeeping and utilisation monitors.
+
+The cluster is passive with respect to time — the batch scheduler
+decides *when* to allocate; the cluster checks feasibility, mutates node
+state and maintains time-weighted busy-node counters that the metrics
+layer turns into utilisation figures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.cluster.allocation import Allocation
+from repro.cluster.node import Node
+from repro.cluster.partition import Partition
+from repro.errors import AllocationError, ConfigurationError
+from repro.sim.kernel import Kernel
+from repro.sim.monitor import TimeWeightedValue
+
+
+class Cluster:
+    """A set of partitions plus allocation bookkeeping."""
+
+    def __init__(self, kernel: Kernel, partitions: List[Partition]) -> None:
+        if not partitions:
+            raise ConfigurationError("a cluster needs at least one partition")
+        names = [p.name for p in partitions]
+        if len(set(names)) != len(names):
+            raise ConfigurationError("duplicate partition names")
+        self.kernel = kernel
+        self.partitions: Dict[str, Partition] = {p.name: p for p in partitions}
+        #: Active allocations keyed by (job_id, partition, serial).
+        self.allocations: List[Allocation] = []
+        #: Per-partition time-weighted busy-node counters.
+        self.busy_nodes: Dict[str, TimeWeightedValue] = {
+            p.name: TimeWeightedValue(kernel, 0.0) for p in partitions
+        }
+        #: Per-partition, per-gres-type busy-unit counters.
+        self.busy_gres: Dict[str, Dict[str, TimeWeightedValue]] = {}
+        for partition in partitions:
+            gres_types = sorted(
+                {t for node in partition.nodes for t in node.gres_types()}
+            )
+            self.busy_gres[partition.name] = {
+                t: TimeWeightedValue(kernel, 0.0) for t in gres_types
+            }
+
+    # -- queries ------------------------------------------------------------------
+
+    def partition(self, name: str) -> Partition:
+        try:
+            return self.partitions[name]
+        except KeyError:
+            raise ConfigurationError(f"unknown partition {name!r}") from None
+
+    def total_nodes(self) -> int:
+        return sum(p.node_count for p in self.partitions.values())
+
+    def can_allocate(
+        self,
+        partition_name: str,
+        node_count: int,
+        gres_request: Optional[Dict[str, int]] = None,
+    ) -> bool:
+        """Whether the request could start *right now*."""
+        partition = self.partition(partition_name)
+        return partition.find_nodes(node_count, gres_request) is not None
+
+    def active_allocations(
+        self, partition_name: Optional[str] = None
+    ) -> List[Allocation]:
+        """Unreleased allocations, optionally filtered by partition."""
+        return [
+            a
+            for a in self.allocations
+            if not a.released
+            and (partition_name is None or a.partition_name == partition_name)
+        ]
+
+    # -- allocate / release ----------------------------------------------------------
+
+    def allocate(
+        self,
+        job_id: str,
+        partition_name: str,
+        node_count: int,
+        gres_request: Optional[Dict[str, int]] = None,
+        walltime: Optional[float] = None,
+    ) -> Allocation:
+        """Grant ``node_count`` nodes (+gres) in ``partition_name``.
+
+        Raises :class:`AllocationError` if the request cannot be
+        satisfied at the current instant.
+        """
+        partition = self.partition(partition_name)
+        nodes = partition.find_nodes(node_count, gres_request)
+        if nodes is None:
+            raise AllocationError(
+                f"partition {partition_name!r} cannot satisfy "
+                f"{node_count} nodes + gres {gres_request!r} for job {job_id!r}"
+            )
+        granted = self._grant_on_nodes(job_id, nodes, gres_request)
+        allocation = Allocation(
+            job_id=job_id,
+            partition_name=partition_name,
+            nodes=nodes,
+            gres=granted,
+            start_time=self.kernel.now,
+            walltime=walltime,
+        )
+        self.allocations.append(allocation)
+        self._account(partition_name, len(nodes), allocation.gres_counts(), +1)
+        return allocation
+
+    def _grant_on_nodes(self, job_id, nodes, gres_request):
+        """Allocate ``nodes``, spreading the job-total gres request."""
+        remaining = dict(gres_request or {})
+        granted = []
+        for node in nodes:
+            per_node: Dict[str, int] = {}
+            for gres_type in list(remaining):
+                if remaining[gres_type] <= 0:
+                    continue
+                take = min(remaining[gres_type], len(node.free_gres(gres_type)))
+                if take > 0:
+                    per_node[gres_type] = take
+                    remaining[gres_type] -= take
+            granted.extend(node.allocate(job_id, per_node))
+        unmet = {t: c for t, c in remaining.items() if c > 0}
+        if unmet:
+            # Roll back: release everything we just took.
+            for node in nodes:
+                if node.allocated_to == job_id:
+                    node.release(job_id)
+            raise AllocationError(
+                f"gres request unsatisfiable on chosen nodes: {unmet!r}"
+            )
+        return granted
+
+    def release(self, allocation: Allocation) -> None:
+        """Return every node of ``allocation`` to its partition."""
+        if allocation.released:
+            raise AllocationError(
+                f"allocation for job {allocation.job_id!r} already released"
+            )
+        for node in allocation.nodes:
+            node.release(allocation.job_id)
+        allocation.released = True
+        allocation.end_time = self.kernel.now
+        self._account(
+            allocation.partition_name,
+            len(allocation.nodes),
+            allocation.gres_counts(),
+            -1,
+        )
+
+    def shrink(self, allocation: Allocation, count: int) -> List[Node]:
+        """Release ``count`` nodes from a live allocation (malleability).
+
+        Nodes *without* allocated gres are preferred so a shrinking
+        hybrid job keeps its device-bearing nodes.  Returns the released
+        nodes.
+        """
+        if allocation.released:
+            raise AllocationError("cannot shrink a released allocation")
+        if count <= 0 or count > len(allocation.nodes):
+            raise AllocationError(
+                f"shrink count {count} out of range for allocation of "
+                f"{len(allocation.nodes)} nodes"
+            )
+        job_id = allocation.job_id
+        gres_nodes = {g.node for g in allocation.gres if g.node is not None}
+        candidates = sorted(
+            allocation.nodes,
+            key=lambda n: (n in gres_nodes, n.name),
+        )
+        victims = candidates[:count]
+        for node in victims:
+            node.release(job_id)
+        allocation.remove_nodes(victims)
+        self._account(allocation.partition_name, len(victims), {}, -1)
+        return victims
+
+    def grow(self, allocation: Allocation, count: int) -> List[Node]:
+        """Attach ``count`` additional nodes to a live allocation.
+
+        Raises :class:`AllocationError` if the partition cannot supply
+        them right now.
+        """
+        if allocation.released:
+            raise AllocationError("cannot grow a released allocation")
+        partition = self.partition(allocation.partition_name)
+        nodes = partition.find_nodes(count)
+        if nodes is None:
+            raise AllocationError(
+                f"partition {allocation.partition_name!r} cannot supply "
+                f"{count} extra nodes"
+            )
+        for node in nodes:
+            node.allocate(allocation.job_id)
+        allocation.add_nodes(nodes)
+        self._account(allocation.partition_name, len(nodes), {}, +1)
+        return nodes
+
+    # -- metrics -----------------------------------------------------------------
+
+    def _account(
+        self,
+        partition_name: str,
+        node_delta: int,
+        gres_counts: Dict[str, int],
+        sign: int,
+    ) -> None:
+        self.busy_nodes[partition_name].add(sign * node_delta)
+        for gres_type, count in gres_counts.items():
+            monitors = self.busy_gres[partition_name]
+            if gres_type not in monitors:
+                monitors[gres_type] = TimeWeightedValue(self.kernel, 0.0)
+            monitors[gres_type].add(sign * count)
+
+    def node_utilisation(self, partition_name: str) -> float:
+        """Time-averaged fraction of the partition's nodes allocated."""
+        partition = self.partition(partition_name)
+        if partition.node_count == 0:
+            return 0.0
+        return (
+            self.busy_nodes[partition_name].time_average()
+            / partition.node_count
+        )
+
+    def gres_allocation_fraction(
+        self, partition_name: str, gres_type: str
+    ) -> float:
+        """Time-averaged fraction of gres units *allocated* (not used)."""
+        capacity = self.partition(partition_name).gres_capacity(gres_type)
+        if capacity == 0:
+            return 0.0
+        monitor = self.busy_gres[partition_name].get(gres_type)
+        if monitor is None:
+            return 0.0
+        return monitor.time_average() / capacity
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{p.name}:{p.available_count()}/{p.node_count}"
+            for p in self.partitions.values()
+        )
+        return f"<Cluster {parts}>"

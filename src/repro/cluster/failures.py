@@ -1,0 +1,85 @@
+"""Node failure injection.
+
+An optional background process that takes nodes down according to an
+exponential mean-time-between-failures model and repairs them after an
+exponential repair time.  Used by robustness tests and the backfill
+ablation: failures shorten availability windows and stress reservation
+logic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.cluster.node import Node, NodeState
+from repro.errors import ConfigurationError
+from repro.sim.kernel import Kernel
+from repro.sim.rng import RandomStreams
+
+
+class FailureInjector:
+    """Randomly fails and repairs nodes of a node pool.
+
+    Parameters
+    ----------
+    kernel:
+        Simulation kernel.
+    nodes:
+        Node pool subject to failures.
+    mtbf:
+        Mean time between failures, *per node*, in simulated seconds.
+    mean_repair_time:
+        Mean node repair duration in simulated seconds.
+    streams:
+        Random stream factory (a dedicated ``"failures"`` stream is used).
+    on_failure:
+        Optional callback invoked as ``on_failure(node, evicted_job_id)``
+        whenever a node goes down, so the scheduler can requeue the
+        evicted job.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        nodes: List[Node],
+        mtbf: float,
+        mean_repair_time: float,
+        streams: RandomStreams,
+        on_failure: Optional[Callable[[Node, Optional[str]], None]] = None,
+    ) -> None:
+        if mtbf <= 0 or mean_repair_time <= 0:
+            raise ConfigurationError("mtbf and repair time must be positive")
+        self.kernel = kernel
+        self.nodes = list(nodes)
+        self.mtbf = mtbf
+        self.mean_repair_time = mean_repair_time
+        self.rng = streams.stream("failures")
+        self.on_failure = on_failure
+        self.failure_count = 0
+        self.repair_count = 0
+        self._processes = [
+            kernel.process(self._node_life(node), name=f"failures:{node.name}")
+            for node in self.nodes
+        ]
+
+    def _node_life(self, node: Node):
+        """Fail/repair loop for one node."""
+        while True:
+            uptime = float(self.rng.exponential(self.mtbf))
+            yield self.kernel.timeout(uptime)
+            if node.state == NodeState.DOWN:
+                continue
+            evicted = node.mark_down()
+            self.failure_count += 1
+            if self.on_failure is not None:
+                self.on_failure(node, evicted)
+            repair = float(self.rng.exponential(self.mean_repair_time))
+            yield self.kernel.timeout(repair)
+            node.mark_up()
+            self.repair_count += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"<FailureInjector nodes={len(self.nodes)} "
+            f"failures={self.failure_count} repairs={self.repair_count}>"
+        )

@@ -1,0 +1,183 @@
+"""Compute-node model.
+
+Nodes are the unit of allocation (SLURM ``--nodes`` semantics: whole
+nodes are granted to jobs).  A node carries a core count and memory for
+bookkeeping, and optionally *generic resources* (gres) — the mechanism
+SLURM uses, and the paper adopts (``--gres=qpu:1``), to expose devices
+such as QPUs to the batch system.  A gres unit may be *bound* to an
+arbitrary device object (e.g. a :class:`repro.quantum.qpu.QPU`), which
+is how an allocated job obtains a handle to the physical device behind
+its grant.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Dict, List, Optional
+
+from repro.errors import AllocationError, ConfigurationError
+
+
+class NodeState(enum.Enum):
+    """Lifecycle state of a compute node."""
+
+    IDLE = "idle"
+    ALLOCATED = "allocated"
+    DOWN = "down"
+    DRAINING = "draining"
+
+
+class GresInstance:
+    """One schedulable unit of a generic resource on a node.
+
+    Parameters
+    ----------
+    gres_type:
+        Resource type name, e.g. ``"qpu"`` or ``"gpu"``.
+    index:
+        Unit index within the node (0-based).
+    device:
+        Optional backing device object handed to the job that gets this
+        unit (e.g. a QPU model or a virtual-QPU lease broker).
+    """
+
+    __slots__ = ("gres_type", "index", "device", "node", "allocated_to")
+
+    def __init__(
+        self, gres_type: str, index: int, device: Any = None
+    ) -> None:
+        self.gres_type = gres_type
+        self.index = index
+        self.device = device
+        #: Back-reference set when the instance is attached to a node.
+        self.node: Optional["Node"] = None
+        #: Job id currently holding this unit, if any.
+        self.allocated_to: Optional[str] = None
+
+    @property
+    def is_free(self) -> bool:
+        return self.allocated_to is None
+
+    def __repr__(self) -> str:
+        owner = f" -> {self.allocated_to}" if self.allocated_to else ""
+        return f"<Gres {self.gres_type}:{self.index}{owner}>"
+
+
+class Node:
+    """A whole-node-allocatable compute node."""
+
+    def __init__(
+        self,
+        name: str,
+        cores: int = 64,
+        memory_gb: float = 256.0,
+        gres: Optional[List[GresInstance]] = None,
+    ) -> None:
+        if cores <= 0:
+            raise ConfigurationError(f"node {name!r}: cores must be positive")
+        if memory_gb <= 0:
+            raise ConfigurationError(f"node {name!r}: memory must be positive")
+        self.name = name
+        self.cores = cores
+        self.memory_gb = memory_gb
+        self.state = NodeState.IDLE
+        #: Job id currently holding the node, if any.
+        self.allocated_to: Optional[str] = None
+        self._gres: Dict[str, List[GresInstance]] = {}
+        for instance in gres or []:
+            instance.node = self
+            self._gres.setdefault(instance.gres_type, []).append(instance)
+
+    # -- gres ----------------------------------------------------------------
+
+    def gres_count(self, gres_type: str) -> int:
+        """Total units of ``gres_type`` on this node."""
+        return len(self._gres.get(gres_type, []))
+
+    def free_gres(self, gres_type: str) -> List[GresInstance]:
+        """Unallocated units of ``gres_type``."""
+        return [g for g in self._gres.get(gres_type, []) if g.is_free]
+
+    def gres_types(self) -> List[str]:
+        """All gres type names present on the node."""
+        return list(self._gres)
+
+    def all_gres(self, gres_type: str) -> List[GresInstance]:
+        """All units of ``gres_type`` regardless of allocation state."""
+        return list(self._gres.get(gres_type, []))
+
+    # -- allocation ------------------------------------------------------------
+
+    @property
+    def is_available(self) -> bool:
+        """Whether the node can be handed to a new job right now."""
+        return self.state == NodeState.IDLE and self.allocated_to is None
+
+    def allocate(self, job_id: str, gres_request: Optional[Dict[str, int]] = None
+                 ) -> List[GresInstance]:
+        """Grant the node (and ``gres_request`` units) to ``job_id``.
+
+        Returns the granted gres instances.  Raises
+        :class:`AllocationError` if the node or the gres are busy.
+        """
+        if not self.is_available:
+            raise AllocationError(
+                f"node {self.name!r} not available (state={self.state}, "
+                f"holder={self.allocated_to!r})"
+            )
+        granted: List[GresInstance] = []
+        for gres_type, count in (gres_request or {}).items():
+            free = self.free_gres(gres_type)
+            if len(free) < count:
+                raise AllocationError(
+                    f"node {self.name!r}: requested {count} x {gres_type!r}, "
+                    f"only {len(free)} free"
+                )
+            granted.extend(free[:count])
+        self.state = NodeState.ALLOCATED
+        self.allocated_to = job_id
+        for instance in granted:
+            instance.allocated_to = job_id
+        return granted
+
+    def release(self, job_id: str) -> None:
+        """Return the node (and its gres units) held by ``job_id``."""
+        if self.allocated_to != job_id:
+            raise AllocationError(
+                f"node {self.name!r} is not held by job {job_id!r}"
+            )
+        self.allocated_to = None
+        if self.state == NodeState.ALLOCATED:
+            self.state = NodeState.IDLE
+        for instances in self._gres.values():
+            for instance in instances:
+                if instance.allocated_to == job_id:
+                    instance.allocated_to = None
+
+    # -- failure/drain -----------------------------------------------------------
+
+    def mark_down(self) -> Optional[str]:
+        """Take the node down; returns the id of the evicted job, if any."""
+        evicted = self.allocated_to
+        self.state = NodeState.DOWN
+        self.allocated_to = None
+        for instances in self._gres.values():
+            for instance in instances:
+                instance.allocated_to = None
+        return evicted
+
+    def mark_up(self) -> None:
+        """Bring a down/draining node back to service."""
+        if self.state in (NodeState.DOWN, NodeState.DRAINING):
+            self.state = NodeState.IDLE
+
+    def drain(self) -> None:
+        """Stop accepting new jobs; current job may finish."""
+        if self.state == NodeState.IDLE:
+            self.state = NodeState.DRAINING
+        elif self.state == NodeState.ALLOCATED:
+            # Allocated nodes drain upon release; model as DRAINING once free.
+            self.state = NodeState.ALLOCATED  # release() will set IDLE
+
+    def __repr__(self) -> str:
+        return f"<Node {self.name} {self.state.value}>"

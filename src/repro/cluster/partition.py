@@ -1,0 +1,118 @@
+"""Partitions: named groups of interchangeable nodes.
+
+The paper's Listing 1 uses two partitions, ``classical`` and
+``quantum``; the quantum partition's nodes expose QPUs as gres.  Nodes
+inside one partition are treated as homogeneous and interchangeable for
+scheduling purposes, which matches how backfill reservations are
+computed on production systems.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.cluster.node import Node, NodeState
+from repro.errors import ConfigurationError
+
+
+class Partition:
+    """A named pool of homogeneous nodes with a walltime limit."""
+
+    def __init__(
+        self,
+        name: str,
+        nodes: List[Node],
+        max_walltime: Optional[float] = None,
+        priority_weight: float = 0.0,
+    ) -> None:
+        if not name:
+            raise ConfigurationError("partition name must be non-empty")
+        if not nodes:
+            raise ConfigurationError(f"partition {name!r} has no nodes")
+        names = [node.name for node in nodes]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(
+                f"partition {name!r} contains duplicate node names"
+            )
+        self.name = name
+        self.nodes = list(nodes)
+        #: Upper bound on job walltime in this partition (None = unlimited).
+        self.max_walltime = max_walltime
+        #: Additive priority contribution for jobs in this partition.
+        self.priority_weight = priority_weight
+
+    # -- capacity queries -----------------------------------------------------
+
+    @property
+    def node_count(self) -> int:
+        return len(self.nodes)
+
+    def available_nodes(self) -> List[Node]:
+        """Nodes that can be allocated right now."""
+        return [node for node in self.nodes if node.is_available]
+
+    def usable_node_count(self) -> int:
+        """Nodes not DOWN/DRAINING (allocated ones count as usable)."""
+        return sum(
+            1
+            for node in self.nodes
+            if node.state in (NodeState.IDLE, NodeState.ALLOCATED)
+        )
+
+    def available_count(self) -> int:
+        return len(self.available_nodes())
+
+    def gres_capacity(self, gres_type: str) -> int:
+        """Total gres units of ``gres_type`` across usable nodes."""
+        return sum(
+            node.gres_count(gres_type)
+            for node in self.nodes
+            if node.state != NodeState.DOWN
+        )
+
+    def free_gres_count(self, gres_type: str) -> int:
+        """Free gres units across currently-available nodes."""
+        return sum(
+            len(node.free_gres(gres_type)) for node in self.available_nodes()
+        )
+
+    def find_nodes(
+        self, count: int, gres_request: Optional[Dict[str, int]] = None
+    ) -> Optional[List[Node]]:
+        """Pick ``count`` available nodes jointly satisfying ``gres_request``.
+
+        The gres request is a *per-job-component* total: units may be
+        spread across the chosen nodes (as SLURM does for
+        ``--gres``-per-job style requests).  Returns ``None`` when the
+        request cannot be satisfied right now.
+
+        Selection is greedy: nodes with the most free units of the
+        requested gres types come first so device-bearing nodes are
+        preferred for device-requesting jobs, then name order for
+        determinism.
+        """
+        available = self.available_nodes()
+        if len(available) < count:
+            return None
+        request = dict(gres_request or {})
+        if not request:
+            return sorted(available, key=lambda n: n.name)[:count]
+
+        def gres_richness(node: Node) -> int:
+            return sum(len(node.free_gres(t)) for t in request)
+
+        ordered = sorted(
+            available, key=lambda n: (-gres_richness(n), n.name)
+        )
+        chosen = ordered[:count]
+        for gres_type, needed in request.items():
+            free_total = sum(len(n.free_gres(gres_type)) for n in chosen)
+            if free_total < needed:
+                return None
+        return chosen
+
+    def __repr__(self) -> str:
+        return (
+            f"<Partition {self.name} nodes={self.node_count} "
+            f"free={self.available_count()}>"
+        )

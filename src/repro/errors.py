@@ -1,0 +1,52 @@
+"""Exception hierarchy shared across the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so
+that callers can catch library failures with a single ``except`` clause
+while still being able to distinguish the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class SimulationError(ReproError):
+    """An inconsistency inside the discrete-event simulation kernel."""
+
+
+class SchedulingError(ReproError):
+    """A batch-scheduler invariant was violated (bad job spec, etc.)."""
+
+
+class AllocationError(SchedulingError):
+    """A resource allocation could not be created or released."""
+
+
+class JobRejectedError(SchedulingError):
+    """A job specification was rejected at submission time."""
+
+
+class QuantumDeviceError(ReproError):
+    """A quantum device model was used inconsistently."""
+
+
+class CalibrationError(QuantumDeviceError):
+    """A calibration cycle failed or was requested in a bad state."""
+
+
+class WorkflowError(ReproError):
+    """A workflow DAG was malformed or executed inconsistently."""
+
+
+class MalleabilityError(ReproError):
+    """A malleable job violated the resize-negotiation protocol."""
+
+
+class WorkloadError(ReproError):
+    """A workload description or trace could not be generated/parsed."""
+
+
+class ConfigurationError(ReproError):
+    """An experiment or component was configured with invalid values."""

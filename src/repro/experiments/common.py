@@ -1,0 +1,143 @@
+"""Shared scenario builders for the experiment modules."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.quantum.circuit import Circuit
+from repro.quantum.technology import QPUTechnology
+from repro.scheduler.job import Job
+from repro.strategies.application import HybridApplication, vqe_like
+from repro.strategies.base import Environment, IntegrationStrategy, RunRecord
+from repro.strategies.envs import make_environment
+from repro.workloads.distributions import LogUniform, PowerOfTwoNodes
+from repro.workloads.generator import CampaignDriver, submit_trace
+from repro.workloads.swf import TraceJob, synthesise_trace
+
+
+def offered_load_interarrival(
+    rho: float,
+    cluster_nodes: int,
+    mean_job_nodes: float,
+    mean_job_runtime: float,
+) -> float:
+    """Mean interarrival producing offered load ``rho`` on the partition.
+
+    Offered load is node-seconds demanded per node-second of capacity:
+    ``rho = nodes × runtime / (interarrival × cluster_nodes)``.
+    """
+    if rho <= 0:
+        raise ValueError("rho must be positive")
+    return (mean_job_nodes * mean_job_runtime) / (rho * cluster_nodes)
+
+
+def make_background_trace(
+    env: Environment,
+    rho: float,
+    horizon: float,
+    seed_name: str = "background",
+    min_runtime: float = 300.0,
+    max_runtime: float = 1800.0,
+    min_nodes: int = 2,
+    max_nodes: int = 16,
+) -> List[TraceJob]:
+    """Synthesise a classical background trace of offered load ``rho``."""
+    rng = env.streams.stream(seed_name)
+    sizes = PowerOfTwoNodes(min_nodes, max_nodes)
+    runtimes = LogUniform(min_runtime, max_runtime)
+    cluster_nodes = env.cluster.partition("classical").node_count
+    interarrival = offered_load_interarrival(
+        rho, cluster_nodes, sizes.mean(), runtimes.mean()
+    )
+    job_count = max(int(horizon / interarrival) + 1, 1)
+    return synthesise_trace(
+        rng,
+        job_count=job_count,
+        mean_interarrival=interarrival,
+        runtimes=runtimes,
+        sizes=sizes,
+    )
+
+
+def start_background(
+    env: Environment, rho: float, horizon: float, **kwargs
+) -> List[Job]:
+    """Submit a background load of intensity ``rho`` over ``horizon``."""
+    trace = make_background_trace(env, rho, horizon, **kwargs)
+    return submit_trace(env, trace)
+
+
+def standard_hybrid_app(
+    technology: QPUTechnology,
+    iterations: int = 5,
+    classical_phase_seconds: float = 120.0,
+    classical_nodes: int = 8,
+    shots: int = 1000,
+    geometry: str = "geom0",
+    min_classical_nodes: int = 1,
+    name: Optional[str] = None,
+) -> HybridApplication:
+    """The canonical VQE-style app used across experiments.
+
+    ``classical_phase_seconds`` is the *wall* duration of each
+    classical phase at ``classical_nodes`` (the single-node work is
+    scaled up accordingly), so scenarios are specified in observable
+    time rather than abstract work units.
+    """
+    probe = vqe_like(
+        iterations=1,
+        classical_work=1.0,
+        circuit=Circuit(2, 1),
+        classical_nodes=classical_nodes,
+    )
+    scale = probe.classical_time(probe.phases[0], classical_nodes)
+    work = classical_phase_seconds / scale
+    circuit = Circuit(
+        num_qubits=min(20, technology.num_qubits),
+        depth=100,
+        geometry=geometry,
+        name=f"std-{technology.name}",
+    )
+    return vqe_like(
+        iterations=iterations,
+        classical_work=work,
+        circuit=circuit,
+        shots=shots,
+        classical_nodes=classical_nodes,
+        min_classical_nodes=min_classical_nodes,
+        name=name or f"std-{technology.name}-{iterations}it",
+    )
+
+
+def run_campaign(
+    strategy: IntegrationStrategy,
+    apps: Sequence[HybridApplication],
+    technology: QPUTechnology,
+    classical_nodes: int = 32,
+    vqpus_per_qpu: int = 1,
+    background_rho: float = 0.0,
+    background_horizon: float = 0.0,
+    seed: int = 0,
+    submit_times: Optional[Sequence[float]] = None,
+    scheduling_cycle: float = 0.0,
+) -> tuple[List[RunRecord], Environment]:
+    """Run ``apps`` under ``strategy`` in a fresh environment.
+
+    Returns the per-app records plus the environment (for facility
+    metrics).  Background classical load of intensity
+    ``background_rho`` is injected over ``background_horizon`` when
+    requested.
+    """
+    env = make_environment(
+        classical_nodes=classical_nodes,
+        technology=technology,
+        vqpus_per_qpu=vqpus_per_qpu,
+        seed=seed,
+        scheduling_cycle=scheduling_cycle,
+    )
+    if background_rho > 0 and background_horizon > 0:
+        start_background(env, background_rho, background_horizon)
+    driver = CampaignDriver(env, strategy)
+    driver.launch_all(list(apps), submit_times)
+    records = driver.collect()
+    return records, env

@@ -1,0 +1,118 @@
+"""E1 — Fig 1: time scales of quantum jobs/shots per technology.
+
+Regenerates the paper's Fig 1 as a table: per technology, the duration
+of one shot, of a standard 1000-shot job, and of a job *including* the
+calibration the technology imposes (Fig 1's caption includes
+register-geometry calibration for neutral atoms).  Each duration is
+both computed analytically from the timing model and *measured* on the
+simulated device, and must fall in the figure's qualitative band.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.harness import ExperimentResult
+from repro.metrics.report import format_duration
+from repro.quantum.qpu import QPU
+from repro.quantum.technology import (
+    TECHNOLOGIES,
+    fig1_reference_bands,
+    standard_job,
+)
+from repro.sim.kernel import Kernel
+
+#: Fig 1 orders technologies fastest job first.
+_ORDER = [
+    "photonic",
+    "annealer",
+    "superconducting",
+    "trapped_ion",
+    "neutral_atom",
+]
+
+
+def run(seed: int = 0, shots: int = 1000) -> ExperimentResult:
+    """Regenerate Fig 1's time-scale table."""
+    result = ExperimentResult(
+        experiment_id="E1",
+        title="Time scales of quantum jobs/shots (Fig 1)",
+        description=(
+            "Shot and job durations per QPU technology, measured on the "
+            "simulated device; neutral-atom jobs include register-geometry "
+            "calibration as in the figure's caption."
+        ),
+        parameters={"shots": shots},
+    )
+    bands = fig1_reference_bands()
+    rows = []
+    for name in _ORDER:
+        technology = TECHNOLOGIES[name]
+        circuit, job_shots = standard_job(technology, shots=shots)
+        shot = technology.shot_time(circuit)
+        job = technology.execution_time(circuit, job_shots)
+        job_with_cal = technology.job_time_with_calibration(
+            circuit, job_shots
+        )
+
+        # Measure on a simulated device (deterministic: no jitter).
+        kernel = Kernel()
+        qpu = QPU(kernel, technology)
+        completion = qpu.run(circuit, job_shots)
+        measured = kernel.run(until=completion)
+        measured_total = (
+            measured.execution_time + measured.calibration_time
+        )
+
+        low, high = bands[name]
+        rows.append(
+            [
+                name,
+                format_duration(shot),
+                format_duration(job),
+                format_duration(job_with_cal),
+                format_duration(measured_total),
+                f"{format_duration(low)} - {format_duration(high)}",
+            ]
+        )
+        result.check(
+            f"{name}: job duration (incl. calibration) lands in the "
+            f"Fig 1 band",
+            low <= measured_total <= high,
+            detail=(
+                f"measured {measured_total:.3g}s, band [{low:.3g}, "
+                f"{high:.3g}]s"
+            ),
+        )
+    result.add_table(
+        f"Quantum job time scales ({shots} shots of a standard kernel)",
+        [
+            "technology",
+            "shot",
+            "job (exec)",
+            "job (+calibration)",
+            "measured",
+            "Fig 1 band",
+        ],
+        rows,
+    )
+
+    # The figure's headline: the spread across technologies covers
+    # orders of magnitude.
+    durations = [
+        TECHNOLOGIES[name].job_time_with_calibration(
+            *standard_job(TECHNOLOGIES[name], shots=shots)
+        )
+        for name in _ORDER
+    ]
+    spread = max(durations) / min(durations)
+    result.check(
+        "job durations span >= 3 orders of magnitude across technologies",
+        spread >= 1e3,
+        detail=f"spread factor {spread:.3g}",
+    )
+    result.check(
+        "superconducting jobs are second-scale while neutral-atom jobs "
+        "exceed 30 min (the paper's Listing 1 discussion)",
+        durations[_ORDER.index("superconducting")] < 60.0
+        and durations[_ORDER.index("neutral_atom")] > 1800.0,
+    )
+    return result

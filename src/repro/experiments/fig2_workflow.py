@@ -1,0 +1,239 @@
+"""E3 — Fig 2: loosely-coupled workflows vs exclusive co-scheduling.
+
+The workflow strategy allocates resources per step, "as execution
+requires the resources", so held-but-idle time disappears — but every
+step re-enters the queue.  This experiment regenerates both sides of
+that trade:
+
+1. *Efficiency*: per-application held-vs-used efficiency under
+   workflow execution approaches 1 on both partitions, while
+   co-scheduling wastes the QPU side (superconducting case).
+2. *Queue overhead*: with background load on the classical partition,
+   workflow turnaround inflates by one queue wait per step; the
+   overhead dominates exactly when steps are short relative to queue
+   waits ("the queuing time ... may introduce a significant overhead
+   when its duration outweighs the length of the computation").
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import run_campaign, standard_hybrid_app
+from repro.experiments.harness import ExperimentResult
+from repro.metrics.stats import mean
+from repro.quantum.technology import SUPERCONDUCTING
+from repro.strategies.coschedule import CoScheduleStrategy
+from repro.strategies.workflow import WorkflowStrategy
+
+
+def run(
+    seed: int = 0,
+    iterations: int = 5,
+    background_rho: float = 0.85,
+    horizon: float = 6 * 3600.0,
+    warmup: float = 3600.0,
+) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="E3",
+        title="Loosely-coupled workflow execution (Fig 2)",
+        description=(
+            "The same hybrid application run as one exclusive hetjob vs "
+            "as a workflow of independently scheduled steps, idle and "
+            "under background load.  Workflows hold only what they use "
+            "but pay one queue wait per step."
+        ),
+        parameters={
+            "iterations": iterations,
+            "background_rho": background_rho,
+            "seed": seed,
+        },
+    )
+
+    technology = SUPERCONDUCTING
+    saturated_rho = max(1.15, background_rho + 0.3)
+    rows = []
+    metrics = {}
+    for label, rho, phase_s in (
+        ("idle, 300 s phases", 0.0, 300.0),
+        ("loaded, 300 s phases", background_rho, 300.0),
+        ("loaded, 30 s phases", background_rho, 30.0),
+        ("saturated, 300 s phases", saturated_rho, 300.0),
+        ("saturated, 30 s phases", saturated_rho, 30.0),
+    ):
+        app = standard_hybrid_app(
+            technology,
+            iterations=iterations,
+            classical_phase_seconds=phase_s,
+            classical_nodes=8,
+        )
+        for strategy in (CoScheduleStrategy(), WorkflowStrategy()):
+            # Under load, submit after a warmup so the app meets a
+            # realistically busy queue rather than an empty cluster.
+            submit_at = warmup if rho > 0 else 0.0
+            records, env = run_campaign(
+                strategy,
+                [app],
+                technology,
+                classical_nodes=32,
+                background_rho=rho,
+                background_horizon=horizon,
+                seed=seed,
+                submit_times=[submit_at],
+            )
+            record = records[0]
+            ideal = app.ideal_makespan(technology)
+            overhead = (record.turnaround or 0.0) - ideal
+            metrics[(label, strategy.name)] = {
+                "record": record,
+                "overhead": overhead,
+                "ideal": ideal,
+            }
+            rows.append(
+                [
+                    label,
+                    strategy.name,
+                    round(record.turnaround or 0.0, 1),
+                    round(ideal, 1),
+                    round(overhead, 1),
+                    len(record.queue_waits),
+                    round(record.total_queue_wait, 1),
+                    round(record.classical_efficiency, 3),
+                    round(record.qpu_efficiency, 3),
+                ]
+            )
+    result.add_table(
+        "Co-scheduling vs workflow (superconducting QPU)",
+        [
+            "scenario",
+            "strategy",
+            "turnaround_s",
+            "ideal_s",
+            "overhead_s",
+            "queued pieces",
+            "queue_wait_s",
+            "classical_eff",
+            "qpu_eff",
+        ],
+        rows,
+    )
+
+    idle_co = metrics[("idle, 300 s phases", "coschedule")]["record"]
+    idle_wf = metrics[("idle, 300 s phases", "workflow")]["record"]
+    result.check(
+        "workflow holds the QPU only while using it "
+        "(qpu efficiency > 0.9 vs < 0.2 under co-scheduling)",
+        idle_wf.qpu_efficiency > 0.9 and idle_co.qpu_efficiency < 0.2,
+        detail=(
+            f"workflow {idle_wf.qpu_efficiency:.3f}, "
+            f"coschedule {idle_co.qpu_efficiency:.3f}"
+        ),
+    )
+    loaded_wf = metrics[("loaded, 300 s phases", "workflow")]["record"]
+    result.check(
+        "under load the workflow pays one queue wait per step "
+        "(every step queued)",
+        len(loaded_wf.queue_waits) == 2 * iterations,
+        detail=f"{len(loaded_wf.queue_waits)} queued pieces",
+    )
+    sat_wf = metrics[("saturated, 300 s phases", "workflow")]["record"]
+    sat_co = metrics[("saturated, 300 s phases", "coschedule")]["record"]
+    result.check(
+        "repeated queueing: under saturation the workflow's total queue "
+        "wait exceeds the co-scheduled job's single wait",
+        sat_wf.total_queue_wait > sat_co.total_queue_wait,
+        detail=(
+            f"workflow {sat_wf.total_queue_wait:.0f}s vs "
+            f"coschedule {sat_co.total_queue_wait:.0f}s"
+        ),
+    )
+    step_wait = mean(sat_wf.queue_waits)
+    result.check(
+        "queue time is significant relative to the computation: mean "
+        "per-step wait at saturation is at least 30% of the 300 s step "
+        "duration",
+        step_wait > 0.3 * 300.0,
+        detail=f"mean step wait {step_wait:.0f}s vs 300 s steps",
+    )
+    backfilled = metrics[("loaded, 30 s phases", "workflow")]["record"]
+    result.check(
+        "below saturation, backfill shelters short steps (short-step "
+        "queue waits stay below the long-step ones)",
+        mean(backfilled.queue_waits)
+        <= mean(
+            metrics[("loaded, 300 s phases", "workflow")][
+                "record"
+            ].queue_waits
+        ),
+    )
+
+    # -- quantum-side contention: tiny kernels pay disproportionate
+    #    per-step queueing once several workflow tenants share the QPU —
+    #    the paper's motivation for VQPUs.
+    tenants = 10
+    apps = [
+        standard_hybrid_app(
+            technology,
+            iterations=iterations,
+            classical_phase_seconds=10.0,
+            classical_nodes=2,
+            shots=5000,
+            name=f"tenant-{index}",
+        )
+        for index in range(tenants)
+    ]
+    records, env = run_campaign(
+        WorkflowStrategy(),
+        apps,
+        technology,
+        classical_nodes=32,
+        seed=seed,
+    )
+    quantum_waits = [
+        wait for record in records for wait in record.quantum_access_waits
+    ]
+    kernel_exec = mean(
+        [
+            record.qpu_busy_seconds / max(len(record.quantum_access_waits), 1)
+            for record in records
+        ]
+    )
+    # Per-step *job* queue waits on the quantum partition: each workflow
+    # quantum step is its own job contending for the single qpu gres.
+    per_step_waits = [
+        wait
+        for record in records
+        for wait in record.queue_waits
+    ]
+    contended_wait = mean(per_step_waits)
+    result.add_table(
+        f"Quantum-step queueing under contention ({tenants} workflow "
+        "tenants, 1 superconducting QPU)",
+        [
+            "tenants",
+            "mean kernel exec_s",
+            "mean step queue wait_s",
+            "wait / exec ratio",
+        ],
+        [
+            [
+                tenants,
+                round(kernel_exec, 2),
+                round(contended_wait, 2),
+                round(contended_wait / max(kernel_exec, 1e-9), 1),
+            ]
+        ],
+    )
+    result.check(
+        "with several tenants, the per-step queue wait dwarfs the "
+        "seconds-scale kernel itself (wait/exec > 3)",
+        contended_wait / max(kernel_exec, 1e-9) > 3.0,
+        detail=(
+            f"wait {contended_wait:.1f}s vs exec {kernel_exec:.1f}s"
+        ),
+    )
+    wf_waits = mean(loaded_wf.queue_waits)
+    result.check(
+        "workflow queue waits are non-trivial under load",
+        wf_waits > 0.0,
+        detail=f"mean step wait {wf_waits:.1f}s",
+    )
+    return result

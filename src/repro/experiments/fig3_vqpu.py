@@ -1,0 +1,227 @@
+"""E4 — Fig 3: virtual QPUs / temporal interleaving.
+
+N tenant applications — long classical computation interleaved with
+short quantum kernels — share one physical superconducting QPU.  The
+quantum partition exposes V virtual QPU gres units:
+
+- V = 1 is exclusive access: tenants serialise at the *job* level
+  (each holds the QPU for its full lifetime);
+- V = N lets all tenants co-schedule and interleave kernels on the
+  device "with minimal delays, bounded by the number of VQPUs".
+
+The experiment regenerates Fig 3 as a sweep over V: campaign makespan,
+mean tenant turnaround, physical-QPU busy fraction, and the measured
+per-request interleaving delay against the (V−1)·task-time bound.
+
+The marginal-gains caveat is also reproduced: for quantum-dominated
+tenants ("the time needed by the quantum partition is comparable to or
+greater than the one required to prepare the data"), virtualisation
+stops helping.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.experiments.common import run_campaign, standard_hybrid_app
+from repro.experiments.harness import ExperimentResult
+from repro.metrics.stats import mean
+from repro.quantum.technology import SUPERCONDUCTING
+from repro.strategies.vqpu import VQPUStrategy
+
+
+def _tenant_apps(
+    count: int,
+    classical_phase_seconds: float,
+    iterations: int,
+    shots: int,
+) -> List:
+    return [
+        standard_hybrid_app(
+            SUPERCONDUCTING,
+            iterations=iterations,
+            classical_phase_seconds=classical_phase_seconds,
+            classical_nodes=2,
+            shots=shots,
+            name=f"tenant-{index}",
+        )
+        for index in range(count)
+    ]
+
+
+def run(
+    seed: int = 0,
+    tenants: int = 8,
+    iterations: int = 4,
+    vqpu_counts: tuple = (1, 2, 4, 8),
+) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="E4",
+        title="Virtual QPUs: multitenant temporal interleaving (Fig 3)",
+        description=(
+            "N tenants with classical-dominated hybrid apps share one "
+            "physical superconducting QPU through V virtual QPU gres "
+            "units.  V=1 reproduces exclusive access; increasing V "
+            "interleaves tenants on the device."
+        ),
+        parameters={
+            "tenants": tenants,
+            "iterations": iterations,
+            "seed": seed,
+        },
+    )
+    technology = SUPERCONDUCTING
+
+    # Classical-dominated tenants: 120 s classical phases, ~3 s kernels.
+    rows = []
+    sweep = {}
+    for v in vqpu_counts:
+        apps = _tenant_apps(
+            tenants,
+            classical_phase_seconds=120.0,
+            iterations=iterations,
+            shots=1000,
+        )
+        records, env = run_campaign(
+            VQPUStrategy(),
+            apps,
+            technology,
+            classical_nodes=4 * tenants,
+            vqpus_per_qpu=v,
+            seed=seed,
+        )
+        turnarounds = [r.turnaround for r in records if r.turnaround]
+        makespan = max(
+            r.end_time for r in records if r.end_time is not None
+        ) - min(r.submit_time for r in records)
+        qpu = env.primary_qpu()
+        busy_fraction = qpu.busy.time_average(makespan)
+        interleave_waits = [
+            wait for r in records for wait in r.quantum_access_waits
+        ]
+        kernel_time = mean(
+            [
+                r.qpu_busy_seconds / max(len(r.quantum_access_waits), 1)
+                for r in records
+            ]
+        )
+        bound = (v - 1) * max(
+            (
+                r.qpu_busy_seconds / max(len(r.quantum_access_waits), 1)
+                for r in records
+            ),
+            default=0.0,
+        )
+        sweep[v] = {
+            "makespan": makespan,
+            "mean_turnaround": mean(turnarounds),
+            "busy_fraction": busy_fraction,
+            "max_wait": max(interleave_waits, default=0.0),
+            "mean_wait": mean(interleave_waits),
+            "bound": bound,
+        }
+        rows.append(
+            [
+                v,
+                round(makespan, 1),
+                round(mean(turnarounds), 1),
+                round(busy_fraction, 4),
+                round(mean(interleave_waits), 2),
+                round(max(interleave_waits, default=0.0), 2),
+                round(bound, 2),
+            ]
+        )
+    result.add_table(
+        f"VQPU sweep: {tenants} classical-dominated tenants, 1 physical QPU",
+        [
+            "VQPUs",
+            "makespan_s",
+            "mean_turnaround_s",
+            "qpu_busy_fraction",
+            "mean_kernel_wait_s",
+            "max_kernel_wait_s",
+            "(V-1)*task bound_s",
+        ],
+        rows,
+    )
+
+    v_min, v_max = min(vqpu_counts), max(vqpu_counts)
+    result.check(
+        "virtualisation shortens the campaign: makespan at V=max is "
+        "well below exclusive access (V=1)",
+        sweep[v_max]["makespan"] < 0.5 * sweep[v_min]["makespan"],
+        detail=(
+            f"{sweep[v_max]['makespan']:.0f}s vs "
+            f"{sweep[v_min]['makespan']:.0f}s"
+        ),
+    )
+    result.check(
+        "physical QPU utilisation rises with the VQPU count",
+        sweep[v_max]["busy_fraction"] > sweep[v_min]["busy_fraction"],
+        detail=(
+            f"{sweep[v_min]['busy_fraction']:.4f} -> "
+            f"{sweep[v_max]['busy_fraction']:.4f}"
+        ),
+    )
+    bounded = all(
+        sweep[v]["max_wait"]
+        <= max(1.25 * sweep[v]["bound"], 2.0 * kernel_time)
+        for v in vqpu_counts
+        if v > 1
+    )
+    result.check(
+        "per-request interleaving delay stays bounded by the number of "
+        "VQPUs ((V-1) x task time, with slack for calibration)",
+        bounded,
+        detail=", ".join(
+            f"V={v}: max {sweep[v]['max_wait']:.1f}s vs bound "
+            f"{sweep[v]['bound']:.1f}s"
+            for v in vqpu_counts
+            if v > 1
+        ),
+    )
+
+    # Marginal-gains caveat: quantum-dominated tenants (short classical
+    # prep, heavy kernels) barely benefit from more VQPUs.
+    caveat_rows = []
+    caveat = {}
+    for v in (1, max(vqpu_counts)):
+        apps = _tenant_apps(
+            tenants,
+            classical_phase_seconds=5.0,
+            iterations=iterations,
+            shots=20000,
+        )
+        records, env = run_campaign(
+            VQPUStrategy(),
+            apps,
+            technology,
+            classical_nodes=4 * tenants,
+            vqpus_per_qpu=v,
+            seed=seed,
+        )
+        makespan = max(
+            r.end_time for r in records if r.end_time is not None
+        ) - min(r.submit_time for r in records)
+        caveat[v] = makespan
+        caveat_rows.append([v, round(makespan, 1)])
+    result.add_table(
+        "Marginal gains for quantum-dominated tenants "
+        "(5 s classical prep, 20000-shot kernels)",
+        ["VQPUs", "makespan_s"],
+        caveat_rows,
+    )
+    classical_speedup = sweep[v_min]["makespan"] / sweep[v_max]["makespan"]
+    quantum_speedup = caveat[1] / caveat[max(vqpu_counts)]
+    result.check(
+        "gains are marginal when the quantum phase is comparable to or "
+        "longer than the classical one (speedup far below the "
+        "classical-dominated case)",
+        quantum_speedup < 0.5 * classical_speedup
+        and quantum_speedup < 1.5,
+        detail=(
+            f"speedup {quantum_speedup:.2f}x (quantum-dominated) vs "
+            f"{classical_speedup:.2f}x (classical-dominated)"
+        ),
+    )
+    return result

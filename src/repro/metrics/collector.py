@@ -1,0 +1,119 @@
+"""Aggregation of per-run records into per-strategy summaries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.metrics.stats import mean, median
+from repro.strategies.base import Environment, RunRecord
+
+
+@dataclass
+class StrategySummary:
+    """Aggregate of many :class:`RunRecord` under one strategy."""
+
+    strategy: str
+    runs: int
+    mean_turnaround: float
+    median_turnaround: float
+    mean_queue_wait: float
+    mean_classical_efficiency: float
+    mean_qpu_efficiency: float
+    total_qpu_busy: float
+    total_classical_held_node_seconds: float
+    makespan: float
+
+    def as_row(self) -> List:
+        return [
+            self.strategy,
+            self.runs,
+            self.mean_turnaround,
+            self.median_turnaround,
+            self.mean_queue_wait,
+            self.mean_classical_efficiency,
+            self.mean_qpu_efficiency,
+            self.makespan,
+        ]
+
+    @staticmethod
+    def headers() -> List[str]:
+        return [
+            "strategy",
+            "runs",
+            "mean_turnaround_s",
+            "median_turnaround_s",
+            "mean_queue_wait_s",
+            "classical_eff",
+            "qpu_eff",
+            "makespan_s",
+        ]
+
+
+def summarise(records: Sequence[RunRecord]) -> Dict[str, StrategySummary]:
+    """Group records by strategy and compute aggregate metrics."""
+    groups: Dict[str, List[RunRecord]] = {}
+    for record in records:
+        groups.setdefault(record.strategy, []).append(record)
+    summaries: Dict[str, StrategySummary] = {}
+    for strategy, group in groups.items():
+        turnarounds = [
+            r.turnaround for r in group if r.turnaround is not None
+        ]
+        ends = [r.end_time for r in group if r.end_time is not None]
+        starts = [r.submit_time for r in group]
+        summaries[strategy] = StrategySummary(
+            strategy=strategy,
+            runs=len(group),
+            mean_turnaround=mean(turnarounds),
+            median_turnaround=median(turnarounds),
+            mean_queue_wait=mean([r.total_queue_wait for r in group]),
+            mean_classical_efficiency=mean(
+                [r.classical_efficiency for r in group]
+            ),
+            mean_qpu_efficiency=mean([r.qpu_efficiency for r in group]),
+            total_qpu_busy=sum(r.qpu_busy_seconds for r in group),
+            total_classical_held_node_seconds=sum(
+                r.classical_held_node_seconds for r in group
+            ),
+            makespan=(max(ends) - min(starts)) if ends else 0.0,
+        )
+    return summaries
+
+
+@dataclass
+class FacilitySnapshot:
+    """Facility-level utilisation over a simulation window."""
+
+    classical_node_utilisation: float
+    qpu_allocation_fraction: float
+    qpu_busy_fraction: float
+    qpu_calibration_fraction: float
+    window_s: float
+
+
+def facility_snapshot(
+    env: Environment, since: float = 0.0, until: Optional[float] = None
+) -> FacilitySnapshot:
+    """Read facility-level utilisation monitors from an environment.
+
+    ``qpu_allocation_fraction`` is the share of time the QPU gres was
+    *allocated* to some job; ``qpu_busy_fraction`` the share it actually
+    executed kernels — the gap between the two is the paper's wasted
+    quantum resource.
+    """
+    end = until if until is not None else env.kernel.now
+    window = max(end - since, 0.0)
+    busy = mean([qpu.busy.time_average(end) for qpu in env.qpus])
+    calibrating = mean(
+        [qpu.calibrating.time_average(end) for qpu in env.qpus]
+    )
+    return FacilitySnapshot(
+        classical_node_utilisation=env.cluster.node_utilisation("classical"),
+        qpu_allocation_fraction=env.cluster.gres_allocation_fraction(
+            "quantum", "qpu"
+        ),
+        qpu_busy_fraction=busy,
+        qpu_calibration_fraction=calibrating,
+        window_s=window,
+    )

@@ -1,0 +1,81 @@
+"""Statistical helpers for experiment analysis."""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (0.0 for an empty sequence)."""
+    if not values:
+        return 0.0
+    return math.fsum(values) / len(values)
+
+
+def median(values: Sequence[float]) -> float:
+    """Median (0.0 for an empty sequence)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean; requires strictly positive values."""
+    if not values:
+        return 0.0
+    if any(v <= 0 for v in values):
+        raise ConfigurationError("geometric mean needs positive values")
+    return math.exp(math.fsum(math.log(v) for v in values) / len(values))
+
+
+def bounded_slowdowns(
+    turnarounds: Sequence[float],
+    runtimes: Sequence[float],
+    floor: float = 10.0,
+) -> List[float]:
+    """Bounded slowdown per job: ``max(1, T / max(r, floor))``."""
+    if len(turnarounds) != len(runtimes):
+        raise ConfigurationError("sequences must have equal length")
+    return [
+        max(1.0, t / max(r, floor))
+        for t, r in zip(turnarounds, runtimes)
+    ]
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    confidence: float = 0.95,
+    replicates: int = 2000,
+    seed: int = 0,
+) -> Tuple[float, float]:
+    """Percentile-bootstrap confidence interval for the mean."""
+    if not 0.0 < confidence < 1.0:
+        raise ConfigurationError("confidence must be in (0, 1)")
+    if not values:
+        return (0.0, 0.0)
+    data = np.asarray(values, dtype=float)
+    if len(data) == 1:
+        return (float(data[0]), float(data[0]))
+    rng = np.random.default_rng(seed)
+    samples = rng.choice(data, size=(replicates, len(data)), replace=True)
+    means = samples.mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    low, high = np.quantile(means, [alpha, 1.0 - alpha])
+    return (float(low), float(high))
+
+
+def ratio(numerator: float, denominator: float) -> float:
+    """Safe ratio: 0 when the denominator vanishes."""
+    if denominator == 0:
+        return 0.0
+    return numerator / denominator

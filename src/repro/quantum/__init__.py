@@ -1,0 +1,34 @@
+"""Quantum substrate: technologies, circuits, devices, cloud access."""
+
+from repro.quantum.circuit import Circuit, QuantumResult, sample_counts
+from repro.quantum.cloud import CloudQPUEndpoint
+from repro.quantum.qpu import QPU, QuantumJob
+from repro.quantum.technology import (
+    ANNEALER,
+    NEUTRAL_ATOM,
+    PHOTONIC,
+    SUPERCONDUCTING,
+    TECHNOLOGIES,
+    TRAPPED_ION,
+    QPUTechnology,
+    fig1_reference_bands,
+    standard_job,
+)
+
+__all__ = [
+    "ANNEALER",
+    "Circuit",
+    "CloudQPUEndpoint",
+    "NEUTRAL_ATOM",
+    "PHOTONIC",
+    "QPU",
+    "QPUTechnology",
+    "QuantumJob",
+    "QuantumResult",
+    "SUPERCONDUCTING",
+    "TECHNOLOGIES",
+    "TRAPPED_ION",
+    "fig1_reference_bands",
+    "sample_counts",
+    "standard_job",
+]

@@ -1,0 +1,120 @@
+"""Abstract quantum-kernel (circuit) workload descriptions.
+
+Scheduling behaviour does not depend on circuit semantics, only on the
+*time* a kernel occupies the device.  A :class:`Circuit` therefore
+records the structural parameters that drive execution time on each
+technology (width, depth, two-qubit fraction) plus an optional register
+``geometry`` tag, which neutral-atom machines must calibrate for
+(Fig 1's caption: jobs "include the calibration time for an arbitrary
+register geometry").
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Circuit:
+    """Structural description of a quantum kernel.
+
+    Parameters
+    ----------
+    num_qubits:
+        Register width used by the kernel.
+    depth:
+        Number of gate layers.
+    two_qubit_fraction:
+        Fraction of layers dominated by two-qubit gates (they are an
+        order of magnitude slower on most hardware).
+    geometry:
+        Opaque register-geometry tag.  Machines with per-geometry
+        calibration (neutral atoms) recalibrate when the tag changes.
+    name:
+        Optional label used in reports.
+    """
+
+    num_qubits: int
+    depth: int
+    two_qubit_fraction: float = 0.3
+    geometry: Optional[str] = None
+    name: str = "circuit"
+
+    def __post_init__(self) -> None:
+        if self.num_qubits <= 0:
+            raise ConfigurationError("num_qubits must be positive")
+        if self.depth < 0:
+            raise ConfigurationError("depth must be >= 0")
+        if not 0.0 <= self.two_qubit_fraction <= 1.0:
+            raise ConfigurationError("two_qubit_fraction must be in [0, 1]")
+
+    @property
+    def one_qubit_layers(self) -> float:
+        return self.depth * (1.0 - self.two_qubit_fraction)
+
+    @property
+    def two_qubit_layers(self) -> float:
+        return self.depth * self.two_qubit_fraction
+
+    def stable_hash(self) -> int:
+        """Deterministic 64-bit hash (used to seed synthetic results)."""
+        text = (
+            f"{self.name}:{self.num_qubits}:{self.depth}:"
+            f"{self.two_qubit_fraction}:{self.geometry}"
+        )
+        digest = hashlib.sha256(text.encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "little")
+
+
+@dataclass
+class QuantumResult:
+    """Outcome of a shot batch: synthetic measurement counts + timings."""
+
+    counts: Dict[str, int] = field(default_factory=dict)
+    shots: int = 0
+    execution_time: float = 0.0
+    queue_time: float = 0.0
+    calibration_time: float = 0.0
+
+    @property
+    def total_time(self) -> float:
+        """Queue + calibration + execution, as seen by the submitter."""
+        return self.queue_time + self.calibration_time + self.execution_time
+
+    def most_frequent(self) -> Optional[str]:
+        """The modal bitstring, or ``None`` for an empty result."""
+        if not self.counts:
+            return None
+        return max(self.counts.items(), key=lambda kv: (kv[1], kv[0]))[0]
+
+
+def sample_counts(circuit: Circuit, shots: int, max_outcomes: int = 16
+                  ) -> Dict[str, int]:
+    """Deterministic synthetic measurement counts for ``circuit``.
+
+    Samples a multinomial over a small set of bitstrings whose weights
+    are derived from the circuit's stable hash, so repeated runs of the
+    same circuit return identical distributions — enough realism for
+    examples and tests without simulating amplitudes.
+    """
+    import numpy as np
+
+    if shots <= 0:
+        return {}
+    rng = np.random.default_rng(circuit.stable_hash())
+    n_outcomes = min(max_outcomes, 2 ** min(circuit.num_qubits, 20))
+    weights = rng.dirichlet(np.ones(n_outcomes))
+    outcome_ids = rng.choice(
+        2 ** min(circuit.num_qubits, 20), size=n_outcomes, replace=False
+    )
+    draws = rng.multinomial(shots, weights)
+    width = min(circuit.num_qubits, 20)
+    return {
+        format(int(outcome), f"0{width}b"): int(count)
+        for outcome, count in zip(outcome_ids, draws)
+        if count > 0
+    }

@@ -1,0 +1,104 @@
+"""Cloud access model: vendor REST endpoint in front of a QPU.
+
+The paper (Section 3, "Access and allocation model") observes that
+current quantum machines sit behind vendor REST APIs with internal
+queues, accessed over a public network — a model that clashes with
+batch-scheduler-governed HPC resources.  This module gives that model a
+concrete, measurable form so experiment E7 can compare it against
+on-prem gres access:
+
+- each request pays network submission latency,
+- jobs enter the vendor's multi-user FIFO queue (the device inbox),
+- completion is observed by *polling* with a fixed period, adding a
+  discretisation delay on top of execution.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.quantum.circuit import Circuit, QuantumResult
+from repro.quantum.qpu import QPU, QuantumJob
+from repro.sim.kernel import Kernel
+from repro.sim.monitor import SampleSeries
+from repro.sim.rng import RandomStreams
+
+
+class CloudQPUEndpoint:
+    """Vendor-side REST facade over a physical :class:`QPU`.
+
+    Parameters
+    ----------
+    submission_latency:
+        Mean one-way network + API-gateway latency per request (seconds).
+        Drawn from an exponential distribution when ``streams`` is given,
+        constant otherwise.
+    polling_interval:
+        Client polling period for job status (seconds).
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        qpu: QPU,
+        submission_latency: float = 0.25,
+        polling_interval: float = 2.0,
+        streams: Optional[RandomStreams] = None,
+    ) -> None:
+        if submission_latency < 0:
+            raise ConfigurationError("submission_latency must be >= 0")
+        if polling_interval <= 0:
+            raise ConfigurationError("polling_interval must be > 0")
+        self.kernel = kernel
+        self.qpu = qpu
+        self.submission_latency = submission_latency
+        self.polling_interval = polling_interval
+        self._rng = (
+            streams.stream(f"cloud:{qpu.name}") if streams is not None else None
+        )
+        #: End-to-end client-observed times (submit to observed-complete).
+        self.client_times = SampleSeries(f"cloud:{qpu.name}:client")
+        #: Pure overhead: client time minus device execution time.
+        self.overheads = SampleSeries(f"cloud:{qpu.name}:overhead")
+        self.requests_served = 0
+
+    def _latency(self) -> float:
+        if self._rng is None:
+            return self.submission_latency
+        return float(self._rng.exponential(self.submission_latency))
+
+    def execute(self, circuit: Circuit, shots: int,
+                submitter: Optional[str] = None):
+        """Generator: run ``circuit`` through the cloud path.
+
+        Use from a process as ``result = yield from endpoint.execute(...)``.
+        Returns the :class:`QuantumResult` with ``queue_time`` reflecting
+        the full client-observed wait (network, vendor queue, polling).
+        """
+        start = self.kernel.now
+        # Upload request over the network.
+        yield self.kernel.timeout(self._latency())
+        job = QuantumJob(circuit, shots, submitter=submitter)
+        completion = self.qpu.submit(job)
+
+        # Poll until the device reports completion.
+        while not completion.processed:
+            yield self.kernel.timeout(self.polling_interval)
+        result: QuantumResult = completion.value
+
+        # Download the result.
+        yield self.kernel.timeout(self._latency())
+        elapsed = self.kernel.now - start
+        self.client_times.record(elapsed)
+        self.overheads.record(elapsed - result.execution_time)
+        self.requests_served += 1
+        # Expose the client-observed wait, not just the device-side queue.
+        result.queue_time = elapsed - result.execution_time - result.calibration_time
+        return result
+
+    def __repr__(self) -> str:
+        return (
+            f"<CloudQPUEndpoint qpu={self.qpu.name} "
+            f"served={self.requests_served}>"
+        )

@@ -1,0 +1,157 @@
+"""Heterogeneous QPU fleets with kernel routing.
+
+Facilities will not own a single QPU but a mixed fleet (the paper's
+Section 3: "each quantum HW vendor provides its own API" and time
+scales vary by orders of magnitude).  A :class:`QPUFleet` fronts a set
+of devices and routes each kernel to one of them under a pluggable
+policy:
+
+- ``capability``: first device with enough qubits (submission order);
+- ``round_robin``: cycle through capable devices;
+- ``least_loaded``: capable device with the fewest queued kernels;
+- ``fastest_completion``: capable device minimising *estimated*
+  completion time (committed backlog + this kernel's execution
+  estimate, including any geometry calibration the device would pay) —
+  an EFT (earliest-finish-time) heuristic.
+
+Routing is a dispatch decision only: the chosen device's own FIFO
+semantics, calibrations and monitors are untouched.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigurationError, QuantumDeviceError
+from repro.quantum.circuit import Circuit
+from repro.quantum.qpu import QPU
+from repro.sim.events import Event
+
+#: Known routing policy names.
+ROUTING_POLICIES = (
+    "capability",
+    "round_robin",
+    "least_loaded",
+    "fastest_completion",
+)
+
+
+class QPUFleet:
+    """A set of heterogeneous QPUs behind one submission interface."""
+
+    def __init__(self, qpus: List[QPU], policy: str = "fastest_completion"
+                 ) -> None:
+        if not qpus:
+            raise ConfigurationError("a fleet needs at least one QPU")
+        if policy not in ROUTING_POLICIES:
+            raise ConfigurationError(
+                f"unknown routing policy {policy!r}; "
+                f"known: {ROUTING_POLICIES}"
+            )
+        names = [qpu.name for qpu in qpus]
+        if len(set(names)) != len(names):
+            raise ConfigurationError("fleet devices must have unique names")
+        self.qpus = list(qpus)
+        self.policy = policy
+        self.kernel = qpus[0].kernel
+        self._round_robin_index = 0
+        #: Estimated outstanding execution seconds per device.
+        self._committed: Dict[str, float] = {q.name: 0.0 for q in qpus}
+        #: Kernels routed per device (for reporting).
+        self.routed_counts: Dict[str, int] = {q.name: 0 for q in qpus}
+
+    # -- capability & estimates --------------------------------------------------
+
+    def capable_devices(self, circuit: Circuit) -> List[QPU]:
+        """Devices whose register fits ``circuit``."""
+        return [
+            qpu
+            for qpu in self.qpus
+            if circuit.num_qubits <= qpu.technology.num_qubits
+        ]
+
+    def execution_estimate(
+        self, qpu: QPU, circuit: Circuit, shots: int
+    ) -> float:
+        """Estimated device-busy time of the kernel on ``qpu``.
+
+        Includes the geometry calibration the device would pay if the
+        kernel's geometry differs from its currently calibrated one.
+        """
+        estimate = qpu.technology.execution_time(circuit, shots)
+        if (
+            qpu.technology.needs_geometry_calibration
+            and circuit.geometry is not None
+            and circuit.geometry != qpu._calibrated_geometry
+        ):
+            estimate += qpu.technology.geometry_calibration_duration
+        return estimate
+
+    def completion_estimate(
+        self, qpu: QPU, circuit: Circuit, shots: int
+    ) -> float:
+        """Backlog-aware estimated finish time for the kernel."""
+        return self._committed[qpu.name] + self.execution_estimate(
+            qpu, circuit, shots
+        )
+
+    # -- routing ---------------------------------------------------------------------
+
+    def select_device(self, circuit: Circuit, shots: int) -> QPU:
+        """Pick a device under the fleet's policy (no side effects)."""
+        capable = self.capable_devices(circuit)
+        if not capable:
+            raise QuantumDeviceError(
+                f"no fleet device has {circuit.num_qubits} qubits "
+                f"(largest: "
+                f"{max(q.technology.num_qubits for q in self.qpus)})"
+            )
+        if self.policy == "capability":
+            return capable[0]
+        if self.policy == "round_robin":
+            choice = capable[self._round_robin_index % len(capable)]
+            return choice
+        if self.policy == "least_loaded":
+            return min(capable, key=lambda q: (q.queue_length, q.name))
+        return min(
+            capable,
+            key=lambda q: (
+                self.completion_estimate(q, circuit, shots),
+                q.name,
+            ),
+        )
+
+    def run(
+        self, circuit: Circuit, shots: int,
+        submitter: Optional[str] = None,
+    ) -> Event:
+        """Route and submit the kernel; fires with its result.
+
+        Mirrors the device API so a fleet can stand anywhere a single
+        QPU (or virtual QPU) is expected.
+        """
+        device = self.select_device(circuit, shots)
+        if self.policy == "round_robin":
+            self._round_robin_index += 1
+        estimate = self.execution_estimate(device, circuit, shots)
+        self._committed[device.name] += estimate
+        self.routed_counts[device.name] += 1
+        completion = device.run(circuit, shots, submitter=submitter)
+
+        def settle(event: Event) -> None:
+            self._committed[device.name] = max(
+                self._committed[device.name] - estimate, 0.0
+            )
+
+        completion.callbacks.append(settle)
+        return completion
+
+    @property
+    def total_routed(self) -> int:
+        return sum(self.routed_counts.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"<QPUFleet {len(self.qpus)} devices policy={self.policy} "
+            f"routed={self.total_routed}>"
+        )

@@ -1,0 +1,272 @@
+"""QPU technology models and the Fig 1 time-scale envelope.
+
+The paper's central empirical input (Fig 1) is that the characteristic
+duration of a *quantum job* varies by orders of magnitude across
+technologies: a superconducting job lasts seconds ("each quantum task
+will last ~10 s"), while a neutral-atom job — including calibration for
+an arbitrary register geometry — "could easily last more than 30 min".
+
+Each :class:`QPUTechnology` turns a :class:`~repro.quantum.circuit.Circuit`
+and a shot count into execution time from first principles (gate
+times × depth + readout + reset + per-shot overhead, plus per-job and
+calibration overheads).  The predefined technology constants are
+calibrated to public hardware characteristics so the resulting job
+durations land in the Fig 1 bands; :func:`fig1_reference_bands`
+records those bands explicitly for the E1 experiment to validate
+against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.errors import ConfigurationError
+from repro.quantum.circuit import Circuit
+
+
+@dataclass(frozen=True)
+class QPUTechnology:
+    """Timing model for one quantum-hardware technology.
+
+    All times are seconds of simulated time.
+
+    Parameters
+    ----------
+    name:
+        Technology label (also used as default device-name prefix).
+    num_qubits:
+        Device register size; circuits wider than this are rejected.
+    one_qubit_gate_time / two_qubit_gate_time:
+        Duration of one layer of the respective gate type.
+    readout_time:
+        Measurement duration per shot.
+    reset_time:
+        Qubit-reset / register-reload duration per shot.  For neutral
+        atoms this models atom loading and rearrangement and dominates
+        the shot cycle.
+    per_shot_overhead:
+        Additional fixed per-shot control-system overhead.
+    job_overhead:
+        Per-job fixed cost: compilation, waveform upload, electronics
+        arming, parameter loading.
+    calibration_interval:
+        Wall-clock period after which the device recalibrates
+        (drift-driven).  ``inf`` disables periodic calibration.
+    calibration_duration:
+        Duration of one periodic calibration pass.
+    geometry_calibration_duration:
+        Extra calibration required when a job's register geometry
+        differs from the previously calibrated one (neutral atoms;
+        zero for other technologies).
+    duration_jitter:
+        Relative sigma of lognormal jitter applied to job durations by
+        the device model (0 = deterministic).
+    """
+
+    name: str
+    num_qubits: int
+    one_qubit_gate_time: float
+    two_qubit_gate_time: float
+    readout_time: float
+    reset_time: float
+    per_shot_overhead: float
+    job_overhead: float
+    calibration_interval: float
+    calibration_duration: float
+    geometry_calibration_duration: float = 0.0
+    duration_jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        timings = (
+            self.one_qubit_gate_time,
+            self.two_qubit_gate_time,
+            self.readout_time,
+            self.reset_time,
+            self.per_shot_overhead,
+            self.job_overhead,
+            self.calibration_duration,
+            self.geometry_calibration_duration,
+        )
+        if any(value < 0 for value in timings):
+            raise ConfigurationError(
+                f"{self.name}: timing parameters must be non-negative"
+            )
+        if self.num_qubits <= 0:
+            raise ConfigurationError(f"{self.name}: num_qubits must be > 0")
+        if self.calibration_interval <= 0:
+            raise ConfigurationError(
+                f"{self.name}: calibration_interval must be > 0 (use inf "
+                "to disable)"
+            )
+        if not 0.0 <= self.duration_jitter < 1.0:
+            raise ConfigurationError(
+                f"{self.name}: duration_jitter must be in [0, 1)"
+            )
+
+    # -- timing model ------------------------------------------------------------
+
+    def shot_time(self, circuit: Circuit) -> float:
+        """Duration of a single shot of ``circuit`` on this hardware."""
+        self.validate_circuit(circuit)
+        gates = (
+            circuit.one_qubit_layers * self.one_qubit_gate_time
+            + circuit.two_qubit_layers * self.two_qubit_gate_time
+        )
+        return (
+            gates + self.readout_time + self.reset_time + self.per_shot_overhead
+        )
+
+    def execution_time(self, circuit: Circuit, shots: int) -> float:
+        """Pure device-busy time of a job (no queueing, no calibration)."""
+        if shots <= 0:
+            raise ConfigurationError(f"shots must be positive, got {shots!r}")
+        return self.job_overhead + shots * self.shot_time(circuit)
+
+    def job_time_with_calibration(self, circuit: Circuit, shots: int) -> float:
+        """Execution time plus a geometry calibration (Fig 1 convention
+        for neutral atoms: the job duration *includes* register-geometry
+        calibration)."""
+        return (
+            self.geometry_calibration_duration
+            + self.execution_time(circuit, shots)
+        )
+
+    def validate_circuit(self, circuit: Circuit) -> None:
+        if circuit.num_qubits > self.num_qubits:
+            raise ConfigurationError(
+                f"circuit needs {circuit.num_qubits} qubits; "
+                f"{self.name} has {self.num_qubits}"
+            )
+
+    @property
+    def needs_geometry_calibration(self) -> bool:
+        return self.geometry_calibration_duration > 0.0
+
+
+# ---------------------------------------------------------------------------
+# Predefined technologies, calibrated to public hardware characteristics.
+# Times in seconds.
+# ---------------------------------------------------------------------------
+
+#: Transmon-style superconducting QPU: ns gates, µs readout, kHz-scale
+#: repetition rate; jobs land at seconds ("~10 s" in the paper's example).
+SUPERCONDUCTING = QPUTechnology(
+    name="superconducting",
+    num_qubits=127,
+    one_qubit_gate_time=35e-9,
+    two_qubit_gate_time=300e-9,
+    readout_time=4e-6,
+    reset_time=250e-6,
+    per_shot_overhead=750e-6,
+    job_overhead=2.0,
+    calibration_interval=3600.0,
+    calibration_duration=120.0,
+    duration_jitter=0.05,
+)
+
+#: Trapped-ion QPU: µs–ms gates, slow cooling/State-prep cycle; jobs land
+#: at minutes.
+TRAPPED_ION = QPUTechnology(
+    name="trapped_ion",
+    num_qubits=32,
+    one_qubit_gate_time=10e-6,
+    two_qubit_gate_time=200e-6,
+    readout_time=1e-3,
+    reset_time=20e-3,
+    per_shot_overhead=30e-3,
+    job_overhead=10.0,
+    calibration_interval=4 * 3600.0,
+    calibration_duration=300.0,
+    duration_jitter=0.05,
+)
+
+#: Neutral-atom (Rydberg) QPU: per-shot register load/rearrangement in
+#: the 100 ms range AND a per-geometry calibration of tens of minutes, so
+#: a job on an arbitrary register geometry exceeds 30 min (Fig 1 caption).
+NEUTRAL_ATOM = QPUTechnology(
+    name="neutral_atom",
+    num_qubits=256,
+    one_qubit_gate_time=1e-6,
+    two_qubit_gate_time=5e-6,
+    readout_time=20e-3,
+    reset_time=150e-3,
+    per_shot_overhead=100e-3,
+    job_overhead=60.0,
+    calibration_interval=12 * 3600.0,
+    calibration_duration=1800.0,
+    geometry_calibration_duration=1500.0,
+    duration_jitter=0.1,
+)
+
+#: Photonic sampler: MHz-scale shot rate, negligible reset; sub-second to
+#: second jobs.
+PHOTONIC = QPUTechnology(
+    name="photonic",
+    num_qubits=216,
+    one_qubit_gate_time=0.0,
+    two_qubit_gate_time=0.0,
+    readout_time=1e-6,
+    reset_time=0.0,
+    per_shot_overhead=5e-6,
+    job_overhead=0.5,
+    calibration_interval=24 * 3600.0,
+    calibration_duration=600.0,
+    duration_jitter=0.02,
+)
+
+#: Quantum annealer: ~20 µs anneal + ms readout per read; second-scale jobs.
+ANNEALER = QPUTechnology(
+    name="annealer",
+    num_qubits=5000,
+    one_qubit_gate_time=0.0,
+    two_qubit_gate_time=0.0,
+    readout_time=0.25e-3,
+    reset_time=20e-6,
+    per_shot_overhead=0.5e-3,
+    job_overhead=1.0,
+    calibration_interval=24 * 3600.0,
+    calibration_duration=300.0,
+    duration_jitter=0.02,
+)
+
+#: All predefined technologies keyed by name.
+TECHNOLOGIES: Dict[str, QPUTechnology] = {
+    tech.name: tech
+    for tech in (
+        SUPERCONDUCTING,
+        TRAPPED_ION,
+        NEUTRAL_ATOM,
+        PHOTONIC,
+        ANNEALER,
+    )
+}
+
+
+def fig1_reference_bands() -> Dict[str, Tuple[float, float]]:
+    """Fig 1's qualitative job-duration bands, per technology (seconds).
+
+    These are *validation targets* for experiment E1: a standard job
+    (1000 shots of a representative circuit) must land inside the band.
+    Bands are wide because Fig 1 is logarithmic and qualitative.
+    """
+    return {
+        "photonic": (0.1, 30.0),
+        "annealer": (0.5, 60.0),
+        "superconducting": (1.0, 60.0),
+        "trapped_ion": (30.0, 3600.0),
+        "neutral_atom": (1800.0, 4 * 3600.0),
+    }
+
+
+def standard_job(technology: QPUTechnology, shots: int = 1000) -> Tuple[Circuit, int]:
+    """A representative (circuit, shots) pair for cross-tech comparisons."""
+    width = min(20, technology.num_qubits)
+    circuit = Circuit(
+        num_qubits=width,
+        depth=100,
+        two_qubit_fraction=0.3,
+        geometry="standard",
+        name=f"standard-{technology.name}",
+    )
+    return circuit, shots

@@ -1,0 +1,44 @@
+"""SLURM-like batch scheduler: jobs, priorities, backfill, accounting."""
+
+from repro.scheduler.accounting import AccountingLedger, UsageRecord
+from repro.scheduler.backfill import (
+    POLICIES,
+    ClusterTimeline,
+    ConservativeBackfillPolicy,
+    EasyBackfillPolicy,
+    FIFOPolicy,
+    PartitionTimeline,
+    SchedulingPolicy,
+    make_policy,
+)
+from repro.scheduler.job import (
+    Job,
+    JobComponent,
+    JobContext,
+    JobSpec,
+    JobState,
+)
+from repro.scheduler.priority import MultifactorPriority, PriorityWeights
+from repro.scheduler.scheduler import BatchScheduler, GrowRequest
+
+__all__ = [
+    "AccountingLedger",
+    "BatchScheduler",
+    "ClusterTimeline",
+    "ConservativeBackfillPolicy",
+    "EasyBackfillPolicy",
+    "FIFOPolicy",
+    "GrowRequest",
+    "Job",
+    "JobComponent",
+    "JobContext",
+    "JobSpec",
+    "JobState",
+    "MultifactorPriority",
+    "POLICIES",
+    "PartitionTimeline",
+    "PriorityWeights",
+    "SchedulingPolicy",
+    "UsageRecord",
+    "make_policy",
+]

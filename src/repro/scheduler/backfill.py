@@ -1,0 +1,351 @@
+"""Scheduling policies: FIFO, EASY backfill, conservative backfill.
+
+All three policies share an *availability timeline*: a per-partition
+piecewise-constant profile of free node and gres counts, built from the
+expected end times (start + requested walltime) of running jobs.  EASY
+makes a reservation for the highest-priority blocked job and lets later
+jobs jump the queue only if they do not delay that reservation;
+conservative gives every queued job a reservation.
+
+The timeline is count-based (nodes within a partition are
+interchangeable), which matches how production backfill schedulers
+reason and keeps the profile cheap to scan.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster.cluster import Cluster
+from repro.errors import ConfigurationError
+from repro.scheduler.job import Job, JobComponent
+
+#: Cap on how far into the future the timeline reasons (one year); jobs
+#: that cannot start within it are treated as unschedulable for now.
+HORIZON = 365 * 24 * 3600.0
+
+
+class PartitionTimeline:
+    """Free-capacity profile for one partition, from ``now`` onwards."""
+
+    def __init__(
+        self,
+        capacity_nodes: int,
+        capacity_gres: Dict[str, int],
+        now: float,
+    ) -> None:
+        self.now = now
+        self.capacity_nodes = capacity_nodes
+        self.capacity_gres = dict(capacity_gres)
+        # Sorted breakpoint times; deltas applied *at* each time.
+        self._times: List[float] = [now]
+        self._node_deltas: List[int] = [capacity_nodes]
+        self._gres_deltas: List[Dict[str, int]] = [dict(capacity_gres)]
+
+    def _add_delta(
+        self, time: float, nodes: int, gres: Optional[Dict[str, int]] = None
+    ) -> None:
+        time = max(time, self.now)
+        index = bisect.bisect_left(self._times, time)
+        if index < len(self._times) and self._times[index] == time:
+            self._node_deltas[index] += nodes
+            if gres:
+                for gres_type, count in gres.items():
+                    self._gres_deltas[index][gres_type] = (
+                        self._gres_deltas[index].get(gres_type, 0) + count
+                    )
+        else:
+            self._times.insert(index, time)
+            self._node_deltas.insert(index, nodes)
+            self._gres_deltas.insert(index, dict(gres or {}))
+
+    def occupy(
+        self,
+        start: float,
+        end: float,
+        nodes: int,
+        gres: Optional[Dict[str, int]] = None,
+    ) -> None:
+        """Subtract capacity over [start, end) — a running job or
+        a reservation."""
+        if end <= start:
+            return
+        negative_gres = {t: -c for t, c in (gres or {}).items()}
+        self._add_delta(start, -nodes, negative_gres)
+        if end < HORIZON + self.now:
+            self._add_delta(end, nodes, dict(gres or {}))
+
+    def breakpoints(self) -> List[float]:
+        return list(self._times)
+
+    def profile(self) -> List[Tuple[float, int, Dict[str, int]]]:
+        """Piecewise-constant (time, free_nodes, free_gres) segments."""
+        segments = []
+        nodes = 0
+        gres: Dict[str, int] = {}
+        for time, node_delta, gres_delta in zip(
+            self._times, self._node_deltas, self._gres_deltas
+        ):
+            nodes += node_delta
+            for gres_type, count in gres_delta.items():
+                gres[gres_type] = gres.get(gres_type, 0) + count
+            segments.append((time, nodes, dict(gres)))
+        return segments
+
+    def fits(
+        self,
+        start: float,
+        duration: float,
+        nodes: int,
+        gres: Optional[Dict[str, int]] = None,
+    ) -> bool:
+        """Whether ``nodes`` + ``gres`` are free throughout
+        [start, start+duration)."""
+        end = start + duration
+        free_nodes = 0
+        free_gres: Dict[str, int] = {}
+        for time, node_delta, gres_delta in zip(
+            self._times, self._node_deltas, self._gres_deltas
+        ):
+            if time >= end:
+                break
+            free_nodes += node_delta
+            for gres_type, count in gres_delta.items():
+                free_gres[gres_type] = free_gres.get(gres_type, 0) + count
+            if time < start:
+                # Segment might end before the window starts; the value
+                # entering the window is what matters, checked below via
+                # the accumulated state at the last pre-window breakpoint.
+                continue
+            if free_nodes < nodes:
+                return False
+            for gres_type, needed in (gres or {}).items():
+                if free_gres.get(gres_type, 0) < needed:
+                    return False
+        # Check the value in force at window start (accumulated state of
+        # the last breakpoint <= start).
+        free_nodes = 0
+        free_gres = {}
+        for time, node_delta, gres_delta in zip(
+            self._times, self._node_deltas, self._gres_deltas
+        ):
+            if time > start:
+                break
+            free_nodes += node_delta
+            for gres_type, count in gres_delta.items():
+                free_gres[gres_type] = free_gres.get(gres_type, 0) + count
+        if free_nodes < nodes:
+            return False
+        for gres_type, needed in (gres or {}).items():
+            if free_gres.get(gres_type, 0) < needed:
+                return False
+        return True
+
+
+class ClusterTimeline:
+    """Availability timelines for every partition of a cluster."""
+
+    def __init__(self, cluster: Cluster, now: float) -> None:
+        self.now = now
+        self.partitions: Dict[str, PartitionTimeline] = {}
+        for name, partition in cluster.partitions.items():
+            gres_capacity = {
+                gres_type: partition.gres_capacity(gres_type)
+                for node in partition.nodes
+                for gres_type in node.gres_types()
+            }
+            self.partitions[name] = PartitionTimeline(
+                partition.usable_node_count(), gres_capacity, now
+            )
+        # Subtract running allocations until their expected ends.
+        for allocation in cluster.active_allocations():
+            timeline = self.partitions[allocation.partition_name]
+            timeline.occupy(
+                now,
+                min(allocation.expected_end, now + HORIZON),
+                allocation.node_count,
+                allocation.gres_counts(),
+            )
+
+    def fits_at(self, components: List[JobComponent], start: float,
+                duration: float) -> bool:
+        """Whether every component fits simultaneously at ``start``."""
+        for component in components:
+            timeline = self.partitions.get(component.partition)
+            if timeline is None:
+                raise ConfigurationError(
+                    f"unknown partition {component.partition!r}"
+                )
+            if not timeline.fits(
+                start, duration, component.nodes, component.gres
+            ):
+                return False
+        return True
+
+    def earliest_start(
+        self, components: List[JobComponent], duration: float
+    ) -> Optional[float]:
+        """Earliest time all components fit for ``duration``, or None."""
+        candidates = {self.now}
+        for component in components:
+            timeline = self.partitions.get(component.partition)
+            if timeline is None:
+                raise ConfigurationError(
+                    f"unknown partition {component.partition!r}"
+                )
+            candidates.update(
+                t for t in timeline.breakpoints() if t >= self.now
+            )
+        for candidate in sorted(candidates):
+            if candidate - self.now > HORIZON:
+                break
+            if self.fits_at(components, candidate, duration):
+                return candidate
+        return None
+
+    def occupy(
+        self, components: List[JobComponent], start: float, duration: float
+    ) -> None:
+        """Record a job/reservation across all its components."""
+        for component in components:
+            self.partitions[component.partition].occupy(
+                start, start + duration, component.nodes, component.gres
+            )
+
+
+class SchedulingPolicy:
+    """Interface: pick which pending jobs start *now*."""
+
+    name = "abstract"
+
+    def select(
+        self, pending: List[Job], cluster: Cluster, now: float
+    ) -> List[Job]:
+        """Jobs (subset of ``pending``, in start order) to launch now.
+
+        ``pending`` is already sorted by descending priority.
+        """
+        raise NotImplementedError
+
+
+def _starts_now(timeline: ClusterTimeline, job: Job) -> bool:
+    return timeline.fits_at(
+        job.spec.components, timeline.now, job.spec.walltime_limit
+    )
+
+
+class FIFOPolicy(SchedulingPolicy):
+    """Strict first-come-first-served: never schedules around a blocker."""
+
+    name = "fifo"
+
+    def select(
+        self, pending: List[Job], cluster: Cluster, now: float
+    ) -> List[Job]:
+        timeline = ClusterTimeline(cluster, now)
+        started: List[Job] = []
+        for job in pending:
+            if _starts_now(timeline, job):
+                timeline.occupy(
+                    job.spec.components, now, job.spec.walltime_limit
+                )
+                started.append(job)
+            else:
+                break
+        return started
+
+
+class EasyBackfillPolicy(SchedulingPolicy):
+    """EASY (aggressive) backfill: one reservation for the head blocker.
+
+    Jobs behind the blocked head may start now only if doing so does
+    not push back the head's earliest start time.
+    """
+
+    name = "easy"
+
+    def select(
+        self, pending: List[Job], cluster: Cluster, now: float
+    ) -> List[Job]:
+        timeline = ClusterTimeline(cluster, now)
+        started: List[Job] = []
+        head: Optional[Job] = None
+        head_start: Optional[float] = None
+        for job in pending:
+            duration = job.spec.walltime_limit
+            if head is None:
+                if _starts_now(timeline, job):
+                    timeline.occupy(job.spec.components, now, duration)
+                    started.append(job)
+                else:
+                    head = job
+                    head_start = timeline.earliest_start(
+                        job.spec.components, duration
+                    )
+                continue
+            # Backfill candidate: must fit now and not delay the head.
+            if not _starts_now(timeline, job):
+                continue
+            if head_start is None:
+                # Head can never start (oversized job): don't let it
+                # block the queue, backfill freely.
+                timeline.occupy(job.spec.components, now, duration)
+                started.append(job)
+                continue
+            trial = ClusterTimeline(cluster, now)
+            for other in started:
+                trial.occupy(
+                    other.spec.components, now, other.spec.walltime_limit
+                )
+            trial.occupy(job.spec.components, now, duration)
+            new_head_start = trial.earliest_start(
+                head.spec.components, head.spec.walltime_limit
+            )
+            if new_head_start is not None and new_head_start <= head_start:
+                timeline.occupy(job.spec.components, now, duration)
+                started.append(job)
+        return started
+
+
+class ConservativeBackfillPolicy(SchedulingPolicy):
+    """Conservative backfill: every queued job gets a reservation.
+
+    A job may only start now if doing so respects the reservations of
+    every higher-priority job, which the incremental timeline enforces
+    by construction.
+    """
+
+    name = "conservative"
+
+    def select(
+        self, pending: List[Job], cluster: Cluster, now: float
+    ) -> List[Job]:
+        timeline = ClusterTimeline(cluster, now)
+        started: List[Job] = []
+        for job in pending:
+            duration = job.spec.walltime_limit
+            start = timeline.earliest_start(job.spec.components, duration)
+            if start is None:
+                continue  # unschedulable within horizon; skip
+            timeline.occupy(job.spec.components, start, duration)
+            if start <= now:
+                started.append(job)
+        return started
+
+
+#: Registry for CLI/experiment configuration.
+POLICIES: Dict[str, type] = {
+    policy.name: policy
+    for policy in (FIFOPolicy, EasyBackfillPolicy, ConservativeBackfillPolicy)
+}
+
+
+def make_policy(name: str) -> SchedulingPolicy:
+    """Instantiate a policy by registry name."""
+    try:
+        return POLICIES[name]()
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown policy {name!r}; known: {sorted(POLICIES)}"
+        ) from None

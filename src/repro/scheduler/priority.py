@@ -1,0 +1,87 @@
+"""Multifactor job priority, modelled on SLURM's priority/multifactor.
+
+``priority = w_age * age_factor + w_size * size_factor
+           + w_fairshare * fairshare_factor + w_qos * qos + w_partition``
+
+Factors are normalised to [0, 1]; weights set their relative influence.
+A pure-FIFO queue is the special case ``age_weight > 0`` with all other
+weights zero (ties broken by submission order in the scheduler).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.scheduler.accounting import AccountingLedger
+from repro.scheduler.job import Job
+
+
+@dataclass
+class PriorityWeights:
+    """Relative weights of the multifactor terms."""
+
+    age: float = 1000.0
+    size: float = 0.0
+    fairshare: float = 0.0
+    qos: float = 1.0
+
+    def __post_init__(self) -> None:
+        if min(self.age, self.size, self.fairshare, self.qos) < 0:
+            raise ConfigurationError("priority weights must be >= 0")
+
+
+class MultifactorPriority:
+    """Computes job priorities from age, size, fair-share and QOS.
+
+    Parameters
+    ----------
+    weights:
+        Term weights; default is age-dominated (FIFO-like).
+    max_age:
+        Age (seconds) at which the age factor saturates at 1.0.
+    total_nodes:
+        Cluster size used to normalise the size factor; favouring large
+        jobs (SLURM's default) counters starvation under backfill.
+    ledger:
+        Accounting ledger used for the fair-share term (optional).
+    """
+
+    def __init__(
+        self,
+        weights: Optional[PriorityWeights] = None,
+        max_age: float = 7 * 24 * 3600.0,
+        total_nodes: int = 1,
+        ledger: Optional[AccountingLedger] = None,
+    ) -> None:
+        if max_age <= 0:
+            raise ConfigurationError("max_age must be positive")
+        if total_nodes <= 0:
+            raise ConfigurationError("total_nodes must be positive")
+        self.weights = weights or PriorityWeights()
+        self.max_age = max_age
+        self.total_nodes = total_nodes
+        self.ledger = ledger
+
+    def compute(self, job: Job, now: float) -> float:
+        """Priority of ``job`` at time ``now`` (higher runs earlier)."""
+        weights = self.weights
+        submit = job.submit_time if job.submit_time is not None else now
+        age_factor = min((now - submit) / self.max_age, 1.0)
+        size_factor = min(job.spec.total_nodes() / self.total_nodes, 1.0)
+        if self.ledger is not None and weights.fairshare > 0:
+            fairshare = self.ledger.fair_share_factor(
+                job.spec.user, job.spec.account, now
+            )
+        else:
+            fairshare = 0.0
+        return (
+            weights.age * age_factor
+            + weights.size * size_factor
+            + weights.fairshare * fairshare
+            + weights.qos * job.spec.qos_priority
+        )
+
+    def __repr__(self) -> str:
+        return f"<MultifactorPriority weights={self.weights!r}>"

@@ -1,0 +1,130 @@
+"""Composite events: wait for *all* or *any* of a set of events.
+
+``AllOf`` fires once every constituent event has fired; ``AnyOf`` fires
+as soon as the first one does.  Both fire with a :class:`ConditionValue`
+mapping each *triggered* constituent event to its value, which lets the
+waiting process inspect exactly which events completed.
+
+A failure in any constituent event propagates to the condition (and is
+thereby delivered to the waiting process).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, Iterator, List
+
+from repro.errors import SimulationError
+from repro.sim.events import PENDING, Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Kernel
+
+
+class ConditionValue:
+    """Ordered mapping of triggered events to their values."""
+
+    def __init__(self) -> None:
+        self.events: List[Event] = []
+
+    def __getitem__(self, event: Event) -> Any:
+        if event not in self.events:
+            raise KeyError(repr(event))
+        return event._value
+
+    def __contains__(self, event: Event) -> bool:
+        return event in self.events
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def todict(self) -> Dict[Event, Any]:
+        """Return a plain ``dict`` of event → value."""
+        return {event: event._value for event in self.events}
+
+    def __repr__(self) -> str:
+        return f"<ConditionValue {self.todict()!r}>"
+
+
+class Condition(Event):
+    """Base class for :class:`AllOf` and :class:`AnyOf`."""
+
+    __slots__ = ("_events", "_processed_count")
+
+    def __init__(self, kernel: "Kernel", events: List[Event]) -> None:
+        super().__init__(kernel)
+        for event in events:
+            if event.kernel is not kernel:
+                raise SimulationError(
+                    "all events of a condition must share one kernel"
+                )
+        self._events = events
+        self._processed_count = 0
+        for event in events:
+            if event.callbacks is None:
+                # Already processed: account for it immediately.
+                self._count_event(event)
+            else:
+                event.callbacks.append(self._on_fire)
+        self._maybe_trigger()
+
+    # -- hooks implemented by subclasses ------------------------------------
+
+    def _satisfied(self) -> bool:
+        raise NotImplementedError
+
+    # -- internals -----------------------------------------------------------
+
+    def _count_event(self, event: Event) -> None:
+        if not event._ok:
+            if self._value is PENDING:
+                event._defused = True
+                self.fail(event._value)
+            return
+        self._processed_count += 1
+
+    def _on_fire(self, event: Event) -> None:
+        if self._value is not PENDING:
+            return
+        self._count_event(event)
+        self._maybe_trigger()
+
+    def _maybe_trigger(self) -> None:
+        if self._value is PENDING and self._satisfied():
+            value = ConditionValue()
+            value.events = [
+                event for event in self._events if event.processed
+            ]
+            self.succeed(value)
+
+    @property
+    def events(self) -> List[Event]:
+        """The constituent events, in construction order."""
+        return list(self._events)
+
+
+class AllOf(Condition):
+    """Fires once *every* constituent event has been processed."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._processed_count >= len(self._events)
+
+
+class AnyOf(Condition):
+    """Fires once *any* constituent event has fired.
+
+    An ``AnyOf`` over zero events fires immediately (vacuous truth
+    mirrors SimPy semantics for ``AllOf``; for ``AnyOf`` we also fire
+    immediately so empty fan-ins never deadlock).
+    """
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        if not self._events:
+            return True
+        return self._processed_count >= 1

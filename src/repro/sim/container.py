@@ -1,0 +1,106 @@
+"""Continuous-quantity container (fluid-level semantics).
+
+A :class:`Container` holds a divisible quantity (e.g. an energy budget,
+QPU shot credits in an accounting model).  ``put`` blocks while the
+addition would exceed capacity; ``get`` blocks while the level is
+insufficient.  Waiters are served FIFO among their own kind, with gets
+and puts re-examined after every level change.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.errors import SimulationError
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Kernel
+
+
+class ContainerPut(Event):
+    """Pending addition of ``amount`` to a container."""
+
+    __slots__ = ("amount",)
+
+    def __init__(self, container: "Container", amount: float) -> None:
+        if amount <= 0:
+            raise SimulationError(f"put amount must be positive: {amount!r}")
+        super().__init__(container.kernel)
+        self.amount = amount
+        container._put_waiters.append(self)
+        container._dispatch()
+
+
+class ContainerGet(Event):
+    """Pending removal of ``amount`` from a container."""
+
+    __slots__ = ("amount",)
+
+    def __init__(self, container: "Container", amount: float) -> None:
+        if amount <= 0:
+            raise SimulationError(f"get amount must be positive: {amount!r}")
+        super().__init__(container.kernel)
+        self.amount = amount
+        container._get_waiters.append(self)
+        container._dispatch()
+
+
+class Container:
+    """A divisible quantity with optional capacity bound."""
+
+    def __init__(
+        self,
+        kernel: "Kernel",
+        capacity: Optional[float] = None,
+        init: float = 0.0,
+    ) -> None:
+        if capacity is not None and capacity <= 0:
+            raise SimulationError(f"capacity must be positive: {capacity!r}")
+        if init < 0:
+            raise SimulationError(f"initial level must be >= 0: {init!r}")
+        if capacity is not None and init > capacity:
+            raise SimulationError("initial level exceeds capacity")
+        self.kernel = kernel
+        self.capacity = capacity
+        self._level = float(init)
+        self._put_waiters: List[ContainerPut] = []
+        self._get_waiters: List[ContainerGet] = []
+
+    @property
+    def level(self) -> float:
+        """Current stored quantity."""
+        return self._level
+
+    def put(self, amount: float) -> ContainerPut:
+        """Add ``amount``; fires once the addition fits under capacity."""
+        return ContainerPut(self, amount)
+
+    def get(self, amount: float) -> ContainerGet:
+        """Remove ``amount``; fires once the level suffices."""
+        return ContainerGet(self, amount)
+
+    def _dispatch(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            if self._put_waiters:
+                put = self._put_waiters[0]
+                if (
+                    self.capacity is None
+                    or self._level + put.amount <= self.capacity
+                ):
+                    self._put_waiters.pop(0)
+                    self._level += put.amount
+                    put.succeed()
+                    progress = True
+            if self._get_waiters:
+                get = self._get_waiters[0]
+                if get.amount <= self._level:
+                    self._get_waiters.pop(0)
+                    self._level -= get.amount
+                    get.succeed()
+                    progress = True
+
+    def __repr__(self) -> str:
+        return f"<Container level={self._level!r} capacity={self.capacity!r}>"

@@ -1,0 +1,191 @@
+"""The discrete-event simulation kernel.
+
+The kernel owns the simulated clock and the event heap.  Components
+create events and processes through the kernel's factory methods and the
+kernel advances time by popping triggered events in ``(time, priority,
+sequence)`` order and running their callbacks.
+
+The design is deliberately simpy-like: processes are generators that
+yield events, and the full simulation is deterministic for a fixed event
+schedule (ties are broken by insertion order).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Iterable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.sim.conditions import AllOf, AnyOf
+from repro.sim.events import NORMAL, Event, Timeout
+from repro.sim.process import Process, ProcessGenerator
+
+#: Heap entry: (time, priority, sequence number, event).
+_HeapEntry = Tuple[float, int, int, Event]
+
+
+class EmptySchedule(SimulationError):
+    """Raised internally when the event heap runs dry."""
+
+
+class Kernel:
+    """Discrete-event simulation kernel with a floating-point clock.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of the simulated clock (default ``0.0``).
+        Experiments replaying traces may start at an arbitrary epoch.
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._heap: List[_HeapEntry] = []
+        self._sequence = 0
+        self._active_process: Optional[Process] = None
+
+    # -- clock & introspection --------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    @property
+    def queued_event_count(self) -> int:
+        """Number of triggered-but-unprocessed events on the heap."""
+        return len(self._heap)
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        if not self._heap:
+            return float("inf")
+        return self._heap[0][0]
+
+    # -- factories ---------------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a new pending :class:`~repro.sim.events.Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(
+        self, generator: ProcessGenerator, name: Optional[str] = None
+    ) -> Process:
+        """Start a new process driving ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that fires once every event in ``events`` has fired."""
+        return AllOf(self, list(events))
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that fires once any event in ``events`` has fired."""
+        return AnyOf(self, list(events))
+
+    # -- scheduling & execution ---------------------------------------------
+
+    def schedule(
+        self, event: Event, priority: int = NORMAL, delay: float = 0.0
+    ) -> None:
+        """Place a triggered event on the heap ``delay`` from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past: {delay!r}")
+        self._sequence += 1
+        heapq.heappush(
+            self._heap, (self._now + delay, priority, self._sequence, event)
+        )
+
+    def step(self) -> None:
+        """Process the single next event; raise if the heap is empty."""
+        try:
+            self._now, _, _, event = heapq.heappop(self._heap)
+        except IndexError:
+            raise EmptySchedule("no more events scheduled") from None
+
+        callbacks = event.callbacks
+        event.callbacks = None
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event._defused:
+            # A failure nobody consumed: crash the simulation loudly so
+            # bugs in models do not pass silently.
+            exc = event._value
+            raise exc
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            ``None``
+                run until no events remain.
+            a number
+                run until the clock reaches that time (the clock is set
+                to exactly ``until`` even if no event fires then).
+            an :class:`~repro.sim.events.Event`
+                run until that event is processed and return its value.
+        """
+        if until is None:
+            return self._run_until_empty()
+        if isinstance(until, Event):
+            return self._run_until_event(until)
+        return self._run_until_time(float(until))
+
+    def _run_until_empty(self) -> None:
+        while self._heap:
+            self.step()
+
+    def _run_until_time(self, until: float) -> None:
+        if until < self._now:
+            raise SimulationError(
+                f"until={until!r} lies in the past (now={self._now!r})"
+            )
+        while self._heap and self._heap[0][0] <= until:
+            self.step()
+        self._now = until
+
+    def _run_until_event(self, until: Event) -> Any:
+        if until.callbacks is None:
+            # Already processed.
+            if not until._ok and not until._defused:
+                raise until._value
+            return until._value
+        stop = _StopFlag()
+        until.callbacks.append(stop.set)
+        while not stop.is_set:
+            if not self._heap:
+                raise SimulationError(
+                    "simulation ran out of events before the until-event fired"
+                )
+            self.step()
+        if not until._ok:
+            until._defused = True
+            raise until._value
+        return until._value
+
+    def __repr__(self) -> str:
+        return f"<Kernel t={self._now!r} queued={len(self._heap)}>"
+
+
+class _StopFlag:
+    """Tiny callback target used by :meth:`Kernel._run_until_event`."""
+
+    __slots__ = ("is_set",)
+
+    def __init__(self) -> None:
+        self.is_set = False
+
+    def set(self, _event: Event) -> None:
+        self.is_set = True

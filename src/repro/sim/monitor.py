@@ -1,0 +1,133 @@
+"""Time-weighted observation of simulation state.
+
+:class:`TimeWeightedValue` tracks a piecewise-constant quantity (e.g.
+"busy nodes") and integrates it over simulated time, which is what
+utilisation metrics need.  :class:`SampleSeries` collects point samples
+(e.g. per-job wait times) with summary statistics.  Both are pure
+bookkeeping — no kernel interaction beyond reading the clock.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Kernel
+
+
+class TimeWeightedValue:
+    """A piecewise-constant value integrated over simulated time."""
+
+    def __init__(self, kernel: "Kernel", initial: float = 0.0) -> None:
+        self.kernel = kernel
+        self._value = float(initial)
+        self._start_time = kernel.now
+        self._last_change = kernel.now
+        self._integral = 0.0
+        #: Optional full history of (time, new_value) steps.
+        self.history: List[Tuple[float, float]] = [(kernel.now, initial)]
+
+    @property
+    def value(self) -> float:
+        """Current value."""
+        return self._value
+
+    def set(self, value: float) -> None:
+        """Step the tracked quantity to ``value`` at the current time."""
+        now = self.kernel.now
+        self._integral += self._value * (now - self._last_change)
+        self._last_change = now
+        self._value = float(value)
+        self.history.append((now, self._value))
+
+    def add(self, delta: float) -> None:
+        """Increment the tracked quantity by ``delta``."""
+        self.set(self._value + delta)
+
+    def integral(self, until: Optional[float] = None) -> float:
+        """Time integral of the value from creation until ``until`` (or now)."""
+        end = self.kernel.now if until is None else until
+        if end < self._last_change:
+            raise SimulationError("integral endpoint precedes last change")
+        return self._integral + self._value * (end - self._last_change)
+
+    def time_average(self, until: Optional[float] = None) -> float:
+        """Mean value over the observation window (0 if the window is empty)."""
+        end = self.kernel.now if until is None else until
+        span = end - self._start_time
+        if span <= 0:
+            return self._value
+        return self.integral(until=end) / span
+
+    def __repr__(self) -> str:
+        return f"<TimeWeightedValue value={self._value!r}>"
+
+
+class SampleSeries:
+    """Point samples with incremental summary statistics."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.samples: List[float] = []
+
+    def record(self, value: float) -> None:
+        """Append one observation."""
+        self.samples.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def total(self) -> float:
+        return math.fsum(self.samples)
+
+    @property
+    def mean(self) -> float:
+        if not self.samples:
+            return 0.0
+        return self.total / len(self.samples)
+
+    @property
+    def maximum(self) -> float:
+        return max(self.samples) if self.samples else 0.0
+
+    @property
+    def minimum(self) -> float:
+        return min(self.samples) if self.samples else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Linear-interpolated percentile of the samples, ``q`` in [0, 100]."""
+        if not 0.0 <= q <= 100.0:
+            raise SimulationError(f"percentile out of range: {q!r}")
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = (q / 100.0) * (len(ordered) - 1)
+        low = int(math.floor(rank))
+        high = int(math.ceil(rank))
+        if low == high:
+            return ordered[low]
+        fraction = rank - low
+        # a + f*(b-a) is exact when a == b, unlike the two-product form.
+        return ordered[low] + fraction * (ordered[high] - ordered[low])
+
+    @property
+    def stdev(self) -> float:
+        """Population standard deviation (0 for fewer than two samples)."""
+        n = len(self.samples)
+        if n < 2:
+            return 0.0
+        mean = self.mean
+        variance = math.fsum((x - mean) ** 2 for x in self.samples) / n
+        return math.sqrt(variance)
+
+    def __repr__(self) -> str:
+        return (
+            f"<SampleSeries {self.name!r} n={self.count} mean={self.mean:.4g}>"
+        )

@@ -1,0 +1,263 @@
+"""Capacity-constrained resources with FIFO, priority and preemption.
+
+A :class:`Resource` models a pool of identical capacity slots (e.g.
+compute nodes in the abstract, a device service slot).  Processes
+acquire a slot by yielding a :class:`Request` and release it with
+:meth:`Resource.release` (or by using the request as a context
+manager).  :class:`PriorityResource` orders its wait queue by a numeric
+priority (lower = more important); :class:`PreemptiveResource`
+additionally evicts a lower-priority user when a more important request
+arrives, delivering a :class:`Preempted` cause through an interrupt.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import TYPE_CHECKING, Any, List, Optional
+
+from repro.errors import SimulationError
+from repro.sim.events import PENDING, URGENT, Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Kernel
+    from repro.sim.process import Process
+
+
+class Request(Event):
+    """A pending or granted claim on one unit of a resource's capacity."""
+
+    __slots__ = ("resource", "process", "usage_since")
+
+    def __init__(self, resource: "Resource") -> None:
+        super().__init__(resource.kernel)
+        self.resource = resource
+        self.process: Optional["Process"] = resource.kernel.active_process
+        #: Simulation time at which the request was granted.
+        self.usage_since: Optional[float] = None
+        resource._do_request(self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        self.cancel()
+
+    def cancel(self) -> None:
+        """Withdraw the request: release if granted, dequeue otherwise."""
+        if self in self.resource.users:
+            self.resource.release(self)
+        else:
+            self.resource._remove_from_queue(self)
+
+
+class Release(Event):
+    """Event fired immediately when a request's slot has been freed."""
+
+    __slots__ = ("request",)
+
+    def __init__(self, resource: "Resource", request: Request) -> None:
+        super().__init__(resource.kernel)
+        self.request = request
+        resource._do_release(self)
+        self.succeed()
+
+
+class Resource:
+    """A pool of ``capacity`` identical slots with a FIFO wait queue."""
+
+    request_class = Request
+
+    def __init__(self, kernel: "Kernel", capacity: int = 1) -> None:
+        if capacity <= 0:
+            raise SimulationError(f"capacity must be positive, got {capacity!r}")
+        self.kernel = kernel
+        self._capacity = capacity
+        #: Requests currently holding a slot.
+        self.users: List[Request] = []
+        #: Requests waiting for a slot, in grant order.
+        self.queue: List[Request] = []
+
+    @property
+    def capacity(self) -> int:
+        """Total number of slots."""
+        return self._capacity
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently in use."""
+        return len(self.users)
+
+    @property
+    def available(self) -> int:
+        """Number of free slots."""
+        return self._capacity - len(self.users)
+
+    def request(self) -> Request:
+        """Create (and possibly immediately grant) a request."""
+        return self.request_class(self)
+
+    def release(self, request: Request) -> Release:
+        """Free the slot held by ``request`` and wake the next waiter."""
+        return Release(self, request)
+
+    # -- internals -----------------------------------------------------------
+
+    def _do_request(self, request: Request) -> None:
+        if len(self.users) < self._capacity:
+            self._grant(request)
+        else:
+            self.queue.append(request)
+
+    def _grant(self, request: Request) -> None:
+        self.users.append(request)
+        request.usage_since = self.kernel.now
+        request.succeed(request)
+
+    def _do_release(self, release: Release) -> None:
+        try:
+            self.users.remove(release.request)
+        except ValueError:
+            raise SimulationError(
+                "released a request that does not hold this resource"
+            ) from None
+        self._wake_next()
+
+    def _wake_next(self) -> None:
+        while self.queue and len(self.users) < self._capacity:
+            request = self.queue.pop(0)
+            self._grant(request)
+
+    def _remove_from_queue(self, request: Request) -> None:
+        try:
+            self.queue.remove(request)
+        except ValueError:
+            pass
+
+    def __repr__(self) -> str:
+        return (
+            f"<{type(self).__name__} used={self.count}/{self._capacity} "
+            f"queued={len(self.queue)}>"
+        )
+
+
+class PriorityRequest(Request):
+    """A request with a priority (lower value = served earlier)."""
+
+    __slots__ = ("priority", "preempt", "submit_time", "_order_key")
+
+    def __init__(
+        self,
+        resource: "PriorityResource",
+        priority: float = 0.0,
+        preempt: bool = False,
+    ) -> None:
+        self.priority = priority
+        self.preempt = preempt
+        self.submit_time = resource.kernel.now
+        # Key orders by priority, then FIFO by time and insertion count.
+        self._order_key = (priority, self.submit_time, resource._tiebreak())
+        super().__init__(resource)
+
+
+class PriorityResource(Resource):
+    """A resource whose wait queue is ordered by request priority."""
+
+    request_class = PriorityRequest
+
+    def __init__(self, kernel: "Kernel", capacity: int = 1) -> None:
+        super().__init__(kernel, capacity)
+        self._queue_heap: List[tuple] = []
+        self._counter = 0
+
+    def _tiebreak(self) -> int:
+        self._counter += 1
+        return self._counter
+
+    def request(  # type: ignore[override]
+        self, priority: float = 0.0, preempt: bool = False
+    ) -> PriorityRequest:
+        return self.request_class(self, priority=priority, preempt=preempt)
+
+    def _do_request(self, request: Request) -> None:
+        assert isinstance(request, PriorityRequest)
+        if len(self.users) < self._capacity:
+            self._grant(request)
+        else:
+            heapq.heappush(self._queue_heap, (request._order_key, request))
+            self._sync_queue()
+
+    def _wake_next(self) -> None:
+        while self._queue_heap and len(self.users) < self._capacity:
+            _, request = heapq.heappop(self._queue_heap)
+            if request._value is not PENDING:
+                continue  # cancelled
+            self._grant(request)
+        self._sync_queue()
+
+    def _remove_from_queue(self, request: Request) -> None:
+        self._queue_heap = [
+            entry for entry in self._queue_heap if entry[1] is not request
+        ]
+        heapq.heapify(self._queue_heap)
+        self._sync_queue()
+
+    def _sync_queue(self) -> None:
+        # Maintain the public ``queue`` view in service order.
+        self.queue = [entry[1] for entry in sorted(self._queue_heap)]
+
+
+class Preempted:
+    """Interrupt cause delivered to a process evicted from a resource."""
+
+    __slots__ = ("by", "usage_since", "resource")
+
+    def __init__(
+        self,
+        by: Optional["Process"],
+        usage_since: Optional[float],
+        resource: "PreemptiveResource",
+    ) -> None:
+        #: The process whose request caused the preemption.
+        self.by = by
+        #: When the evicted request had been granted.
+        self.usage_since = usage_since
+        self.resource = resource
+
+    def __repr__(self) -> str:
+        return f"<Preempted by={self.by!r} usage_since={self.usage_since!r}>"
+
+
+class PreemptiveResource(PriorityResource):
+    """Priority resource that may evict lower-priority users.
+
+    A request with ``preempt=True`` that finds the resource full
+    compares itself against the *worst* current user (highest numeric
+    priority, most recent grant).  If strictly more important, that user
+    is evicted: its request is released and its owning process receives
+    an interrupt whose cause is a :class:`Preempted` instance.
+    """
+
+    def _do_request(self, request: Request) -> None:
+        assert isinstance(request, PriorityRequest)
+        if request.preempt and len(self.users) >= self._capacity:
+            victim = max(
+                self.users,
+                key=lambda user: (
+                    user.priority if isinstance(user, PriorityRequest) else 0.0,
+                    user.usage_since or 0.0,
+                ),
+            )
+            victim_priority = (
+                victim.priority if isinstance(victim, PriorityRequest) else 0.0
+            )
+            if request.priority < victim_priority:
+                self.users.remove(victim)
+                if victim.process is not None and victim.process.is_alive:
+                    victim.process.interrupt(
+                        Preempted(
+                            by=request.process,
+                            usage_since=victim.usage_since,
+                            resource=self,
+                        )
+                    )
+        super()._do_request(request)

@@ -1,0 +1,201 @@
+"""Object stores: producer/consumer queues in simulated time.
+
+A :class:`Store` holds arbitrary items up to an optional capacity.
+``put`` blocks while the store is full; ``get`` blocks while it is
+empty.  :class:`FilterStore` lets consumers wait for an item matching a
+predicate, and :class:`PriorityStore` serves the smallest item first —
+both are the building blocks for scheduler queues and device inboxes in
+the cluster model.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import TYPE_CHECKING, Any, Callable, List, Optional
+
+from repro.errors import SimulationError
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Kernel
+
+
+class StorePut(Event):
+    """Pending insertion of ``item`` into a store."""
+
+    __slots__ = ("item", "store")
+
+    def __init__(self, store: "Store", item: Any) -> None:
+        super().__init__(store.kernel)
+        self.item = item
+        self.store = store
+        store._put_waiters.append(self)
+        store._dispatch()
+
+    def cancel(self) -> None:
+        """Withdraw a not-yet-accepted put."""
+        try:
+            self.store._put_waiters.remove(self)
+        except ValueError:
+            pass
+
+
+class StoreGet(Event):
+    """Pending retrieval of an item from a store."""
+
+    __slots__ = ("store",)
+
+    def __init__(self, store: "Store") -> None:
+        super().__init__(store.kernel)
+        self.store = store
+        store._get_waiters.append(self)
+        store._dispatch()
+
+    def cancel(self) -> None:
+        """Withdraw a not-yet-served get."""
+        try:
+            self.store._get_waiters.remove(self)
+        except ValueError:
+            pass
+
+
+class FilterStoreGet(StoreGet):
+    """Pending retrieval of an item satisfying ``predicate``."""
+
+    __slots__ = ("predicate",)
+
+    def __init__(
+        self, store: "FilterStore", predicate: Callable[[Any], bool]
+    ) -> None:
+        self.predicate = predicate
+        super().__init__(store)
+
+
+class Store:
+    """FIFO object store with optional capacity."""
+
+    def __init__(
+        self, kernel: "Kernel", capacity: Optional[int] = None
+    ) -> None:
+        if capacity is not None and capacity <= 0:
+            raise SimulationError(f"capacity must be positive, got {capacity!r}")
+        self.kernel = kernel
+        self.capacity = capacity
+        self.items: List[Any] = []
+        self._put_waiters: List[StorePut] = []
+        self._get_waiters: List[StoreGet] = []
+
+    def put(self, item: Any) -> StorePut:
+        """Insert ``item``; the returned event fires once accepted."""
+        return StorePut(self, item)
+
+    def get(self) -> StoreGet:
+        """Retrieve the next item; the event fires with the item."""
+        return StoreGet(self)
+
+    @property
+    def size(self) -> int:
+        """Number of items currently held."""
+        return len(self.items)
+
+    # -- internals -----------------------------------------------------------
+
+    def _dispatch(self) -> None:
+        """Match puts against free capacity and gets against items."""
+        progress = True
+        while progress:
+            progress = False
+            # Accept queued puts while capacity allows.
+            while self._put_waiters and (
+                self.capacity is None or len(self.items) < self.capacity
+            ):
+                put = self._put_waiters.pop(0)
+                self._accept(put)
+                progress = True
+            # Serve queued gets while items match.
+            index = 0
+            while index < len(self._get_waiters):
+                get = self._get_waiters[index]
+                item_index = self._match(get)
+                if item_index is None:
+                    index += 1
+                    continue
+                self._get_waiters.pop(index)
+                item = self.items.pop(item_index)
+                get.succeed(item)
+                progress = True
+
+    def _accept(self, put: StorePut) -> None:
+        self.items.append(put.item)
+        put.succeed()
+
+    def _match(self, get: StoreGet) -> Optional[int]:
+        """Index of the item that should serve ``get``, or ``None``."""
+        if not self.items:
+            return None
+        return 0
+
+    def __repr__(self) -> str:
+        return (
+            f"<{type(self).__name__} items={len(self.items)} "
+            f"puts={len(self._put_waiters)} gets={len(self._get_waiters)}>"
+        )
+
+
+class FilterStore(Store):
+    """Store whose consumers may wait for items matching a predicate."""
+
+    def get(  # type: ignore[override]
+        self, predicate: Callable[[Any], bool] = lambda item: True
+    ) -> FilterStoreGet:
+        return FilterStoreGet(self, predicate)
+
+    def _match(self, get: StoreGet) -> Optional[int]:
+        predicate = getattr(get, "predicate", lambda item: True)
+        for index, item in enumerate(self.items):
+            if predicate(item):
+                return index
+        return None
+
+
+class PriorityItem:
+    """Wrapper pairing a priority with an arbitrary (unorderable) item."""
+
+    __slots__ = ("priority", "item")
+
+    def __init__(self, priority: Any, item: Any) -> None:
+        self.priority = priority
+        self.item = item
+
+    def __lt__(self, other: "PriorityItem") -> bool:
+        return self.priority < other.priority
+
+    def __repr__(self) -> str:
+        return f"PriorityItem({self.priority!r}, {self.item!r})"
+
+
+class PriorityStore(Store):
+    """Store that always serves its smallest item first."""
+
+    def _accept(self, put: StorePut) -> None:
+        heapq.heappush(self.items, put.item)
+        put.succeed()
+
+    def _match(self, get: StoreGet) -> Optional[int]:
+        if not self.items:
+            return None
+        return 0
+
+    def _dispatch(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            while self._put_waiters and (
+                self.capacity is None or len(self.items) < self.capacity
+            ):
+                self._accept(self._put_waiters.pop(0))
+                progress = True
+            while self._get_waiters and self.items:
+                get = self._get_waiters.pop(0)
+                get.succeed(heapq.heappop(self.items))
+                progress = True

@@ -1,0 +1,97 @@
+"""Environment factories: one call builds a complete simulated facility.
+
+Experiments compare strategies by building one *fresh* environment per
+strategy (same seed, same topology) and launching the same applications
+into each — the simulation analogue of re-running a testbed experiment
+under a different scheduler configuration.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.cluster.builders import build_hpcqc_cluster
+from repro.cluster.cluster import Cluster
+from repro.quantum.qpu import QPU
+from repro.quantum.technology import SUPERCONDUCTING, QPUTechnology
+from repro.scheduler.backfill import make_policy
+from repro.scheduler.priority import MultifactorPriority, PriorityWeights
+from repro.scheduler.scheduler import BatchScheduler
+from repro.sim.kernel import Kernel
+from repro.sim.rng import RandomStreams
+from repro.strategies.base import Environment
+from repro.strategies.vqpu import VirtualQPUPool
+
+
+def make_environment(
+    classical_nodes: int = 32,
+    technology: QPUTechnology = SUPERCONDUCTING,
+    qpu_count: int = 1,
+    vqpus_per_qpu: int = 1,
+    policy: str = "easy",
+    seed: int = 0,
+    jitter: bool = False,
+    priority_weights: Optional[PriorityWeights] = None,
+    scheduling_cycle: float = 0.0,
+) -> Environment:
+    """Build a two-partition HPC-QC facility.
+
+    Parameters
+    ----------
+    vqpus_per_qpu:
+        1 exposes each physical QPU directly as one ``qpu`` gres unit
+        (exclusive access).  V > 1 interposes a
+        :class:`~repro.strategies.vqpu.VirtualQPUPool` exposing V
+        virtual units per device (Fig 3's multitenancy).
+    jitter:
+        Enable stochastic duration jitter on QPU executions.
+    """
+    kernel = Kernel()
+    streams = RandomStreams(seed)
+    qpus: List[QPU] = [
+        QPU(
+            kernel,
+            technology,
+            name=f"{technology.name}-{index}",
+            streams=streams if jitter else None,
+        )
+        for index in range(qpu_count)
+    ]
+    if vqpus_per_qpu > 1:
+        devices: List[object] = []
+        pools: List[VirtualQPUPool] = []
+        for qpu in qpus:
+            pool = VirtualQPUPool(qpu, vqpus_per_qpu)
+            pools.append(pool)
+            devices.extend(pool.virtual_qpus)
+    else:
+        devices = list(qpus)
+        pools = []
+
+    # One front-end node per (virtual) QPU gres unit: node allocation is
+    # whole-node exclusive, so co-tenancy requires one schedulable node
+    # slot per virtual unit (gateway nodes are cheap in practice).
+    cluster: Cluster = build_hpcqc_cluster(
+        kernel,
+        classical_nodes=classical_nodes,
+        qpu_devices=devices,
+        qpus_per_node=1,
+    )
+    scheduler = BatchScheduler(
+        kernel,
+        cluster,
+        policy=make_policy(policy),
+        priority=MultifactorPriority(
+            weights=priority_weights,
+            total_nodes=cluster.total_nodes(),
+        ),
+        cycle_time=scheduling_cycle,
+    )
+    return Environment(
+        kernel=kernel,
+        cluster=cluster,
+        scheduler=scheduler,
+        qpus=qpus,
+        streams=streams,
+        vqpu_pools=pools,
+    )

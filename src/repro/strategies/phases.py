@@ -1,0 +1,62 @@
+"""Shared phase-execution driver used by the single-job strategies.
+
+Co-scheduling, VQPU and malleability all run the application inside one
+batch job; they differ only in how resources are held around the phase
+loop.  This module centralises the loop itself so the application's
+timing and the record bookkeeping are identical across strategies.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.quantum.circuit import QuantumResult
+from repro.scheduler.job import JobContext
+from repro.strategies.application import HybridApplication, Phase, PhaseKind
+from repro.strategies.base import RunRecord
+
+
+def execute_phases(
+    app: HybridApplication,
+    ctx: JobContext,
+    record: RunRecord,
+    qpu_device: Any,
+    nodes_getter: Callable[[], int],
+    before_quantum: Callable[[Phase], Any] = None,
+    after_quantum: Callable[[Phase], Any] = None,
+):
+    """Generator: run every phase of ``app`` inside a job context.
+
+    Parameters
+    ----------
+    qpu_device:
+        Object with a ``run(circuit, shots) -> Event`` method (a
+        physical :class:`~repro.quantum.qpu.QPU` or a virtual QPU).
+    nodes_getter:
+        Returns the classical node count in force for the next
+        classical phase (malleability changes it mid-run).
+    before_quantum / after_quantum:
+        Optional sub-generators invoked around each quantum phase
+        (malleability shrinks/grows there).  Called as
+        ``yield from hook(phase)``.
+    """
+    for phase in app.phases:
+        if phase.kind == PhaseKind.CLASSICAL:
+            nodes = nodes_getter()
+            duration = app.classical_time(phase, nodes)
+            if duration > 0:
+                yield ctx.timeout(duration)
+            record.classical_useful_node_seconds += duration * nodes
+        else:
+            if before_quantum is not None:
+                yield from before_quantum(phase)
+            assert phase.circuit is not None
+            result: QuantumResult = yield qpu_device.run(
+                phase.circuit, phase.shots, submitter=app.name
+            )
+            # Pure device-queue wait; calibration is tracked separately.
+            record.quantum_access_waits.append(result.queue_time)
+            record.qpu_busy_seconds += result.execution_time
+            record.qpu_calibration_seconds += result.calibration_time
+            if after_quantum is not None:
+                yield from after_quantum(phase)

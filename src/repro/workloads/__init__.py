@@ -1,0 +1,35 @@
+"""Workload synthesis: distributions, arrivals, hybrid apps, traces."""
+
+from repro.workloads.arrivals import DiurnalArrivals, PoissonArrivals
+from repro.workloads.distributions import (
+    BoundedPareto,
+    Constant,
+    Distribution,
+    Exponential,
+    LogUniform,
+    PowerOfTwoNodes,
+    Uniform,
+)
+from repro.workloads.generator import CampaignDriver, submit_trace
+from repro.workloads.hybrid import HybridAppConfig, HybridAppGenerator
+from repro.workloads.swf import TraceJob, read_swf, synthesise_trace, write_swf
+
+__all__ = [
+    "BoundedPareto",
+    "CampaignDriver",
+    "Constant",
+    "DiurnalArrivals",
+    "Distribution",
+    "Exponential",
+    "HybridAppConfig",
+    "HybridAppGenerator",
+    "LogUniform",
+    "PoissonArrivals",
+    "PowerOfTwoNodes",
+    "TraceJob",
+    "Uniform",
+    "read_swf",
+    "submit_trace",
+    "synthesise_trace",
+    "write_swf",
+]

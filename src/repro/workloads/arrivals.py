@@ -1,0 +1,84 @@
+"""Arrival processes: when jobs hit the scheduler.
+
+Poisson arrivals are the baseline; the diurnal variant modulates the
+rate with a day/night cycle (thinning method), reproducing the burst
+structure of production traces.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class PoissonArrivals:
+    """Homogeneous Poisson process with the given mean inter-arrival."""
+
+    def __init__(self, mean_interarrival: float) -> None:
+        if mean_interarrival <= 0:
+            raise ConfigurationError("mean_interarrival must be positive")
+        self.mean_interarrival = float(mean_interarrival)
+
+    @property
+    def rate(self) -> float:
+        return 1.0 / self.mean_interarrival
+
+    def times(
+        self, rng: np.random.Generator, horizon: float, start: float = 0.0
+    ) -> Iterator[float]:
+        """Yield arrival times in [start, start + horizon)."""
+        now = start
+        end = start + horizon
+        while True:
+            now += float(rng.exponential(self.mean_interarrival))
+            if now >= end:
+                return
+            yield now
+
+
+class DiurnalArrivals:
+    """Poisson process with sinusoidal day/night rate modulation.
+
+    The instantaneous rate is
+    ``base_rate * (1 + amplitude * sin(2π t / period))``, sampled by
+    thinning against the peak rate.
+    """
+
+    def __init__(
+        self,
+        mean_interarrival: float,
+        amplitude: float = 0.5,
+        period: float = 24 * 3600.0,
+    ) -> None:
+        if mean_interarrival <= 0:
+            raise ConfigurationError("mean_interarrival must be positive")
+        if not 0.0 <= amplitude < 1.0:
+            raise ConfigurationError("amplitude must be in [0, 1)")
+        if period <= 0:
+            raise ConfigurationError("period must be positive")
+        self.base_rate = 1.0 / mean_interarrival
+        self.amplitude = amplitude
+        self.period = period
+
+    def instantaneous_rate(self, t: float) -> float:
+        return self.base_rate * (
+            1.0 + self.amplitude * math.sin(2.0 * math.pi * t / self.period)
+        )
+
+    def times(
+        self, rng: np.random.Generator, horizon: float, start: float = 0.0
+    ) -> Iterator[float]:
+        """Yield arrival times in [start, start + horizon) by thinning."""
+        peak = self.base_rate * (1.0 + self.amplitude)
+        now = start
+        end = start + horizon
+        while True:
+            now += float(rng.exponential(1.0 / peak))
+            if now >= end:
+                return
+            if rng.random() <= self.instantaneous_rate(now) / peak:
+                yield now

@@ -1,0 +1,85 @@
+"""Tests for node failure injection."""
+
+import pytest
+
+from repro.cluster.failures import FailureInjector
+from repro.cluster.node import Node, NodeState
+from repro.errors import ConfigurationError
+
+
+class TestFailureInjector:
+    def test_invalid_parameters(self, kernel, streams):
+        nodes = [Node("cn0")]
+        with pytest.raises(ConfigurationError):
+            FailureInjector(kernel, nodes, mtbf=0, mean_repair_time=1,
+                            streams=streams)
+        with pytest.raises(ConfigurationError):
+            FailureInjector(kernel, nodes, mtbf=1, mean_repair_time=-1,
+                            streams=streams)
+
+    def test_failures_and_repairs_happen(self, kernel, streams):
+        nodes = [Node(f"cn{i}") for i in range(4)]
+        injector = FailureInjector(
+            kernel,
+            nodes,
+            mtbf=100.0,
+            mean_repair_time=10.0,
+            streams=streams,
+        )
+        kernel.run(until=2000.0)
+        assert injector.failure_count > 0
+        assert injector.repair_count > 0
+        # Repairs trail failures by at most the in-flight ones.
+        assert injector.repair_count <= injector.failure_count
+
+    def test_callback_reports_evicted_job(self, kernel, streams):
+        node = Node("cn0")
+        node.allocate("job-7")
+        evictions = []
+        FailureInjector(
+            kernel,
+            [node],
+            mtbf=50.0,
+            mean_repair_time=5.0,
+            streams=streams,
+            on_failure=lambda n, job: evictions.append((n.name, job)),
+        )
+        kernel.run(until=1000.0)
+        assert evictions
+        assert evictions[0] == ("cn0", "job-7")
+
+    def test_node_returns_to_service(self, kernel, streams):
+        node = Node("cn0")
+        FailureInjector(
+            kernel, [node], mtbf=10.0, mean_repair_time=1.0, streams=streams
+        )
+        kernel.run(until=10000.0)
+        # After many cycles the node must not be stuck DOWN forever;
+        # state is either IDLE or DOWN mid-repair, and repairs happened.
+        assert node.state in (NodeState.IDLE, NodeState.DOWN)
+
+    def test_deterministic_given_seed(self, streams):
+        from repro.sim.kernel import Kernel
+        from repro.sim.rng import RandomStreams
+
+        def run_once():
+            kernel = Kernel()
+            nodes = [Node(f"cn{i}") for i in range(3)]
+            injector = FailureInjector(
+                kernel,
+                nodes,
+                mtbf=100.0,
+                mean_repair_time=10.0,
+                streams=RandomStreams(42),
+            )
+            kernel.run(until=5000.0)
+            return injector.failure_count, injector.repair_count
+
+        assert run_once() == run_once()
+
+    def test_repr(self, kernel, streams):
+        injector = FailureInjector(
+            kernel, [Node("cn0")], mtbf=1e9, mean_repair_time=1.0,
+            streams=streams,
+        )
+        assert "FailureInjector" in repr(injector)

@@ -1,0 +1,18 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.sim.kernel import Kernel
+from repro.sim.rng import RandomStreams
+
+
+@pytest.fixture
+def kernel() -> Kernel:
+    """A fresh simulation kernel starting at t=0."""
+    return Kernel()
+
+
+@pytest.fixture
+def streams() -> RandomStreams:
+    """Deterministic random streams for tests."""
+    return RandomStreams(seed=12345)

@@ -1,0 +1,122 @@
+"""Tests for the shared experiment scenario builders."""
+
+import pytest
+
+from repro.experiments.common import (
+    make_background_trace,
+    offered_load_interarrival,
+    run_campaign,
+    standard_hybrid_app,
+    start_background,
+)
+from repro.quantum.technology import NEUTRAL_ATOM, SUPERCONDUCTING
+from repro.strategies.coschedule import CoScheduleStrategy
+from repro.strategies.envs import make_environment
+
+
+class TestOfferedLoad:
+    def test_definition(self):
+        # rho = nodes*runtime / (interarrival*cluster) => solve for IA.
+        interarrival = offered_load_interarrival(
+            rho=0.5, cluster_nodes=32, mean_job_nodes=8,
+            mean_job_runtime=400.0,
+        )
+        assert interarrival == pytest.approx(
+            (8 * 400.0) / (0.5 * 32)
+        )
+
+    def test_higher_rho_means_faster_arrivals(self):
+        slow = offered_load_interarrival(0.2, 32, 8, 400.0)
+        fast = offered_load_interarrival(0.9, 32, 8, 400.0)
+        assert fast < slow
+
+    def test_invalid_rho(self):
+        with pytest.raises(ValueError):
+            offered_load_interarrival(0.0, 32, 8, 400.0)
+
+
+class TestBackgroundTrace:
+    def test_covers_horizon(self):
+        env = make_environment(classical_nodes=32, seed=0)
+        trace = make_background_trace(env, rho=0.5, horizon=7200.0)
+        assert trace
+        assert trace[-1].submit_time < 7200.0 * 10
+
+    def test_start_background_submits(self):
+        env = make_environment(classical_nodes=32, seed=0)
+        jobs = start_background(env, rho=0.5, horizon=3600.0)
+        env.kernel.run(until=3600.0)
+        assert jobs  # replay processes have materialised submissions
+
+    def test_deterministic_per_seed(self):
+        env_a = make_environment(classical_nodes=32, seed=5)
+        env_b = make_environment(classical_nodes=32, seed=5)
+        trace_a = make_background_trace(env_a, 0.5, 3600.0)
+        trace_b = make_background_trace(env_b, 0.5, 3600.0)
+        assert [(j.submit_time, j.nodes) for j in trace_a] == [
+            (j.submit_time, j.nodes) for j in trace_b
+        ]
+
+
+class TestStandardHybridApp:
+    def test_phase_wall_duration_matches_request(self):
+        app = standard_hybrid_app(
+            SUPERCONDUCTING,
+            iterations=3,
+            classical_phase_seconds=120.0,
+            classical_nodes=8,
+        )
+        phase = app.phases[0]
+        assert app.classical_time(phase, 8) == pytest.approx(120.0)
+
+    def test_circuit_clamped_to_technology(self):
+        app = standard_hybrid_app(NEUTRAL_ATOM, iterations=1)
+        quantum_phase = app.phases[1]
+        assert quantum_phase.circuit.num_qubits <= (
+            NEUTRAL_ATOM.num_qubits
+        )
+
+    def test_geometry_propagates(self):
+        app = standard_hybrid_app(
+            NEUTRAL_ATOM, iterations=1, geometry="ring"
+        )
+        assert app.phases[1].circuit.geometry == "ring"
+
+
+class TestRunCampaign:
+    def test_returns_records_and_env(self):
+        app = standard_hybrid_app(
+            SUPERCONDUCTING, iterations=2, classical_phase_seconds=30.0,
+            classical_nodes=2,
+        )
+        records, env = run_campaign(
+            CoScheduleStrategy(), [app, app], SUPERCONDUCTING,
+            classical_nodes=8, seed=0,
+        )
+        assert len(records) == 2
+        assert env.kernel.now > 0
+
+    def test_background_injection(self):
+        app = standard_hybrid_app(
+            SUPERCONDUCTING, iterations=1, classical_phase_seconds=30.0,
+            classical_nodes=2,
+        )
+        records, env = run_campaign(
+            CoScheduleStrategy(),
+            [app],
+            SUPERCONDUCTING,
+            classical_nodes=16,
+            background_rho=0.5,
+            background_horizon=1800.0,
+            seed=0,
+        )
+        env.kernel.run()  # drain the remaining background replay
+        trace_jobs = [
+            j
+            for j in (
+                env.scheduler.finished_jobs + env.scheduler.running
+                + env.scheduler.pending
+            )
+            if j.spec.tags.get("source") == "trace"
+        ]
+        assert trace_jobs

@@ -1,0 +1,103 @@
+"""Integration tests: every experiment reproduces its paper claims.
+
+These are the reproduction's acceptance tests — each experiment module
+must run end to end and every claim check derived from the paper must
+hold.  E1/E2 run at full scale (fast); the sweep experiments run here
+too since the whole suite stays within tens of seconds of wall time.
+"""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS
+from repro.experiments.harness import assert_all_claims
+
+
+class TestRegistry:
+    def test_all_seven_experiments_registered(self):
+        assert sorted(EXPERIMENTS) == [
+            "E1",
+            "E2",
+            "E3",
+            "E4",
+            "E5",
+            "E6",
+            "E7",
+        ]
+
+
+class TestE1Timescales:
+    def test_all_claims(self):
+        result = EXPERIMENTS["E1"](seed=0)
+        assert_all_claims(result)
+
+    def test_has_band_table(self):
+        result = EXPERIMENTS["E1"](seed=0)
+        assert result.tables
+        assert len(result.tables[0].rows) == 5  # five technologies
+
+    def test_custom_shot_count(self):
+        result = EXPERIMENTS["E1"](seed=0, shots=2000)
+        # Bands are wide enough for a 2x shot change.
+        assert_all_claims(result)
+
+
+class TestE2Listing1:
+    def test_all_claims(self):
+        result = EXPERIMENTS["E2"](seed=0)
+        assert_all_claims(result)
+
+    def test_covers_three_technologies(self):
+        result = EXPERIMENTS["E2"](seed=0)
+        technologies = {row[0] for row in result.tables[0].rows}
+        assert technologies == {
+            "superconducting",
+            "trapped_ion",
+            "neutral_atom",
+        }
+
+
+class TestE3Workflow:
+    def test_all_claims(self):
+        result = EXPERIMENTS["E3"](seed=0)
+        assert_all_claims(result)
+
+
+class TestE4Vqpu:
+    def test_all_claims(self):
+        result = EXPERIMENTS["E4"](seed=0)
+        assert_all_claims(result)
+
+    def test_makespan_monotone_in_vqpus(self):
+        result = EXPERIMENTS["E4"](seed=0)
+        makespans = [row[1] for row in result.tables[0].rows]
+        assert makespans == sorted(makespans, reverse=True)
+
+
+class TestE5Malleability:
+    def test_all_claims(self):
+        result = EXPERIMENTS["E5"](seed=0)
+        assert_all_claims(result)
+
+
+@pytest.mark.slow
+class TestE6Crossover:
+    def test_all_claims(self):
+        result = EXPERIMENTS["E6"](seed=0)
+        assert_all_claims(result)
+
+
+class TestE7AccessModel:
+    def test_all_claims(self):
+        result = EXPERIMENTS["E7"](seed=0)
+        assert_all_claims(result)
+
+
+class TestSeedRobustness:
+    """No claim is an artefact of seed 0: every experiment's checks
+    hold across multiple random universes."""
+
+    @pytest.mark.parametrize("experiment_id", sorted(EXPERIMENTS))
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_claims_hold_across_seeds(self, experiment_id, seed):
+        result = EXPERIMENTS[experiment_id](seed=seed)
+        assert_all_claims(result)

@@ -1,0 +1,71 @@
+"""Tests for the experiment harness objects."""
+
+import pytest
+
+from repro.experiments.harness import (
+    ClaimCheck,
+    ExperimentResult,
+    assert_all_claims,
+)
+
+
+def make_result():
+    return ExperimentResult(
+        experiment_id="EX",
+        title="Test experiment",
+        description="A test.",
+        parameters={"seed": 0},
+    )
+
+
+class TestClaimCheck:
+    def test_str_pass(self):
+        check = ClaimCheck("it works", True, "detail")
+        assert "[PASS]" in str(check)
+        assert "detail" in str(check)
+
+    def test_str_fail(self):
+        assert "[FAIL]" in str(ClaimCheck("broken", False))
+
+
+class TestExperimentResult:
+    def test_add_table_and_render(self):
+        result = make_result()
+        result.add_table("T", ["a", "b"], [[1, 2]])
+        text = result.render()
+        assert "EX: Test experiment" in text
+        assert "T" in text
+        assert "seed=0" in text
+
+    def test_checks_and_all_passed(self):
+        result = make_result()
+        result.check("ok", True)
+        assert result.all_passed
+        result.check("bad", False, "why")
+        assert not result.all_passed
+        assert len(result.failed_checks()) == 1
+
+    def test_render_includes_checks(self):
+        result = make_result()
+        result.check("claim text", True)
+        assert "claim text" in result.render()
+
+    def test_render_markdown(self):
+        result = make_result()
+        result.add_table("T", ["a"], [[1]])
+        result.check("c", True)
+        markdown = result.render_markdown()
+        assert "### EX" in markdown
+        assert "| a |" in markdown
+        assert "- [PASS] c" in markdown
+
+    def test_assert_all_claims_raises_on_failure(self):
+        result = make_result()
+        result.check("fails", False, "reason")
+        with pytest.raises(AssertionError, match="fails"):
+            assert_all_claims(result)
+
+    def test_assert_all_claims_silent_on_success(self):
+        result = make_result()
+        result.check("ok", True)
+        assert_all_claims(result)

@@ -1,0 +1,124 @@
+"""Tests for plain-text report rendering."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics.report import (
+    format_cell,
+    format_duration,
+    render_bars,
+    render_markdown_table,
+    render_series,
+    render_table,
+    summarise_records,
+)
+
+
+class TestFormatDuration:
+    def test_milliseconds(self):
+        assert format_duration(0.005) == "5 ms"
+
+    def test_seconds(self):
+        assert format_duration(42.0) == "42 s"
+
+    def test_minutes(self):
+        assert format_duration(600.0) == "10 min"
+
+    def test_hours(self):
+        assert format_duration(7200.0) == "2 h"
+
+    def test_none(self):
+        assert format_duration(None) == "-"
+
+
+class TestFormatCell:
+    def test_none(self):
+        assert format_cell(None) == "-"
+
+    def test_zero(self):
+        assert format_cell(0.0) == "0"
+
+    def test_small_float_scientific(self):
+        assert "e" in format_cell(1e-6)
+
+    def test_plain_float(self):
+        assert format_cell(3.14159) == "3.142"
+
+    def test_string_passthrough(self):
+        assert format_cell("abc") == "abc"
+
+
+class TestRenderTable:
+    def test_alignment_and_content(self):
+        text = render_table(
+            ["name", "value"],
+            [["a", 1.0], ["bb", 22.5]],
+            title="My table",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "My table"
+        assert "name" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert "22.5" in lines[4]
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_empty_rows(self):
+        text = render_table(["h1", "h2"], [])
+        assert "h1" in text
+
+
+class TestMarkdownTable:
+    def test_structure(self):
+        text = render_markdown_table(["a", "b"], [[1, 2]])
+        lines = text.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2 |"
+
+
+class TestRenderBars:
+    def test_bars_scale_with_values(self):
+        text = render_bars(["x", "y"], [10.0, 5.0], width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_zero_peak(self):
+        text = render_bars(["x"], [0.0])
+        assert "#" not in text
+
+    def test_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            render_bars(["x"], [1.0, 2.0])
+
+
+class TestRenderSeries:
+    def test_multi_series_table(self):
+        text = render_series(
+            "V",
+            ["makespan", "util"],
+            [1, 2, 4],
+            [[100.0, 50.0, 25.0], [0.1, 0.2, 0.4]],
+        )
+        assert "makespan" in text
+        assert "0.4" in text
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            render_series("x", ["y"], [1, 2], [[1.0]])
+        with pytest.raises(ConfigurationError):
+            render_series("x", ["y", "z"], [1], [[1.0]])
+
+
+class TestSummariseRecords:
+    def test_empty(self):
+        assert summarise_records([]) == "(no records)"
+
+    def test_dict_rows(self):
+        text = summarise_records(
+            [{"a": 1, "b": 2.5}, {"a": 3, "b": 4.5}]
+        )
+        assert "4.5" in text

@@ -1,0 +1,79 @@
+"""Tests for statistical helpers."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics.stats import (
+    bootstrap_ci,
+    bounded_slowdowns,
+    geometric_mean,
+    mean,
+    median,
+    ratio,
+)
+
+
+class TestBasics:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+        assert mean([]) == 0.0
+
+    def test_median_odd(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0
+
+    def test_median_even(self):
+        assert median([1.0, 2.0, 3.0, 4.0]) == 2.5
+
+    def test_median_empty(self):
+        assert median([]) == 0.0
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 100.0]) == pytest.approx(10.0)
+        assert geometric_mean([]) == 0.0
+
+    def test_geometric_mean_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            geometric_mean([1.0, 0.0])
+
+    def test_ratio(self):
+        assert ratio(10.0, 2.0) == 5.0
+        assert ratio(10.0, 0.0) == 0.0
+
+
+class TestSlowdowns:
+    def test_bounded_floor(self):
+        slowdowns = bounded_slowdowns([100.0], [1.0], floor=10.0)
+        assert slowdowns == [pytest.approx(10.0)]
+
+    def test_never_below_one(self):
+        slowdowns = bounded_slowdowns([5.0], [100.0])
+        assert slowdowns == [1.0]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bounded_slowdowns([1.0], [1.0, 2.0])
+
+
+class TestBootstrap:
+    def test_interval_contains_true_mean(self):
+        values = [float(v) for v in range(100)]
+        low, high = bootstrap_ci(values, seed=1)
+        assert low <= 49.5 <= high
+
+    def test_degenerate_inputs(self):
+        assert bootstrap_ci([]) == (0.0, 0.0)
+        assert bootstrap_ci([7.0]) == (7.0, 7.0)
+
+    def test_deterministic_with_seed(self):
+        values = [1.0, 5.0, 9.0, 2.0, 8.0]
+        assert bootstrap_ci(values, seed=3) == bootstrap_ci(values, seed=3)
+
+    def test_confidence_bounds_validated(self):
+        with pytest.raises(ConfigurationError):
+            bootstrap_ci([1.0], confidence=1.5)
+
+    def test_wider_confidence_wider_interval(self):
+        values = [float(v) for v in range(50)]
+        narrow = bootstrap_ci(values, confidence=0.5, seed=2)
+        wide = bootstrap_ci(values, confidence=0.99, seed=2)
+        assert (wide[1] - wide[0]) >= (narrow[1] - narrow[0])

@@ -1,0 +1,85 @@
+"""Tests for circuit descriptions and synthetic results."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.quantum.circuit import Circuit, QuantumResult, sample_counts
+
+
+class TestCircuit:
+    def test_basic_construction(self):
+        circuit = Circuit(num_qubits=5, depth=10)
+        assert circuit.num_qubits == 5
+        assert circuit.depth == 10
+
+    def test_invalid_qubits(self):
+        with pytest.raises(ConfigurationError):
+            Circuit(num_qubits=0, depth=1)
+
+    def test_negative_depth(self):
+        with pytest.raises(ConfigurationError):
+            Circuit(num_qubits=1, depth=-1)
+
+    def test_two_qubit_fraction_bounds(self):
+        with pytest.raises(ConfigurationError):
+            Circuit(num_qubits=2, depth=1, two_qubit_fraction=1.5)
+
+    def test_layer_split(self):
+        circuit = Circuit(num_qubits=4, depth=100, two_qubit_fraction=0.25)
+        assert circuit.one_qubit_layers == pytest.approx(75.0)
+        assert circuit.two_qubit_layers == pytest.approx(25.0)
+
+    def test_stable_hash_deterministic(self):
+        a = Circuit(3, 10, geometry="g")
+        b = Circuit(3, 10, geometry="g")
+        assert a.stable_hash() == b.stable_hash()
+
+    def test_stable_hash_sensitive_to_geometry(self):
+        a = Circuit(3, 10, geometry="g1")
+        b = Circuit(3, 10, geometry="g2")
+        assert a.stable_hash() != b.stable_hash()
+
+    def test_frozen(self):
+        circuit = Circuit(3, 10)
+        with pytest.raises(AttributeError):
+            circuit.depth = 20
+
+
+class TestSampleCounts:
+    def test_counts_sum_to_shots(self):
+        circuit = Circuit(5, 20)
+        counts = sample_counts(circuit, 1000)
+        assert sum(counts.values()) == 1000
+
+    def test_deterministic_for_same_circuit(self):
+        circuit = Circuit(5, 20, name="fixed")
+        assert sample_counts(circuit, 500) == sample_counts(circuit, 500)
+
+    def test_bitstring_width(self):
+        circuit = Circuit(6, 20)
+        counts = sample_counts(circuit, 100)
+        assert all(len(bits) == 6 for bits in counts)
+
+    def test_zero_shots(self):
+        assert sample_counts(Circuit(3, 5), 0) == {}
+
+    def test_wide_circuit_truncates_bitstring(self):
+        circuit = Circuit(100, 5)
+        counts = sample_counts(circuit, 10)
+        assert all(len(bits) == 20 for bits in counts)
+
+
+class TestQuantumResult:
+    def test_total_time(self):
+        result = QuantumResult(
+            execution_time=3.0, queue_time=2.0, calibration_time=1.0
+        )
+        assert result.total_time == 6.0
+
+    def test_most_frequent(self):
+        result = QuantumResult(counts={"00": 5, "11": 10, "01": 10})
+        # Ties break lexicographically (larger string wins).
+        assert result.most_frequent() == "11"
+
+    def test_most_frequent_empty(self):
+        assert QuantumResult().most_frequent() is None

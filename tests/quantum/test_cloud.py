@@ -1,0 +1,114 @@
+"""Tests for the vendor cloud endpoint model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.quantum.circuit import Circuit
+from repro.quantum.cloud import CloudQPUEndpoint
+from repro.quantum.qpu import QPU
+from repro.quantum.technology import QPUTechnology
+from repro.sim.rng import RandomStreams
+
+TOY = QPUTechnology(
+    name="toy",
+    num_qubits=8,
+    one_qubit_gate_time=0.0,
+    two_qubit_gate_time=0.0,
+    readout_time=0.0,
+    reset_time=0.0,
+    per_shot_overhead=0.001,
+    job_overhead=1.0,
+    calibration_interval=float("inf"),
+    calibration_duration=0.0,
+)
+
+
+class TestValidation:
+    def test_negative_latency_rejected(self, kernel):
+        qpu = QPU(kernel, TOY)
+        with pytest.raises(ConfigurationError):
+            CloudQPUEndpoint(kernel, qpu, submission_latency=-1)
+
+    def test_zero_polling_rejected(self, kernel):
+        qpu = QPU(kernel, TOY)
+        with pytest.raises(ConfigurationError):
+            CloudQPUEndpoint(kernel, qpu, polling_interval=0)
+
+
+class TestExecution:
+    def test_result_delivered_with_overheads(self, kernel):
+        qpu = QPU(kernel, TOY)
+        endpoint = CloudQPUEndpoint(
+            kernel, qpu, submission_latency=0.5, polling_interval=2.0
+        )
+
+        def client(k):
+            result = yield from endpoint.execute(Circuit(4, 10), 1000)
+            return (result, k.now)
+
+        process = kernel.process(client(kernel))
+        kernel.run()
+        result, end = process.value
+        # 0.5 upload + 2.0 exec observed at next poll + 0.5 download.
+        assert result.execution_time == pytest.approx(2.0)
+        assert end >= 3.0
+        assert result.queue_time > 0.0
+
+    def test_polling_quantises_completion(self, kernel):
+        qpu = QPU(kernel, TOY)
+        endpoint = CloudQPUEndpoint(
+            kernel, qpu, submission_latency=0.0, polling_interval=5.0
+        )
+
+        def client(k):
+            yield from endpoint.execute(Circuit(4, 10), 1000)
+            return k.now
+
+        process = kernel.process(client(kernel))
+        kernel.run()
+        # 2 s execution is only observed at the 5 s poll.
+        assert process.value == pytest.approx(5.0)
+
+    def test_multi_user_queueing(self, kernel):
+        qpu = QPU(kernel, TOY)
+        endpoint = CloudQPUEndpoint(
+            kernel, qpu, submission_latency=0.0, polling_interval=0.5
+        )
+        finish_times = {}
+
+        def client(k, name):
+            yield from endpoint.execute(Circuit(4, 10), 1000)
+            finish_times[name] = k.now
+
+        kernel.process(client(kernel, "u1"))
+        kernel.process(client(kernel, "u2"))
+        kernel.run()
+        assert finish_times["u2"] > finish_times["u1"]
+        assert endpoint.requests_served == 2
+
+    def test_overhead_statistics_collected(self, kernel):
+        qpu = QPU(kernel, TOY)
+        endpoint = CloudQPUEndpoint(kernel, qpu)
+
+        def client(k):
+            yield from endpoint.execute(Circuit(4, 10), 100)
+
+        kernel.process(client(kernel))
+        kernel.run()
+        assert endpoint.client_times.count == 1
+        assert endpoint.overheads.count == 1
+        assert endpoint.overheads.mean > 0
+
+    def test_stochastic_latency_with_streams(self, kernel):
+        qpu = QPU(kernel, TOY)
+        endpoint = CloudQPUEndpoint(
+            kernel,
+            qpu,
+            submission_latency=1.0,
+            streams=RandomStreams(3),
+        )
+        assert endpoint._latency() != endpoint._latency()
+
+    def test_repr(self, kernel):
+        qpu = QPU(kernel, TOY)
+        assert "CloudQPUEndpoint" in repr(CloudQPUEndpoint(kernel, qpu))

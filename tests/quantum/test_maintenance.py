@@ -1,0 +1,111 @@
+"""Tests for QPU maintenance windows."""
+
+import pytest
+
+from repro.errors import QuantumDeviceError
+from repro.quantum.circuit import Circuit
+from repro.quantum.qpu import QPU
+from repro.quantum.technology import QPUTechnology
+
+TOY = QPUTechnology(
+    name="toy",
+    num_qubits=8,
+    one_qubit_gate_time=0.0,
+    two_qubit_gate_time=0.0,
+    readout_time=0.0,
+    reset_time=0.0,
+    per_shot_overhead=0.001,
+    job_overhead=1.0,
+    calibration_interval=float("inf"),
+    calibration_duration=0.0,
+)
+
+
+class TestScheduling:
+    def test_past_window_rejected(self, kernel):
+        qpu = QPU(kernel, TOY)
+        kernel.timeout(10.0)
+        kernel.run()
+        with pytest.raises(QuantumDeviceError):
+            qpu.schedule_maintenance(5.0, 10.0)
+
+    def test_zero_duration_rejected(self, kernel):
+        qpu = QPU(kernel, TOY)
+        with pytest.raises(QuantumDeviceError):
+            qpu.schedule_maintenance(10.0, 0.0)
+
+    def test_overlapping_windows_rejected(self, kernel):
+        qpu = QPU(kernel, TOY)
+        qpu.schedule_maintenance(100.0, 50.0)
+        with pytest.raises(QuantumDeviceError):
+            qpu.schedule_maintenance(120.0, 10.0)
+        # Adjacent is fine.
+        qpu.schedule_maintenance(150.0, 10.0)
+
+
+class TestServiceInteraction:
+    def test_job_after_window_waits(self, kernel):
+        qpu = QPU(kernel, TOY)
+        qpu.schedule_maintenance(10.0, 100.0)
+
+        def client(k):
+            yield k.timeout(20.0)  # submit while window is open
+            result = yield qpu.run(Circuit(4, 10), 1000)
+            return (k.now, result.queue_time)
+
+        process = kernel.process(client(kernel))
+        kernel.run()
+        end, _ = process.value
+        # 100 s maintenance from the job's arrival at 20, then 2 s job.
+        assert end == pytest.approx(122.0)
+        assert qpu.maintenance_performed == 1
+
+    def test_window_does_not_interrupt_running_job(self, kernel):
+        qpu = QPU(kernel, TOY)
+        first = qpu.run(Circuit(4, 10), 5000)  # 6 s execution
+        qpu.schedule_maintenance(1.0, 10.0)
+        second = qpu.run(Circuit(4, 10), 1000)
+        kernel.run()
+        # First job ran to completion (no preemption)...
+        assert first.value.execution_time == pytest.approx(6.0)
+        # ...maintenance then delayed the second job.
+        assert second.value.queue_time >= 10.0
+        assert qpu.maintenance_performed == 1
+
+    def test_job_before_window_unaffected(self, kernel):
+        qpu = QPU(kernel, TOY)
+        qpu.schedule_maintenance(1000.0, 100.0)
+        result = qpu.run(Circuit(4, 10), 1000)
+        kernel.run(until=50.0)
+        assert result.processed
+        assert result.value.queue_time == 0.0
+        assert qpu.maintenance_performed == 0
+
+    def test_consecutive_windows_drain_in_order(self, kernel):
+        qpu = QPU(kernel, TOY)
+        qpu.schedule_maintenance(5.0, 10.0)
+        qpu.schedule_maintenance(15.0, 10.0)
+
+        def client(k):
+            yield k.timeout(20.0)
+            yield qpu.run(Circuit(4, 10), 100)
+            return k.now
+
+        process = kernel.process(client(kernel))
+        kernel.run()
+        assert qpu.maintenance_performed == 2
+        # 10 + 10 maintenance from t=20, then 1.1 s job.
+        assert process.value == pytest.approx(41.1)
+
+    def test_maintenance_counts_as_downtime_not_busy(self, kernel):
+        qpu = QPU(kernel, TOY)
+        qpu.schedule_maintenance(0.0, 50.0)
+
+        def client(k):
+            yield k.timeout(1.0)
+            yield qpu.run(Circuit(4, 10), 1000)
+
+        kernel.process(client(kernel))
+        kernel.run()
+        assert qpu.calibrating.integral() >= 50.0
+        assert qpu.busy.integral() == pytest.approx(2.0)

@@ -1,0 +1,213 @@
+"""Tests for the QPU device model: FIFO service, calibration, monitors."""
+
+import pytest
+
+from repro.errors import QuantumDeviceError
+from repro.quantum.circuit import Circuit
+from repro.quantum.qpu import QPU, QuantumJob
+from repro.quantum.technology import (
+    NEUTRAL_ATOM,
+    SUPERCONDUCTING,
+    QPUTechnology,
+)
+from repro.sim.rng import RandomStreams
+
+#: A fast deterministic technology for focused device tests.
+TOY = QPUTechnology(
+    name="toy",
+    num_qubits=8,
+    one_qubit_gate_time=0.0,
+    two_qubit_gate_time=0.0,
+    readout_time=0.0,
+    reset_time=0.0,
+    per_shot_overhead=0.001,
+    job_overhead=1.0,
+    calibration_interval=100.0,
+    calibration_duration=10.0,
+)
+
+
+class TestSubmission:
+    def test_run_returns_result(self, kernel):
+        qpu = QPU(kernel, TOY)
+        completion = qpu.run(Circuit(4, 10), 1000)
+        result = kernel.run(until=completion)
+        assert result.execution_time == pytest.approx(2.0)  # 1 + 1000*1ms
+        assert sum(result.counts.values()) == 1000
+
+    def test_fifo_service(self, kernel):
+        qpu = QPU(kernel, TOY)
+        first = qpu.run(Circuit(4, 10), 1000)
+        second = qpu.run(Circuit(4, 10), 1000)
+        kernel.run()
+        assert first.value.queue_time == pytest.approx(0.0)
+        assert second.value.queue_time == pytest.approx(2.0)
+
+    def test_double_submit_rejected(self, kernel):
+        qpu = QPU(kernel, TOY)
+        job = QuantumJob(Circuit(4, 10), 100)
+        qpu.submit(job)
+        with pytest.raises(QuantumDeviceError):
+            qpu.submit(job)
+
+    def test_zero_shots_rejected(self):
+        with pytest.raises(QuantumDeviceError):
+            QuantumJob(Circuit(4, 10), 0)
+
+    def test_oversized_circuit_rejected_at_submit(self, kernel):
+        qpu = QPU(kernel, TOY)
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            qpu.run(Circuit(100, 10), 10)
+
+    def test_queue_length(self, kernel):
+        qpu = QPU(kernel, TOY)
+        for _ in range(3):
+            qpu.run(Circuit(4, 10), 100)
+        # Before any execution, jobs sit in the inbox.
+        assert qpu.queue_length == 3
+
+    def test_jobs_executed_counter(self, kernel):
+        qpu = QPU(kernel, TOY)
+        for _ in range(3):
+            qpu.run(Circuit(4, 10), 100)
+        kernel.run()
+        assert qpu.jobs_executed == 3
+        assert len(qpu.completed_jobs) == 3
+
+
+class TestPeriodicCalibration:
+    def test_calibration_after_interval(self, kernel):
+        qpu = QPU(kernel, TOY)
+
+        def client(k):
+            yield qpu.run(Circuit(4, 10), 1000)
+            yield k.timeout(150.0)  # exceed the 100 s interval
+            result = yield qpu.run(Circuit(4, 10), 1000)
+            return result
+
+        process = kernel.process(client(kernel))
+        kernel.run()
+        assert process.value.calibration_time == pytest.approx(10.0)
+        assert qpu.calibrations_performed == 1
+
+    def test_no_calibration_within_interval(self, kernel):
+        qpu = QPU(kernel, TOY)
+        first = qpu.run(Circuit(4, 10), 1000)
+        second = qpu.run(Circuit(4, 10), 1000)
+        kernel.run()
+        assert first.value.calibration_time == 0.0
+        assert second.value.calibration_time == 0.0
+
+    def test_infinite_interval_disables(self, kernel):
+        tech = QPUTechnology(
+            name="nocal",
+            num_qubits=8,
+            one_qubit_gate_time=0.0,
+            two_qubit_gate_time=0.0,
+            readout_time=0.0,
+            reset_time=0.0,
+            per_shot_overhead=0.001,
+            job_overhead=1.0,
+            calibration_interval=float("inf"),
+            calibration_duration=10.0,
+        )
+        qpu = QPU(kernel, tech)
+
+        def client(k):
+            yield qpu.run(Circuit(4, 10), 100)
+            yield k.timeout(1e6)
+            result = yield qpu.run(Circuit(4, 10), 100)
+            return result
+
+        process = kernel.process(client(kernel))
+        kernel.run()
+        assert process.value.calibration_time == 0.0
+
+
+class TestGeometryCalibration:
+    def test_new_geometry_triggers_calibration(self, kernel):
+        qpu = QPU(kernel, NEUTRAL_ATOM)
+        result_event = qpu.run(Circuit(10, 10, geometry="ring"), 10)
+        kernel.run()
+        assert result_event.value.calibration_time == pytest.approx(
+            NEUTRAL_ATOM.geometry_calibration_duration
+        )
+
+    def test_same_geometry_cached(self, kernel):
+        qpu = QPU(kernel, NEUTRAL_ATOM)
+        first = qpu.run(Circuit(10, 10, geometry="ring"), 10)
+        second = qpu.run(Circuit(10, 10, geometry="ring"), 10)
+        kernel.run()
+        assert first.value.calibration_time > 0
+        assert second.value.calibration_time == 0.0
+
+    def test_geometry_change_recalibrates(self, kernel):
+        qpu = QPU(kernel, NEUTRAL_ATOM)
+        qpu.run(Circuit(10, 10, geometry="ring"), 10)
+        changed = qpu.run(Circuit(10, 10, geometry="grid"), 10)
+        kernel.run()
+        assert changed.value.calibration_time > 0
+
+    def test_initial_geometry_skips_first_calibration(self, kernel):
+        qpu = QPU(kernel, NEUTRAL_ATOM, initial_geometry="ring")
+        result = qpu.run(Circuit(10, 10, geometry="ring"), 10)
+        kernel.run()
+        assert result.value.calibration_time == 0.0
+
+    def test_geometryless_circuit_never_calibrates(self, kernel):
+        qpu = QPU(kernel, NEUTRAL_ATOM)
+        result = qpu.run(Circuit(10, 10, geometry=None), 10)
+        kernel.run()
+        assert result.value.calibration_time == 0.0
+
+    def test_superconducting_ignores_geometry(self, kernel):
+        qpu = QPU(kernel, SUPERCONDUCTING)
+        result = qpu.run(Circuit(10, 10, geometry="whatever"), 10)
+        kernel.run()
+        assert result.value.calibration_time == 0.0
+
+
+class TestMonitors:
+    def test_utilisation_reflects_busy_time(self, kernel):
+        qpu = QPU(kernel, TOY)
+        qpu.run(Circuit(4, 10), 1000)  # 2 s execution
+
+        def idle(k):
+            yield k.timeout(10.0)
+
+        kernel.process(idle(kernel))
+        kernel.run()
+        assert qpu.utilisation == pytest.approx(0.2)
+
+    def test_wait_and_service_series(self, kernel):
+        qpu = QPU(kernel, TOY)
+        qpu.run(Circuit(4, 10), 1000)
+        qpu.run(Circuit(4, 10), 1000)
+        kernel.run()
+        assert qpu.wait_times.count == 2
+        assert qpu.service_times.mean == pytest.approx(2.0)
+
+    def test_jitter_changes_duration(self, kernel):
+        tech = QPUTechnology(
+            name="jittery",
+            num_qubits=8,
+            one_qubit_gate_time=0.0,
+            two_qubit_gate_time=0.0,
+            readout_time=0.0,
+            reset_time=0.0,
+            per_shot_overhead=0.001,
+            job_overhead=1.0,
+            calibration_interval=float("inf"),
+            calibration_duration=0.0,
+            duration_jitter=0.2,
+        )
+        qpu = QPU(kernel, tech, streams=RandomStreams(1))
+        result = qpu.run(Circuit(4, 10), 1000)
+        kernel.run()
+        assert result.value.execution_time != pytest.approx(2.0)
+
+    def test_repr(self, kernel):
+        qpu = QPU(kernel, TOY, name="dev0")
+        assert "dev0" in repr(qpu)

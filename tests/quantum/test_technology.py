@@ -1,0 +1,163 @@
+"""Tests for the QPU technology timing models (Fig 1 calibration)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.quantum.circuit import Circuit
+from repro.quantum.technology import (
+    NEUTRAL_ATOM,
+    PHOTONIC,
+    SUPERCONDUCTING,
+    TECHNOLOGIES,
+    TRAPPED_ION,
+    QPUTechnology,
+    fig1_reference_bands,
+    standard_job,
+)
+
+
+class TestTimingModel:
+    def test_shot_time_composition(self):
+        tech = QPUTechnology(
+            name="toy",
+            num_qubits=10,
+            one_qubit_gate_time=1.0,
+            two_qubit_gate_time=10.0,
+            readout_time=100.0,
+            reset_time=1000.0,
+            per_shot_overhead=10000.0,
+            job_overhead=0.0,
+            calibration_interval=float("inf"),
+            calibration_duration=0.0,
+        )
+        circuit = Circuit(2, depth=10, two_qubit_fraction=0.5)
+        # 5 layers x 1 + 5 layers x 10 + 100 + 1000 + 10000
+        assert tech.shot_time(circuit) == pytest.approx(11155.0)
+
+    def test_execution_time_scales_with_shots(self):
+        circuit, _ = standard_job(SUPERCONDUCTING)
+        t1 = SUPERCONDUCTING.execution_time(circuit, 1000)
+        t2 = SUPERCONDUCTING.execution_time(circuit, 2000)
+        overhead = SUPERCONDUCTING.job_overhead
+        assert (t2 - overhead) == pytest.approx(2 * (t1 - overhead))
+
+    def test_zero_shots_rejected(self):
+        circuit, _ = standard_job(SUPERCONDUCTING)
+        with pytest.raises(ConfigurationError):
+            SUPERCONDUCTING.execution_time(circuit, 0)
+
+    def test_oversized_circuit_rejected(self):
+        circuit = Circuit(num_qubits=1000, depth=1)
+        with pytest.raises(ConfigurationError):
+            SUPERCONDUCTING.validate_circuit(circuit)
+
+    def test_geometry_calibration_only_for_neutral_atom(self):
+        assert NEUTRAL_ATOM.needs_geometry_calibration
+        for tech in (SUPERCONDUCTING, TRAPPED_ION, PHOTONIC):
+            assert not tech.needs_geometry_calibration
+
+    def test_job_time_with_calibration_adds_geometry_pass(self):
+        circuit, shots = standard_job(NEUTRAL_ATOM)
+        plain = NEUTRAL_ATOM.execution_time(circuit, shots)
+        with_cal = NEUTRAL_ATOM.job_time_with_calibration(circuit, shots)
+        assert with_cal - plain == pytest.approx(
+            NEUTRAL_ATOM.geometry_calibration_duration
+        )
+
+
+class TestValidation:
+    def test_negative_timing_rejected(self):
+        with pytest.raises(ConfigurationError):
+            QPUTechnology(
+                name="bad",
+                num_qubits=1,
+                one_qubit_gate_time=-1.0,
+                two_qubit_gate_time=0.0,
+                readout_time=0.0,
+                reset_time=0.0,
+                per_shot_overhead=0.0,
+                job_overhead=0.0,
+                calibration_interval=1.0,
+                calibration_duration=0.0,
+            )
+
+    def test_zero_calibration_interval_rejected(self):
+        with pytest.raises(ConfigurationError):
+            QPUTechnology(
+                name="bad",
+                num_qubits=1,
+                one_qubit_gate_time=0.0,
+                two_qubit_gate_time=0.0,
+                readout_time=0.0,
+                reset_time=0.0,
+                per_shot_overhead=0.0,
+                job_overhead=0.0,
+                calibration_interval=0.0,
+                calibration_duration=0.0,
+            )
+
+    def test_jitter_bounds(self):
+        with pytest.raises(ConfigurationError):
+            QPUTechnology(
+                name="bad",
+                num_qubits=1,
+                one_qubit_gate_time=0.0,
+                two_qubit_gate_time=0.0,
+                readout_time=0.0,
+                reset_time=0.0,
+                per_shot_overhead=0.0,
+                job_overhead=0.0,
+                calibration_interval=1.0,
+                calibration_duration=0.0,
+                duration_jitter=1.5,
+            )
+
+
+class TestFig1Bands:
+    """The predefined technologies must land in Fig 1's bands."""
+
+    @pytest.mark.parametrize("name", sorted(TECHNOLOGIES))
+    def test_standard_job_in_band(self, name):
+        technology = TECHNOLOGIES[name]
+        circuit, shots = standard_job(technology)
+        duration = technology.job_time_with_calibration(circuit, shots)
+        low, high = fig1_reference_bands()[name]
+        assert low <= duration <= high, (
+            f"{name}: {duration:.3g}s outside [{low}, {high}]"
+        )
+
+    def test_superconducting_seconds_scale(self):
+        circuit, shots = standard_job(SUPERCONDUCTING)
+        assert SUPERCONDUCTING.execution_time(circuit, shots) < 60.0
+
+    def test_neutral_atom_exceeds_thirty_minutes(self):
+        circuit, shots = standard_job(NEUTRAL_ATOM)
+        assert (
+            NEUTRAL_ATOM.job_time_with_calibration(circuit, shots) > 1800.0
+        )
+
+    def test_ordering_matches_figure(self):
+        """Photonic < superconducting < trapped ion < neutral atom."""
+        durations = {}
+        for name in ("photonic", "superconducting", "trapped_ion",
+                     "neutral_atom"):
+            technology = TECHNOLOGIES[name]
+            circuit, shots = standard_job(technology)
+            durations[name] = technology.job_time_with_calibration(
+                circuit, shots
+            )
+        assert (
+            durations["photonic"]
+            < durations["superconducting"]
+            < durations["trapped_ion"]
+            < durations["neutral_atom"]
+        )
+
+    def test_spread_covers_orders_of_magnitude(self):
+        durations = []
+        for technology in TECHNOLOGIES.values():
+            circuit, shots = standard_job(technology)
+            durations.append(
+                technology.job_time_with_calibration(circuit, shots)
+            )
+        assert max(durations) / min(durations) > 1000.0

@@ -1,0 +1,173 @@
+"""Tests for the availability timeline and the three policies."""
+
+import pytest
+
+from repro.cluster.builders import build_hpcqc_cluster
+from repro.errors import ConfigurationError
+from repro.scheduler.backfill import (
+    ClusterTimeline,
+    ConservativeBackfillPolicy,
+    EasyBackfillPolicy,
+    FIFOPolicy,
+    PartitionTimeline,
+    make_policy,
+)
+from repro.scheduler.job import Job, JobComponent, JobSpec
+
+
+def make_job(kernel, nodes, walltime, partition="classical", gres=None):
+    spec = JobSpec(
+        name=f"j{nodes}x{walltime}",
+        components=[
+            JobComponent(partition, nodes, walltime, gres=gres or {})
+        ],
+        duration=walltime / 2,
+    )
+    job = Job(spec, kernel)
+    job.submit_time = kernel.now
+    return job
+
+
+class TestPartitionTimeline:
+    def test_initial_capacity_free(self):
+        timeline = PartitionTimeline(10, {"qpu": 2}, now=0.0)
+        assert timeline.fits(0.0, 100.0, 10, {"qpu": 2})
+
+    def test_occupied_window_blocks(self):
+        timeline = PartitionTimeline(10, {}, now=0.0)
+        timeline.occupy(0.0, 50.0, 8)
+        assert not timeline.fits(0.0, 10.0, 4)
+        assert timeline.fits(0.0, 10.0, 2)
+        assert timeline.fits(50.0, 10.0, 10)
+
+    def test_window_straddling_release(self):
+        timeline = PartitionTimeline(10, {}, now=0.0)
+        timeline.occupy(0.0, 50.0, 8)
+        # A 100 s window starting at 0 needs 4 nodes: blocked in [0,50).
+        assert not timeline.fits(0.0, 100.0, 4)
+
+    def test_gres_tracking(self):
+        timeline = PartitionTimeline(4, {"qpu": 1}, now=0.0)
+        timeline.occupy(0.0, 100.0, 1, {"qpu": 1})
+        assert not timeline.fits(0.0, 10.0, 1, {"qpu": 1})
+        assert timeline.fits(100.0, 10.0, 1, {"qpu": 1})
+
+    def test_profile_segments(self):
+        timeline = PartitionTimeline(10, {}, now=0.0)
+        timeline.occupy(5.0, 15.0, 4)
+        profile = timeline.profile()
+        values = {time: nodes for time, nodes, _ in profile}
+        assert values[0.0] == 10
+        assert values[5.0] == 6
+        assert values[15.0] == 10
+
+    def test_empty_occupy_window_ignored(self):
+        timeline = PartitionTimeline(10, {}, now=0.0)
+        timeline.occupy(5.0, 5.0, 4)
+        assert timeline.fits(0.0, 100.0, 10)
+
+
+class TestClusterTimeline:
+    def test_running_allocations_subtracted(self, kernel):
+        cluster = build_hpcqc_cluster(kernel, 4, ["d0"])
+        cluster.allocate("job-1", "classical", 3, walltime=100.0)
+        timeline = ClusterTimeline(cluster, now=0.0)
+        components = [JobComponent("classical", 2, 50.0)]
+        assert timeline.earliest_start(components, 50.0) == 100.0
+
+    def test_hetjob_needs_simultaneous_fit(self, kernel):
+        cluster = build_hpcqc_cluster(kernel, 4, ["d0"])
+        cluster.allocate(
+            "job-1", "quantum", 1, gres_request={"qpu": 1}, walltime=200.0
+        )
+        components = [
+            JobComponent("classical", 2, 50.0),
+            JobComponent("quantum", 1, 50.0, gres={"qpu": 1}),
+        ]
+        timeline = ClusterTimeline(cluster, now=0.0)
+        # Classical is free now, but the QPU frees only at 200.
+        assert timeline.earliest_start(components, 50.0) == 200.0
+
+    def test_unknown_partition_rejected(self, kernel):
+        cluster = build_hpcqc_cluster(kernel, 2, ["d0"])
+        timeline = ClusterTimeline(cluster, now=0.0)
+        with pytest.raises(ConfigurationError):
+            timeline.earliest_start([JobComponent("nope", 1, 10.0)], 10.0)
+
+    def test_oversized_request_never_fits(self, kernel):
+        cluster = build_hpcqc_cluster(kernel, 2, ["d0"])
+        timeline = ClusterTimeline(cluster, now=0.0)
+        assert (
+            timeline.earliest_start([JobComponent("classical", 99, 10.0)],
+                                    10.0)
+            is None
+        )
+
+
+class TestPolicySelection:
+    """Direct policy.select() behaviour on a half-busy cluster."""
+
+    def _setup(self, kernel):
+        cluster = build_hpcqc_cluster(kernel, 4, ["d0"])
+        cluster.allocate("running", "classical", 3, walltime=100.0)
+        return cluster
+
+    def test_fifo_stops_at_blocker(self, kernel):
+        cluster = self._setup(kernel)
+        blocked = make_job(kernel, 2, 100.0)  # needs 2, only 1 free
+        fits = make_job(kernel, 1, 10.0)
+        policy = FIFOPolicy()
+        assert policy.select([blocked, fits], cluster, 0.0) == []
+
+    def test_easy_backfills_short_job(self, kernel):
+        cluster = self._setup(kernel)
+        blocked = make_job(kernel, 2, 100.0)
+        short = make_job(kernel, 1, 50.0)  # ends before shadow (100)
+        policy = EasyBackfillPolicy()
+        assert policy.select([blocked, short], cluster, 0.0) == [short]
+
+    def test_easy_accepts_non_delaying_long_backfill(self, kernel):
+        # Head needs 2 nodes (shadow t=100, 3 nodes free then); a
+        # 500 s one-node job leaves 3 free at the shadow: no delay.
+        cluster = self._setup(kernel)
+        blocked = make_job(kernel, 2, 100.0)
+        long = make_job(kernel, 1, 500.0)
+        policy = EasyBackfillPolicy()
+        assert policy.select([blocked, long], cluster, 0.0) == [long]
+
+    def test_easy_rejects_delaying_backfill(self, kernel):
+        # Head needs the whole partition at the shadow time; any job
+        # outliving the shadow would delay it.
+        cluster = self._setup(kernel)
+        blocked = make_job(kernel, 4, 100.0)
+        long = make_job(kernel, 1, 500.0)
+        policy = EasyBackfillPolicy()
+        assert policy.select([blocked, long], cluster, 0.0) == []
+
+    def test_easy_accepts_backfill_ending_before_shadow(self, kernel):
+        cluster = self._setup(kernel)
+        blocked = make_job(kernel, 4, 100.0)
+        short = make_job(kernel, 1, 50.0)
+        policy = EasyBackfillPolicy()
+        assert policy.select([blocked, short], cluster, 0.0) == [short]
+
+    def test_conservative_respects_all_reservations(self, kernel):
+        cluster = self._setup(kernel)
+        head = make_job(kernel, 2, 100.0)  # reserved at t=100
+        second = make_job(kernel, 3, 100.0)  # reserved at t=200
+        filler = make_job(kernel, 1, 50.0)  # fits now without delay
+        policy = ConservativeBackfillPolicy()
+        assert policy.select([head, second, filler], cluster, 0.0) == [
+            filler
+        ]
+
+    def test_all_policies_start_what_fits_now(self, kernel):
+        cluster = self._setup(kernel)
+        fits = make_job(kernel, 1, 10.0)
+        for name in ("fifo", "easy", "conservative"):
+            policy = make_policy(name)
+            assert policy.select([fits], cluster, 0.0) == [fits]
+
+    def test_unknown_policy_name(self):
+        with pytest.raises(ConfigurationError):
+            make_policy("random-guess")

@@ -1,0 +1,103 @@
+"""Tests for the multifactor priority engine."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.scheduler.accounting import AccountingLedger
+from repro.scheduler.job import Job, JobComponent, JobSpec
+from repro.scheduler.priority import MultifactorPriority, PriorityWeights
+
+
+def make_job(kernel, nodes=2, submit_time=0.0, qos=0.0, user="u",
+             account="a"):
+    spec = JobSpec(
+        name="j",
+        components=[JobComponent("classical", nodes, 100.0)],
+        duration=10.0,
+        qos_priority=qos,
+        user=user,
+        account=account,
+    )
+    job = Job(spec, kernel)
+    job.submit_time = submit_time
+    return job
+
+
+class TestWeights:
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PriorityWeights(age=-1.0)
+
+    def test_engine_validation(self):
+        with pytest.raises(ConfigurationError):
+            MultifactorPriority(max_age=0.0)
+        with pytest.raises(ConfigurationError):
+            MultifactorPriority(total_nodes=0)
+
+
+class TestAgeFactor:
+    def test_older_jobs_rank_higher(self, kernel):
+        engine = MultifactorPriority(
+            weights=PriorityWeights(age=1000.0, size=0, fairshare=0, qos=0),
+            max_age=100.0,
+        )
+        old = make_job(kernel, submit_time=0.0)
+        young = make_job(kernel, submit_time=50.0)
+        assert engine.compute(old, now=60.0) > engine.compute(
+            young, now=60.0
+        )
+
+    def test_age_factor_saturates(self, kernel):
+        engine = MultifactorPriority(
+            weights=PriorityWeights(age=1000.0, size=0, fairshare=0, qos=0),
+            max_age=100.0,
+        )
+        ancient = make_job(kernel, submit_time=0.0)
+        assert engine.compute(ancient, now=1e6) == pytest.approx(1000.0)
+
+
+class TestSizeFactor:
+    def test_larger_jobs_rank_higher(self, kernel):
+        engine = MultifactorPriority(
+            weights=PriorityWeights(age=0, size=500.0, fairshare=0, qos=0),
+            total_nodes=100,
+        )
+        big = make_job(kernel, nodes=50)
+        small = make_job(kernel, nodes=5)
+        assert engine.compute(big, now=0.0) > engine.compute(small, now=0.0)
+
+
+class TestQosFactor:
+    def test_qos_boost(self, kernel):
+        engine = MultifactorPriority(
+            weights=PriorityWeights(age=0, size=0, fairshare=0, qos=10.0)
+        )
+        vip = make_job(kernel, qos=5.0)
+        normal = make_job(kernel, qos=0.0)
+        assert engine.compute(vip, now=0.0) == pytest.approx(50.0)
+        assert engine.compute(normal, now=0.0) == 0.0
+
+
+class TestFairShareFactor:
+    def test_light_user_beats_heavy_user(self, kernel):
+        ledger = AccountingLedger()
+        ledger.charge("heavy", "a", now=0.0, node_seconds=10000.0)
+        ledger.charge("light", "a", now=0.0, node_seconds=1.0)
+        engine = MultifactorPriority(
+            weights=PriorityWeights(
+                age=0, size=0, fairshare=1000.0, qos=0
+            ),
+            ledger=ledger,
+        )
+        heavy_job = make_job(kernel, user="heavy")
+        light_job = make_job(kernel, user="light")
+        assert engine.compute(light_job, now=0.0) > engine.compute(
+            heavy_job, now=0.0
+        )
+
+    def test_fairshare_ignored_without_ledger(self, kernel):
+        engine = MultifactorPriority(
+            weights=PriorityWeights(age=0, size=0, fairshare=1000.0, qos=0),
+            ledger=None,
+        )
+        assert engine.compute(make_job(kernel), now=0.0) == 0.0

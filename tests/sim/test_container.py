@@ -1,0 +1,94 @@
+"""Tests for the continuous-level Container."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.container import Container
+
+
+class TestContainerBasics:
+    def test_initial_level(self, kernel):
+        assert Container(kernel, init=5.0).level == 5.0
+
+    def test_put_raises_level(self, kernel):
+        container = Container(kernel)
+
+        def proc(k):
+            yield container.put(3.5)
+
+        kernel.process(proc(kernel))
+        kernel.run()
+        assert container.level == 3.5
+
+    def test_get_lowers_level(self, kernel):
+        container = Container(kernel, init=10.0)
+
+        def proc(k):
+            yield container.get(4.0)
+
+        kernel.process(proc(kernel))
+        kernel.run()
+        assert container.level == 6.0
+
+    def test_get_blocks_until_level_sufficient(self, kernel):
+        container = Container(kernel)
+        log = []
+
+        def consumer(k):
+            yield container.get(5.0)
+            log.append(k.now)
+
+        def producer(k):
+            for _ in range(5):
+                yield k.timeout(1.0)
+                yield container.put(1.0)
+
+        kernel.process(consumer(kernel))
+        kernel.process(producer(kernel))
+        kernel.run()
+        assert log == [5.0]
+
+    def test_put_blocks_at_capacity(self, kernel):
+        container = Container(kernel, capacity=10.0, init=8.0)
+        log = []
+
+        def producer(k):
+            yield container.put(5.0)
+            log.append(k.now)
+
+        def consumer(k):
+            yield k.timeout(2.0)
+            yield container.get(4.0)
+
+        kernel.process(producer(kernel))
+        kernel.process(consumer(kernel))
+        kernel.run()
+        assert log == [2.0]
+        assert container.level == 9.0
+
+
+class TestContainerValidation:
+    def test_zero_put_rejected(self, kernel):
+        container = Container(kernel)
+        with pytest.raises(SimulationError):
+            container.put(0.0)
+
+    def test_negative_get_rejected(self, kernel):
+        container = Container(kernel)
+        with pytest.raises(SimulationError):
+            container.get(-1.0)
+
+    def test_bad_capacity(self, kernel):
+        with pytest.raises(SimulationError):
+            Container(kernel, capacity=-5.0)
+
+    def test_init_above_capacity(self, kernel):
+        with pytest.raises(SimulationError):
+            Container(kernel, capacity=5.0, init=6.0)
+
+    def test_negative_init(self, kernel):
+        with pytest.raises(SimulationError):
+            Container(kernel, init=-1.0)
+
+    def test_repr(self, kernel):
+        assert "level" in repr(Container(kernel, init=2.0))

@@ -1,0 +1,127 @@
+"""Tests for the simulation kernel: clock, run modes, determinism."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.kernel import EmptySchedule, Kernel
+
+
+class TestClock:
+    def test_starts_at_zero_by_default(self):
+        assert Kernel().now == 0.0
+
+    def test_custom_epoch(self):
+        assert Kernel(initial_time=1000.0).now == 1000.0
+
+    def test_time_advances_with_events(self, kernel):
+        kernel.timeout(7.5)
+        kernel.run()
+        assert kernel.now == 7.5
+
+    def test_peek_reports_next_event_time(self, kernel):
+        kernel.timeout(3.0)
+        kernel.timeout(1.0)
+        assert kernel.peek() == 1.0
+
+    def test_peek_on_empty_heap_is_inf(self, kernel):
+        assert kernel.peek() == float("inf")
+
+
+class TestRunModes:
+    def test_run_until_empty(self, kernel):
+        kernel.timeout(1.0)
+        kernel.timeout(2.0)
+        kernel.run()
+        assert kernel.queued_event_count == 0
+        assert kernel.now == 2.0
+
+    def test_run_until_time_sets_clock_exactly(self, kernel):
+        kernel.timeout(1.0)
+        kernel.run(until=10.0)
+        assert kernel.now == 10.0
+
+    def test_run_until_time_processes_due_events_only(self, kernel):
+        fired = []
+
+        def proc(k, delay):
+            yield k.timeout(delay)
+            fired.append(delay)
+
+        kernel.process(proc(kernel, 1.0))
+        kernel.process(proc(kernel, 5.0))
+        kernel.run(until=3.0)
+        assert fired == [1.0]
+
+    def test_run_until_past_time_rejected(self, kernel):
+        kernel.run(until=5.0)
+        with pytest.raises(SimulationError):
+            kernel.run(until=1.0)
+
+    def test_run_until_event_returns_its_value(self, kernel):
+        def proc(k):
+            yield k.timeout(2.0)
+            return "done"
+
+        process = kernel.process(proc(kernel))
+        assert kernel.run(until=process) == "done"
+        assert kernel.now == 2.0
+
+    def test_run_until_already_processed_event(self, kernel):
+        timeout = kernel.timeout(1.0, value="v")
+        kernel.run()
+        assert kernel.run(until=timeout) == "v"
+
+    def test_run_until_failed_event_raises(self, kernel):
+        def proc(k):
+            yield k.timeout(1.0)
+            raise ValueError("proc failed")
+
+        process = kernel.process(proc(kernel))
+        with pytest.raises(ValueError, match="proc failed"):
+            kernel.run(until=process)
+
+    def test_run_until_event_that_never_fires_raises(self, kernel):
+        pending = kernel.event()
+        kernel.timeout(1.0)
+        with pytest.raises(SimulationError):
+            kernel.run(until=pending)
+
+    def test_step_on_empty_heap_raises(self, kernel):
+        with pytest.raises(EmptySchedule):
+            kernel.step()
+
+    def test_schedule_into_the_past_rejected(self, kernel):
+        event = kernel.event()
+        with pytest.raises(SimulationError):
+            kernel.schedule(event, delay=-1.0)
+
+
+class TestDeterminism:
+    def _run_workload(self):
+        kernel = Kernel()
+        log = []
+
+        def worker(k, name, delay, repeats):
+            for _ in range(repeats):
+                yield k.timeout(delay)
+                log.append((k.now, name))
+
+        kernel.process(worker(kernel, "a", 1.5, 4))
+        kernel.process(worker(kernel, "b", 2.0, 3))
+        kernel.process(worker(kernel, "c", 0.5, 10))
+        kernel.run()
+        return log
+
+    def test_identical_runs_produce_identical_logs(self):
+        assert self._run_workload() == self._run_workload()
+
+
+class TestFactories:
+    def test_process_rejects_non_generator(self, kernel):
+        with pytest.raises(SimulationError):
+            kernel.process(lambda: None)
+
+    def test_repr_mentions_time(self, kernel):
+        kernel.timeout(1.0)
+        text = repr(kernel)
+        assert "t=" in text and "queued=1" in text

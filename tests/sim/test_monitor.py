@@ -1,0 +1,114 @@
+"""Tests for time-weighted values and sample series."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.monitor import SampleSeries, TimeWeightedValue
+
+
+class TestTimeWeightedValue:
+    def test_integral_of_constant(self, kernel):
+        value = TimeWeightedValue(kernel, initial=2.0)
+        kernel.timeout(10.0)
+        kernel.run()
+        assert value.integral() == pytest.approx(20.0)
+
+    def test_step_changes(self, kernel):
+        value = TimeWeightedValue(kernel, initial=0.0)
+
+        def proc(k):
+            yield k.timeout(5.0)
+            value.set(3.0)
+            yield k.timeout(5.0)
+            value.set(0.0)
+            yield k.timeout(5.0)
+
+        kernel.process(proc(kernel))
+        kernel.run()
+        assert value.integral() == pytest.approx(15.0)
+        assert value.time_average() == pytest.approx(1.0)
+
+    def test_add_increments(self, kernel):
+        value = TimeWeightedValue(kernel)
+        value.add(2.0)
+        value.add(3.0)
+        assert value.value == 5.0
+
+    def test_history_records_steps(self, kernel):
+        value = TimeWeightedValue(kernel, initial=1.0)
+
+        def proc(k):
+            yield k.timeout(2.0)
+            value.set(4.0)
+
+        kernel.process(proc(kernel))
+        kernel.run()
+        assert value.history == [(0.0, 1.0), (2.0, 4.0)]
+
+    def test_time_average_with_zero_window(self, kernel):
+        value = TimeWeightedValue(kernel, initial=7.0)
+        assert value.time_average() == 7.0
+
+    def test_integral_before_last_change_rejected(self, kernel):
+        value = TimeWeightedValue(kernel)
+        kernel.timeout(5.0)
+        kernel.run()
+        value.set(1.0)
+        with pytest.raises(SimulationError):
+            value.integral(until=1.0)
+
+
+class TestSampleSeries:
+    def test_empty_series(self):
+        series = SampleSeries("empty")
+        assert series.count == 0
+        assert series.mean == 0.0
+        assert series.maximum == 0.0
+        assert series.minimum == 0.0
+        assert series.percentile(50) == 0.0
+        assert series.stdev == 0.0
+
+    def test_mean_and_total(self):
+        series = SampleSeries()
+        for value in (1.0, 2.0, 3.0):
+            series.record(value)
+        assert series.count == 3
+        assert series.total == pytest.approx(6.0)
+        assert series.mean == pytest.approx(2.0)
+
+    def test_extremes(self):
+        series = SampleSeries()
+        for value in (5.0, -1.0, 3.0):
+            series.record(value)
+        assert series.maximum == 5.0
+        assert series.minimum == -1.0
+
+    def test_percentiles(self):
+        series = SampleSeries()
+        for value in range(1, 101):
+            series.record(float(value))
+        assert series.percentile(0) == 1.0
+        assert series.percentile(100) == 100.0
+        assert series.percentile(50) == pytest.approx(50.5)
+
+    def test_percentile_single_sample(self):
+        series = SampleSeries()
+        series.record(42.0)
+        assert series.percentile(99) == 42.0
+
+    def test_percentile_out_of_range(self):
+        series = SampleSeries()
+        series.record(1.0)
+        with pytest.raises(SimulationError):
+            series.percentile(101)
+
+    def test_stdev(self):
+        series = SampleSeries()
+        for value in (2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0):
+            series.record(value)
+        assert series.stdev == pytest.approx(2.0)
+
+    def test_repr_contains_name(self):
+        series = SampleSeries("waits")
+        series.record(1.0)
+        assert "waits" in repr(series)

@@ -1,0 +1,240 @@
+"""Tests for generator-based processes: joins, interrupts, failures."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.events import Interrupt
+from repro.sim.kernel import Kernel
+
+
+class TestBasicExecution:
+    def test_return_value_becomes_event_value(self, kernel):
+        def proc(k):
+            yield k.timeout(1.0)
+            return 99
+
+        process = kernel.process(proc(kernel))
+        kernel.run()
+        assert process.value == 99
+
+    def test_process_without_return_yields_none(self, kernel):
+        def proc(k):
+            yield k.timeout(1.0)
+
+        process = kernel.process(proc(kernel))
+        kernel.run()
+        assert process.value is None
+
+    def test_is_alive_transitions(self, kernel):
+        def proc(k):
+            yield k.timeout(5.0)
+
+        process = kernel.process(proc(kernel))
+        assert process.is_alive
+        kernel.run()
+        assert not process.is_alive
+
+    def test_yielding_a_process_joins_it(self, kernel):
+        def child(k):
+            yield k.timeout(3.0)
+            return "child-result"
+
+        def parent(k):
+            result = yield kernel.process(child(k))
+            return ("joined", result, k.now)
+
+        process = kernel.process(parent(kernel))
+        kernel.run()
+        assert process.value == ("joined", "child-result", 3.0)
+
+    def test_yielding_already_processed_event_continues_immediately(
+        self, kernel
+    ):
+        timeout = kernel.timeout(1.0, value="early")
+        kernel.run()
+
+        def proc(k):
+            value = yield timeout
+            return (value, k.now)
+
+        process = kernel.process(proc(kernel))
+        kernel.run()
+        assert process.value == ("early", 1.0)
+
+    def test_yielding_non_event_fails_the_process(self, kernel):
+        def proc(k):
+            yield "not an event"
+
+        process = kernel.process(proc(kernel))
+        process.callbacks.append(lambda ev: ev.defuse())
+        kernel.run()
+        assert not process.ok
+        assert isinstance(process.value, SimulationError)
+
+    def test_named_process(self, kernel):
+        def proc(k):
+            yield k.timeout(1.0)
+
+        process = kernel.process(proc(kernel), name="my-proc")
+        assert process.name == "my-proc"
+        assert "my-proc" in repr(process)
+
+
+class TestFailurePropagation:
+    def test_uncaught_exception_fails_waiters(self, kernel):
+        def child(k):
+            yield k.timeout(1.0)
+            raise ValueError("child blew up")
+
+        def parent(k):
+            try:
+                yield kernel.process(child(k))
+            except ValueError as error:
+                return f"caught: {error}"
+
+        process = kernel.process(parent(kernel))
+        kernel.run()
+        assert process.value == "caught: child blew up"
+
+    def test_unwatched_crash_propagates_to_run(self, kernel):
+        def proc(k):
+            yield k.timeout(1.0)
+            raise RuntimeError("nobody watches me")
+
+        kernel.process(proc(kernel))
+        with pytest.raises(RuntimeError, match="nobody watches me"):
+            kernel.run()
+
+    def test_failed_event_throws_into_waiter(self, kernel):
+        event = kernel.event()
+
+        def proc(k):
+            try:
+                yield event
+            except KeyError:
+                return "caught KeyError"
+
+        def failer(k):
+            yield k.timeout(1.0)
+            event.fail(KeyError("k"))
+
+        process = kernel.process(proc(kernel))
+        kernel.process(failer(kernel))
+        kernel.run()
+        assert process.value == "caught KeyError"
+
+
+class TestInterrupts:
+    def test_interrupt_delivers_cause(self, kernel):
+        def sleeper(k):
+            try:
+                yield k.timeout(100.0)
+            except Interrupt as interrupt:
+                return ("interrupted", interrupt.cause, k.now)
+
+        def interrupter(k, victim):
+            yield k.timeout(2.0)
+            victim.interrupt("wake up")
+
+        victim = kernel.process(sleeper(kernel))
+        kernel.process(interrupter(kernel, victim))
+        kernel.run()
+        assert victim.value == ("interrupted", "wake up", 2.0)
+
+    def test_interrupted_process_can_continue(self, kernel):
+        def sleeper(k):
+            try:
+                yield k.timeout(100.0)
+            except Interrupt:
+                pass
+            yield k.timeout(1.0)
+            return k.now
+
+        def interrupter(k, victim):
+            yield k.timeout(2.0)
+            victim.interrupt()
+
+        victim = kernel.process(sleeper(kernel))
+        kernel.process(interrupter(kernel, victim))
+        kernel.run()
+        assert victim.value == 3.0
+
+    def test_interrupting_terminated_process_is_an_error(self, kernel):
+        def quick(k):
+            yield k.timeout(1.0)
+
+        def late_interrupter(k, victim):
+            yield k.timeout(5.0)
+            victim.interrupt()
+
+        victim = kernel.process(quick(kernel))
+        kernel.run(until=2.0)
+        with pytest.raises(SimulationError):
+            victim.interrupt()
+
+    def test_self_interrupt_is_an_error(self, kernel):
+        def proc(k):
+            current = k.active_process
+            current.interrupt()
+            yield k.timeout(1.0)
+
+        process = kernel.process(proc(kernel))
+        process.callbacks.append(lambda ev: ev.defuse())
+        kernel.run()
+        assert not process.ok
+
+    def test_uncaught_interrupt_fails_the_process(self, kernel):
+        def sleeper(k):
+            yield k.timeout(100.0)
+
+        def interrupter(k, victim):
+            yield k.timeout(1.0)
+            victim.interrupt("fatal")
+
+        victim = kernel.process(sleeper(kernel))
+        victim.callbacks.append(lambda ev: ev.defuse())
+        kernel.process(interrupter(kernel, victim))
+        kernel.run()
+        assert not victim.ok
+        assert isinstance(victim.value, Interrupt)
+
+    def test_interrupt_does_not_leak_old_target(self, kernel):
+        """After an interrupt, the old target firing must not resume
+        the process a second time."""
+        resumed = []
+
+        def sleeper(k):
+            try:
+                yield k.timeout(10.0)
+                resumed.append("timeout")
+            except Interrupt:
+                resumed.append("interrupt")
+            yield k.timeout(20.0)
+            resumed.append("second")
+
+        def interrupter(k, victim):
+            yield k.timeout(5.0)
+            victim.interrupt()
+
+        victim = kernel.process(sleeper(kernel))
+        kernel.process(interrupter(kernel, victim))
+        kernel.run()
+        assert resumed == ["interrupt", "second"]
+        assert kernel.now == 25.0
+
+
+class TestActiveProcess:
+    def test_active_process_is_set_inside_resume(self, kernel):
+        observed = []
+
+        def proc(k):
+            observed.append(k.active_process)
+            yield k.timeout(1.0)
+
+        process = kernel.process(proc(kernel))
+        kernel.run()
+        assert observed == [process]
+
+    def test_active_process_is_none_outside(self, kernel):
+        kernel.run()
+        assert kernel.active_process is None

@@ -1,0 +1,158 @@
+"""Property-based tests on the simulation kernel's core invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.kernel import Kernel
+from repro.sim.monitor import SampleSeries, TimeWeightedValue
+from repro.sim.resources import Resource
+from repro.sim.store import Store
+
+
+@given(
+    delays=st.lists(
+        st.floats(
+            min_value=0.0,
+            max_value=1e6,
+            allow_nan=False,
+            allow_infinity=False,
+        ),
+        min_size=1,
+        max_size=40,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_time_is_monotone_for_any_timeout_set(delays):
+    """Processing any set of timeouts never moves the clock backwards
+    and ends at the maximum delay."""
+    kernel = Kernel()
+    observed = []
+
+    def watcher(k, delay):
+        yield k.timeout(delay)
+        observed.append(k.now)
+
+    for delay in delays:
+        kernel.process(watcher(kernel, delay))
+    kernel.run()
+    assert observed == sorted(observed)
+    assert kernel.now == max(delays)
+
+
+@given(
+    holds=st.lists(
+        st.floats(min_value=0.01, max_value=100.0, allow_nan=False),
+        min_size=1,
+        max_size=25,
+    ),
+    capacity=st.integers(min_value=1, max_value=5),
+)
+@settings(max_examples=60, deadline=None)
+def test_resource_never_exceeds_capacity(holds, capacity):
+    """Concurrent users never exceed capacity; everyone eventually runs."""
+    kernel = Kernel()
+    resource = Resource(kernel, capacity=capacity)
+    active = TimeWeightedValue(kernel)
+    served = []
+    peak = [0]
+
+    def user(k, duration, tag):
+        with resource.request() as request:
+            yield request
+            active.add(1)
+            peak[0] = max(peak[0], int(active.value))
+            yield k.timeout(duration)
+            active.add(-1)
+        served.append(tag)
+
+    for index, duration in enumerate(holds):
+        kernel.process(user(kernel, duration, index))
+    kernel.run()
+    assert peak[0] <= capacity
+    assert sorted(served) == list(range(len(holds)))
+
+
+@given(
+    items=st.lists(st.integers(), min_size=0, max_size=50),
+)
+@settings(max_examples=60, deadline=None)
+def test_store_conserves_items(items):
+    """Everything put into a store comes out exactly once, in order."""
+    kernel = Kernel()
+    store = Store(kernel)
+    received = []
+
+    def producer(k):
+        for item in items:
+            yield store.put(item)
+
+    def consumer(k):
+        for _ in range(len(items)):
+            value = yield store.get()
+            received.append(value)
+
+    kernel.process(producer(kernel))
+    kernel.process(consumer(kernel))
+    kernel.run()
+    assert received == items
+    assert store.size == 0
+
+
+@given(
+    steps=st.lists(
+        st.tuples(
+            st.floats(min_value=0.01, max_value=100.0, allow_nan=False),
+            st.floats(min_value=-50.0, max_value=50.0, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=30,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_time_weighted_integral_matches_manual_sum(steps):
+    """The monitored integral equals the hand-computed rectangle sum."""
+    kernel = Kernel()
+    monitor = TimeWeightedValue(kernel, initial=0.0)
+    expected = 0.0
+    current = 0.0
+    now = 0.0
+
+    def proc(k):
+        for delay, value in steps:
+            yield k.timeout(delay)
+            monitor.set(value)
+
+    kernel.process(proc(kernel))
+    kernel.run()
+    for delay, value in steps:
+        expected += current * delay
+        current = value
+        now += delay
+    assert abs(monitor.integral() - expected) <= 1e-6 * max(
+        1.0, abs(expected)
+    )
+
+
+@given(
+    samples=st.lists(
+        st.floats(
+            min_value=-1e6,
+            max_value=1e6,
+            allow_nan=False,
+            allow_infinity=False,
+        ),
+        min_size=1,
+        max_size=100,
+    ),
+    q=st.floats(min_value=0.0, max_value=100.0),
+)
+@settings(max_examples=80, deadline=None)
+def test_percentile_within_sample_range(samples, q):
+    """Percentiles always lie inside [min, max] and are monotone in q."""
+    series = SampleSeries()
+    for sample in samples:
+        series.record(sample)
+    value = series.percentile(q)
+    assert min(samples) <= value <= max(samples)
+    assert series.percentile(0) == min(samples)
+    assert series.percentile(100) == max(samples)

@@ -1,0 +1,243 @@
+"""Tests for capacity resources: FIFO, priority, preemption."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.events import Interrupt
+from repro.sim.kernel import Kernel
+from repro.sim.resources import (
+    Preempted,
+    PreemptiveResource,
+    PriorityResource,
+    Resource,
+)
+
+
+def hold(kernel, resource, duration, log, tag, **request_kwargs):
+    """Helper process: acquire, hold for ``duration``, release."""
+    with resource.request(**request_kwargs) as request:
+        yield request
+        log.append(("acquire", tag, kernel.now))
+        yield kernel.timeout(duration)
+    log.append(("release", tag, kernel.now))
+
+
+class TestResource:
+    def test_capacity_must_be_positive(self, kernel):
+        with pytest.raises(SimulationError):
+            Resource(kernel, capacity=0)
+
+    def test_grants_up_to_capacity(self, kernel):
+        resource = Resource(kernel, capacity=2)
+        log = []
+        for tag in ("a", "b", "c"):
+            kernel.process(hold(kernel, resource, 5.0, log, tag))
+        kernel.run()
+        acquires = [entry for entry in log if entry[0] == "acquire"]
+        assert acquires == [
+            ("acquire", "a", 0.0),
+            ("acquire", "b", 0.0),
+            ("acquire", "c", 5.0),
+        ]
+
+    def test_fifo_service_order(self, kernel):
+        resource = Resource(kernel, capacity=1)
+        log = []
+        for tag in ("first", "second", "third"):
+            kernel.process(hold(kernel, resource, 1.0, log, tag))
+        kernel.run()
+        order = [tag for op, tag, _ in log if op == "acquire"]
+        assert order == ["first", "second", "third"]
+
+    def test_counts(self, kernel):
+        resource = Resource(kernel, capacity=3)
+        log = []
+        kernel.process(hold(kernel, resource, 10.0, log, "x"))
+        kernel.run(until=1.0)
+        assert resource.count == 1
+        assert resource.available == 2
+        assert resource.capacity == 3
+
+    def test_release_of_non_user_raises(self, kernel):
+        resource = Resource(kernel, capacity=1)
+        foreign = Resource(kernel, capacity=1)
+
+        def proc(k):
+            request = foreign.request()
+            yield request
+            resource.release(request)
+
+        kernel.process(proc(kernel))
+        with pytest.raises(SimulationError):
+            kernel.run()
+
+    def test_cancel_dequeues_waiting_request(self, kernel):
+        resource = Resource(kernel, capacity=1)
+        log = []
+
+        def canceller(k):
+            request = resource.request()  # queued behind the holder
+            yield k.timeout(1.0)
+            request.cancel()
+            log.append(("cancelled", k.now))
+
+        kernel.process(hold(kernel, resource, 5.0, log, "holder"))
+        kernel.process(canceller(kernel))
+        kernel.run()
+        assert ("cancelled", 1.0) in log
+        assert not resource.queue
+
+    def test_context_manager_releases_on_exception(self, kernel):
+        resource = Resource(kernel, capacity=1)
+
+        def failer(k):
+            with resource.request() as request:
+                yield request
+                raise ValueError("inside")
+
+        process = kernel.process(failer(kernel))
+        process.callbacks.append(lambda ev: ev.defuse())
+        kernel.run()
+        assert resource.count == 0
+
+
+class TestPriorityResource:
+    def test_lower_priority_value_served_first(self, kernel):
+        resource = PriorityResource(kernel, capacity=1)
+        log = []
+        kernel.process(hold(kernel, resource, 5.0, log, "holder"))
+
+        def submit_later(k):
+            yield k.timeout(1.0)
+            kernel.process(
+                hold(kernel, resource, 1.0, log, "low", priority=10)
+            )
+            kernel.process(
+                hold(kernel, resource, 1.0, log, "high", priority=1)
+            )
+
+        kernel.process(submit_later(kernel))
+        kernel.run()
+        order = [tag for op, tag, _ in log if op == "acquire"]
+        assert order == ["holder", "high", "low"]
+
+    def test_fifo_among_equal_priorities(self, kernel):
+        resource = PriorityResource(kernel, capacity=1)
+        log = []
+        kernel.process(hold(kernel, resource, 2.0, log, "holder"))
+
+        def submit_later(k):
+            yield k.timeout(0.5)
+            for tag in ("e1", "e2", "e3"):
+                kernel.process(
+                    hold(kernel, resource, 0.5, log, tag, priority=5)
+                )
+
+        kernel.process(submit_later(kernel))
+        kernel.run()
+        order = [tag for op, tag, _ in log if op == "acquire"]
+        assert order == ["holder", "e1", "e2", "e3"]
+
+    def test_queue_view_in_service_order(self, kernel):
+        resource = PriorityResource(kernel, capacity=1)
+        log = []
+        kernel.process(hold(kernel, resource, 10.0, log, "holder"))
+
+        def submit_later(k):
+            yield k.timeout(0.5)
+            kernel.process(hold(kernel, resource, 1.0, log, "b", priority=2))
+            kernel.process(hold(kernel, resource, 1.0, log, "a", priority=1))
+
+        kernel.process(submit_later(kernel))
+        kernel.run(until=1.0)
+        assert [req.priority for req in resource.queue] == [1, 2]
+
+
+class TestPreemptiveResource:
+    def test_preempts_lower_priority_user(self, kernel):
+        resource = PreemptiveResource(kernel, capacity=1)
+        events = []
+
+        def low(k):
+            try:
+                with resource.request(priority=10) as request:
+                    yield request
+                    events.append(("low-acquired", k.now))
+                    yield k.timeout(50.0)
+                    events.append(("low-finished", k.now))
+            except Interrupt as interrupt:
+                cause = interrupt.cause
+                assert isinstance(cause, Preempted)
+                events.append(("low-preempted", k.now, cause.usage_since))
+
+        def high(k):
+            yield k.timeout(5.0)
+            with resource.request(priority=1, preempt=True) as request:
+                yield request
+                events.append(("high-acquired", k.now))
+                yield k.timeout(1.0)
+
+        kernel.process(low(kernel))
+        kernel.process(high(kernel))
+        kernel.run()
+        assert ("low-preempted", 5.0, 0.0) in events
+        assert ("high-acquired", 5.0) in events
+
+    def test_no_preemption_without_flag(self, kernel):
+        resource = PreemptiveResource(kernel, capacity=1)
+        log = []
+        kernel.process(hold(kernel, resource, 10.0, log, "low", priority=10))
+
+        def high(k):
+            yield k.timeout(1.0)
+            kernel.process(
+                hold(kernel, resource, 1.0, log, "high", priority=1)
+            )
+
+        kernel.process(high(kernel))
+        kernel.run()
+        acquires = [(tag, t) for op, tag, t in log if op == "acquire"]
+        assert ("high", 10.0) in acquires
+
+    def test_no_preemption_of_equal_priority(self, kernel):
+        resource = PreemptiveResource(kernel, capacity=1)
+        log = []
+        kernel.process(hold(kernel, resource, 10.0, log, "a", priority=5))
+
+        def later(k):
+            yield k.timeout(1.0)
+            kernel.process(
+                hold(
+                    kernel, resource, 1.0, log, "b", priority=5, preempt=True
+                )
+            )
+
+        kernel.process(later(kernel))
+        kernel.run()
+        acquires = [(tag, t) for op, tag, t in log if op == "acquire"]
+        assert ("b", 10.0) in acquires
+
+    def test_victim_is_worst_priority_most_recent(self, kernel):
+        resource = PreemptiveResource(kernel, capacity=2)
+        preempted = []
+
+        def worker(k, tag, priority, start_delay):
+            yield k.timeout(start_delay)
+            try:
+                with resource.request(priority=priority) as request:
+                    yield request
+                    yield k.timeout(100.0)
+            except Interrupt:
+                preempted.append(tag)
+
+        def vip(k):
+            yield k.timeout(5.0)
+            with resource.request(priority=0, preempt=True) as request:
+                yield request
+                yield k.timeout(1.0)
+
+        kernel.process(worker(kernel, "older-low", 9, 0.0))
+        kernel.process(worker(kernel, "newer-low", 9, 1.0))
+        kernel.process(vip(kernel))
+        kernel.run()
+        assert preempted == ["newer-low"]

@@ -1,0 +1,200 @@
+"""Tests for Store / FilterStore / PriorityStore."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.kernel import Kernel
+from repro.sim.store import FilterStore, PriorityItem, PriorityStore, Store
+
+
+class TestStore:
+    def test_put_then_get(self, kernel):
+        store = Store(kernel)
+
+        def proc(k):
+            yield store.put("item")
+            value = yield store.get()
+            return value
+
+        process = kernel.process(proc(kernel))
+        kernel.run()
+        assert process.value == "item"
+
+    def test_get_blocks_until_put(self, kernel):
+        store = Store(kernel)
+        log = []
+
+        def consumer(k):
+            value = yield store.get()
+            log.append((value, k.now))
+
+        def producer(k):
+            yield k.timeout(4.0)
+            yield store.put("late")
+
+        kernel.process(consumer(kernel))
+        kernel.process(producer(kernel))
+        kernel.run()
+        assert log == [("late", 4.0)]
+
+    def test_fifo_order(self, kernel):
+        store = Store(kernel)
+        received = []
+
+        def producer(k):
+            for item in (1, 2, 3):
+                yield store.put(item)
+
+        def consumer(k):
+            for _ in range(3):
+                value = yield store.get()
+                received.append(value)
+
+        kernel.process(producer(kernel))
+        kernel.process(consumer(kernel))
+        kernel.run()
+        assert received == [1, 2, 3]
+
+    def test_capacity_blocks_put(self, kernel):
+        store = Store(kernel, capacity=1)
+        log = []
+
+        def producer(k):
+            yield store.put("a")
+            log.append(("a-stored", k.now))
+            yield store.put("b")
+            log.append(("b-stored", k.now))
+
+        def consumer(k):
+            yield k.timeout(5.0)
+            yield store.get()
+
+        kernel.process(producer(kernel))
+        kernel.process(consumer(kernel))
+        kernel.run()
+        assert log == [("a-stored", 0.0), ("b-stored", 5.0)]
+
+    def test_invalid_capacity(self, kernel):
+        with pytest.raises(SimulationError):
+            Store(kernel, capacity=0)
+
+    def test_size_property(self, kernel):
+        store = Store(kernel)
+        store.put("x")
+        store.put("y")
+        kernel.run()
+        assert store.size == 2
+
+    def test_cancel_get(self, kernel):
+        store = Store(kernel)
+        get_event = store.get()
+        get_event.cancel()
+        store.put("item")
+        kernel.run()
+        assert store.size == 1  # nobody consumed it
+
+    def test_cancel_put(self, kernel):
+        store = Store(kernel, capacity=1)
+        store.put("a")
+        blocked = store.put("b")
+        blocked.cancel()
+
+        def consumer(k):
+            value = yield store.get()
+            return value
+
+        process = kernel.process(consumer(kernel))
+        kernel.run()
+        assert process.value == "a"
+        assert store.size == 0
+
+
+class TestFilterStore:
+    def test_get_matching_item(self, kernel):
+        store = FilterStore(kernel)
+
+        def proc(k):
+            yield store.put(1)
+            yield store.put(2)
+            yield store.put(3)
+            value = yield store.get(lambda item: item % 2 == 0)
+            return value
+
+        process = kernel.process(proc(kernel))
+        kernel.run()
+        assert process.value == 2
+
+    def test_nonmatching_get_waits(self, kernel):
+        store = FilterStore(kernel)
+        log = []
+
+        def consumer(k):
+            value = yield store.get(lambda item: item == "special")
+            log.append((value, k.now))
+
+        def producer(k):
+            yield store.put("ordinary")
+            yield k.timeout(3.0)
+            yield store.put("special")
+
+        kernel.process(consumer(kernel))
+        kernel.process(producer(kernel))
+        kernel.run()
+        assert log == [("special", 3.0)]
+        assert store.items == ["ordinary"]
+
+    def test_default_predicate_accepts_anything(self, kernel):
+        store = FilterStore(kernel)
+
+        def proc(k):
+            yield store.put("thing")
+            value = yield store.get()
+            return value
+
+        process = kernel.process(proc(kernel))
+        kernel.run()
+        assert process.value == "thing"
+
+
+class TestPriorityStore:
+    def test_serves_smallest_first(self, kernel):
+        store = PriorityStore(kernel)
+        received = []
+
+        def producer(k):
+            for value in (5, 1, 3):
+                yield store.put(value)
+
+        def consumer(k):
+            yield k.timeout(1.0)
+            for _ in range(3):
+                value = yield store.get()
+                received.append(value)
+
+        kernel.process(producer(kernel))
+        kernel.process(consumer(kernel))
+        kernel.run()
+        assert received == [1, 3, 5]
+
+    def test_priority_item_wrapper(self, kernel):
+        store = PriorityStore(kernel)
+        received = []
+
+        def producer(k):
+            yield store.put(PriorityItem(2, {"name": "second"}))
+            yield store.put(PriorityItem(1, {"name": "first"}))
+
+        def consumer(k):
+            yield k.timeout(1.0)
+            for _ in range(2):
+                wrapped = yield store.get()
+                received.append(wrapped.item["name"])
+
+        kernel.process(producer(kernel))
+        kernel.process(consumer(kernel))
+        kernel.run()
+        assert received == ["first", "second"]
+
+    def test_priority_item_ordering(self):
+        assert PriorityItem(1, "a") < PriorityItem(2, "b")
+        assert "PriorityItem" in repr(PriorityItem(1, "a"))

@@ -1,0 +1,109 @@
+"""Tests for the virtual QPU pool and time-share semantics."""
+
+import pytest
+
+from repro.errors import QuantumDeviceError
+from repro.quantum.circuit import Circuit
+from repro.quantum.qpu import QPU
+from repro.quantum.technology import QPUTechnology
+from repro.strategies.vqpu import VirtualQPUPool
+
+TOY = QPUTechnology(
+    name="toy",
+    num_qubits=8,
+    one_qubit_gate_time=0.0,
+    two_qubit_gate_time=0.0,
+    readout_time=0.0,
+    reset_time=0.0,
+    per_shot_overhead=0.001,
+    job_overhead=1.0,
+    calibration_interval=float("inf"),
+    calibration_duration=0.0,
+)
+
+
+@pytest.fixture
+def pool(kernel):
+    return VirtualQPUPool(QPU(kernel, TOY), size=3)
+
+
+class TestPoolConstruction:
+    def test_size_must_be_positive(self, kernel):
+        with pytest.raises(QuantumDeviceError):
+            VirtualQPUPool(QPU(kernel, TOY), size=0)
+
+    def test_virtual_devices_created(self, pool):
+        assert len(pool.virtual_qpus) == 3
+        names = [vqpu.name for vqpu in pool.virtual_qpus]
+        assert len(set(names)) == 3
+
+    def test_technology_passthrough(self, pool):
+        assert pool.virtual_qpus[0].technology is TOY
+
+    def test_delay_bound_formula(self, pool):
+        assert pool.delay_bound(7.0) == pytest.approx(14.0)  # (3-1)*7
+
+
+class TestInterleaving:
+    def test_requests_serialise_on_physical_device(self, kernel, pool):
+        results = {}
+
+        def tenant(k, vqpu, name):
+            result = yield vqpu.run(Circuit(4, 10), 1000)  # 2 s each
+            results[name] = (k.now, result.queue_time)
+
+        for index, vqpu in enumerate(pool.virtual_qpus):
+            kernel.process(tenant(kernel, vqpu, f"t{index}"))
+        kernel.run()
+        finish_times = sorted(t for t, _ in results.values())
+        assert finish_times == pytest.approx([2.0, 4.0, 6.0])
+
+    def test_delay_respects_bound(self, kernel, pool):
+        """Each request waits at most (V-1) foreign kernels."""
+        waits = []
+
+        def tenant(k, vqpu):
+            for _ in range(3):
+                result = yield vqpu.run(Circuit(4, 10), 1000)
+                waits.append(result.queue_time)
+                yield k.timeout(0.5)
+
+        for vqpu in pool.virtual_qpus:
+            kernel.process(tenant(kernel, vqpu))
+        kernel.run()
+        kernel_time = 2.0
+        bound = pool.delay_bound(kernel_time)
+        assert max(waits) <= bound + 1e-9
+
+    def test_one_outstanding_request_per_vqpu(self, kernel, pool):
+        vqpu = pool.virtual_qpus[0]
+        vqpu.run(Circuit(4, 10), 100)
+        with pytest.raises(QuantumDeviceError):
+            vqpu.run(Circuit(4, 10), 100)
+
+    def test_vqpu_reusable_after_completion(self, kernel, pool):
+        vqpu = pool.virtual_qpus[0]
+
+        def tenant(k):
+            yield vqpu.run(Circuit(4, 10), 100)
+            result = yield vqpu.run(Circuit(4, 10), 100)
+            return result
+
+        process = kernel.process(tenant(kernel))
+        kernel.run()
+        assert process.value is not None
+        assert vqpu.requests_served == 2
+
+    def test_pool_statistics(self, kernel, pool):
+        def tenant(k, vqpu):
+            yield vqpu.run(Circuit(4, 10), 100)
+
+        for vqpu in pool.virtual_qpus:
+            kernel.process(tenant(kernel, vqpu))
+        kernel.run()
+        assert pool.total_requests == 3
+        assert pool.request_times.count == 3
+
+    def test_repr(self, pool):
+        assert "x3" in repr(pool)
+        assert "/v0" in repr(pool.virtual_qpus[0])

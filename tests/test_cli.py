@@ -1,0 +1,44 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_experiments(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        for experiment_id in ("E1", "E4", "E7"):
+            assert experiment_id in output
+
+
+class TestRun:
+    def test_run_single_experiment(self, capsys):
+        assert main(["run", "E1"]) == 0
+        output = capsys.readouterr().out
+        assert "Fig 1" in output
+        assert "[PASS]" in output
+
+    def test_run_markdown(self, capsys):
+        assert main(["run", "E1", "--markdown"]) == 0
+        output = capsys.readouterr().out
+        assert "### E1" in output
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "E99"])
+
+    def test_custom_seed(self, capsys):
+        assert main(["run", "E1", "--seed", "5"]) == 0
+
+
+class TestMisc:
+    def test_no_command_shows_help(self, capsys):
+        assert main([]) == 2
+        assert "usage" in capsys.readouterr().out
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0

@@ -1,0 +1,114 @@
+"""Tests for SWF trace synthesis and (de)serialisation."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.swf import (
+    TraceJob,
+    read_swf,
+    synthesise_trace,
+    write_swf,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(3)
+
+
+class TestTraceJob:
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            TraceJob(1, 0.0, -5.0, 1, 10.0)
+        with pytest.raises(WorkloadError):
+            TraceJob(1, 0.0, 5.0, 0, 10.0)
+        with pytest.raises(WorkloadError):
+            TraceJob(1, 0.0, 5.0, 1, 0.0)
+
+
+class TestSynthesis:
+    def test_job_count(self, rng):
+        jobs = synthesise_trace(rng, job_count=50)
+        assert len(jobs) == 50
+
+    def test_submit_times_increasing(self, rng):
+        jobs = synthesise_trace(rng, job_count=50)
+        submits = [job.submit_time for job in jobs]
+        assert submits == sorted(submits)
+
+    def test_walltime_overestimates_runtime(self, rng):
+        jobs = synthesise_trace(rng, job_count=30,
+                                walltime_overestimate=2.0)
+        for job in jobs:
+            assert job.requested_walltime == pytest.approx(
+                2.0 * job.runtime
+            )
+
+    def test_users_drawn_from_pool(self, rng):
+        jobs = synthesise_trace(rng, job_count=100, user_count=4)
+        users = {job.user for job in jobs}
+        assert users <= {f"user{i}" for i in range(4)}
+        assert len(users) > 1
+
+    def test_deterministic_for_seed(self):
+        a = synthesise_trace(np.random.default_rng(5), job_count=20)
+        b = synthesise_trace(np.random.default_rng(5), job_count=20)
+        assert [(j.submit_time, j.runtime) for j in a] == [
+            (j.submit_time, j.runtime) for j in b
+        ]
+
+    def test_negative_count_rejected(self, rng):
+        with pytest.raises(WorkloadError):
+            synthesise_trace(rng, job_count=-1)
+
+
+class TestRoundTrip:
+    def test_write_read_preserves_fields(self, rng, tmp_path):
+        jobs = synthesise_trace(rng, job_count=20)
+        path = str(tmp_path / "trace.swf")
+        write_swf(jobs, path)
+        loaded = read_swf(path)
+        assert len(loaded) == 20
+        for original, parsed in zip(jobs, loaded):
+            assert parsed.job_id == original.job_id
+            assert parsed.nodes == original.nodes
+            assert parsed.submit_time == pytest.approx(
+                original.submit_time, abs=1.0
+            )
+            assert parsed.runtime == pytest.approx(
+                original.runtime, abs=1.0
+            )
+            assert parsed.user == original.user
+
+    def test_read_from_file_object(self, rng):
+        jobs = synthesise_trace(rng, job_count=5)
+        buffer = io.StringIO()
+        write_swf(jobs, buffer)
+        buffer.seek(0)
+        assert len(read_swf(buffer)) == 5
+
+    def test_read_from_literal_text(self):
+        text = (
+            "; comment line\n"
+            "1 100 -1 3600 8 -1 -1 -1 7200 -1 -1 2 -1 -1 -1 -1 -1 -1\n"
+        )
+        jobs = read_swf(text)
+        assert len(jobs) == 1
+        assert jobs[0].nodes == 8
+        assert jobs[0].user == "user2"
+
+    def test_cancelled_jobs_skipped(self):
+        text = "1 100 -1 -1 8 -1 -1 -1 7200 -1 -1 2 -1 -1 -1 -1 -1 -1\n"
+        assert read_swf(text) == []
+
+    def test_short_line_rejected(self):
+        with pytest.raises(WorkloadError):
+            read_swf("1 2 3\n")
+
+    def test_garbage_field_rejected(self):
+        text = "x 100 -1 10 8 -1 -1 -1 7200 -1 -1 2 -1 -1 -1 -1 -1 -1\n"
+        with pytest.raises(WorkloadError):
+            read_swf(text)
