@@ -59,6 +59,32 @@ def _producer_consumer():
     return store.size
 
 
+def _object_churn():
+    """Allocation-heavy pattern: many short-lived processes, events and
+    conditions.  Sensitive to per-instance overhead (every sim-core
+    class is slotted: Event/Timeout/Process/Condition/Kernel)."""
+    kernel = Kernel()
+    spawned = 8000
+
+    def short_lived(k):
+        done = k.event()
+        done.succeed()
+        yield k.all_of([done, k.timeout(0.5)])
+
+    def spawner(k):
+        for _ in range(spawned):
+            yield k.process(short_lived(k))
+
+    kernel.process(spawner(kernel))
+    kernel.run()
+    return kernel.now
+
+
+def test_bench_kernel_object_churn(benchmark):
+    result = benchmark(_object_churn)
+    assert result == 8000 * 0.5
+
+
 def test_bench_kernel_timeout_churn(benchmark):
     result = benchmark(_timeout_churn)
     assert result == EVENTS

@@ -8,7 +8,7 @@ layer turns into utilisation figures.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.cluster.allocation import Allocation
 from repro.cluster.node import Node
@@ -31,6 +31,15 @@ class Cluster:
         self.partitions: Dict[str, Partition] = {p.name: p for p in partitions}
         #: Active allocations keyed by (job_id, partition, serial).
         self.allocations: List[Allocation] = []
+        #: Monotone counter bumped on every allocation mutation; lets
+        #: incremental consumers (timeline caches) detect missed deltas.
+        self.allocation_version = 0
+        #: Observers of allocation deltas, called synchronously with
+        #: ``(kind, allocation, node_count)`` where kind is one of
+        #: ``allocate``/``release``/``shrink``/``grow``.
+        self._allocation_listeners: List[
+            Callable[[str, Allocation, int], None]
+        ] = []
         #: Per-partition time-weighted busy-node counters.
         self.busy_nodes: Dict[str, TimeWeightedValue] = {
             p.name: TimeWeightedValue(kernel, 0.0) for p in partitions
@@ -77,6 +86,28 @@ class Cluster:
             and (partition_name is None or a.partition_name == partition_name)
         ]
 
+    # -- allocation delta feed ---------------------------------------------------
+
+    def add_allocation_listener(
+        self, listener: Callable[[str, Allocation, int], None]
+    ) -> None:
+        """Subscribe to allocation deltas (see ``_notify`` kinds)."""
+        self._allocation_listeners.append(listener)
+
+    def remove_allocation_listener(
+        self, listener: Callable[[str, Allocation, int], None]
+    ) -> None:
+        """Unsubscribe; unknown listeners are ignored."""
+        try:
+            self._allocation_listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def _notify(self, kind: str, allocation: Allocation, count: int) -> None:
+        self.allocation_version += 1
+        for listener in self._allocation_listeners:
+            listener(kind, allocation, count)
+
     # -- allocate / release ----------------------------------------------------------
 
     def allocate(
@@ -110,6 +141,7 @@ class Cluster:
         )
         self.allocations.append(allocation)
         self._account(partition_name, len(nodes), allocation.gres_counts(), +1)
+        self._notify("allocate", allocation, len(nodes))
         return allocation
 
     def _grant_on_nodes(self, job_id, nodes, gres_request):
@@ -153,6 +185,7 @@ class Cluster:
             allocation.gres_counts(),
             -1,
         )
+        self._notify("release", allocation, len(allocation.nodes))
 
     def shrink(self, allocation: Allocation, count: int) -> List[Node]:
         """Release ``count`` nodes from a live allocation (malleability).
@@ -179,6 +212,7 @@ class Cluster:
             node.release(job_id)
         allocation.remove_nodes(victims)
         self._account(allocation.partition_name, len(victims), {}, -1)
+        self._notify("shrink", allocation, len(victims))
         return victims
 
     def grow(self, allocation: Allocation, count: int) -> List[Node]:
@@ -200,6 +234,7 @@ class Cluster:
             node.allocate(allocation.job_id)
         allocation.add_nodes(nodes)
         self._account(allocation.partition_name, len(nodes), {}, +1)
+        self._notify("grow", allocation, len(nodes))
         return nodes
 
     # -- metrics -----------------------------------------------------------------

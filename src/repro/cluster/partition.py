@@ -62,6 +62,13 @@ class Partition:
     def available_count(self) -> int:
         return len(self.available_nodes())
 
+    def gres_types(self) -> List[str]:
+        """All gres type names present on any node, sorted."""
+        types = set()
+        for node in self.nodes:
+            types.update(node.gres_types())
+        return sorted(types)
+
     def gres_capacity(self, gres_type: str) -> int:
         """Total gres units of ``gres_type`` across usable nodes."""
         return sum(

@@ -9,7 +9,9 @@ from repro.scheduler.backfill import (
     FIFOPolicy,
     PartitionTimeline,
     SchedulingPolicy,
+    TimelineCache,
     make_policy,
+    profiles_equal,
 )
 from repro.scheduler.job import (
     Job,
@@ -39,6 +41,8 @@ __all__ = [
     "PartitionTimeline",
     "PriorityWeights",
     "SchedulingPolicy",
+    "TimelineCache",
     "UsageRecord",
     "make_policy",
+    "profiles_equal",
 ]

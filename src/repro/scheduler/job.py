@@ -26,6 +26,7 @@ from repro.sim.events import Event
 if TYPE_CHECKING:  # pragma: no cover
     from repro.scheduler.scheduler import BatchScheduler
     from repro.sim.kernel import Kernel
+    from repro.sim.process import Process
 
 _job_counter = itertools.count(1)
 
@@ -129,7 +130,28 @@ class JobSpec:
 
 
 class Job:
-    """Runtime record of a submitted job."""
+    """Runtime record of a submitted job.
+
+    Fleet-sized workloads create many thousands of these, so the class
+    is slotted; ``_worker`` is the scheduler-owned handle to the
+    process driving the job's work.
+    """
+
+    __slots__ = (
+        "spec",
+        "id",
+        "kernel",
+        "state",
+        "submit_time",
+        "start_time",
+        "end_time",
+        "allocations",
+        "started",
+        "finished",
+        "priority",
+        "requeue_count",
+        "_worker",
+    )
 
     def __init__(self, spec: JobSpec, kernel: "Kernel") -> None:
         self.spec = spec
@@ -148,6 +170,8 @@ class Job:
         self.priority: float = 0.0
         #: Number of times the job was requeued after node failures.
         self.requeue_count = 0
+        #: Process driving the job's work while running (scheduler-owned).
+        self._worker: Optional["Process"] = None
 
     # -- derived metrics -----------------------------------------------------------
 

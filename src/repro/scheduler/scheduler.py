@@ -28,7 +28,11 @@ from repro.errors import (
     MalleabilityError,
     SchedulingError,
 )
-from repro.scheduler.backfill import EasyBackfillPolicy, SchedulingPolicy
+from repro.scheduler.backfill import (
+    EasyBackfillPolicy,
+    SchedulingPolicy,
+    TimelineCache,
+)
 from repro.scheduler.accounting import AccountingLedger
 from repro.scheduler.job import Job, JobContext, JobSpec, JobState
 from repro.scheduler.priority import MultifactorPriority
@@ -94,6 +98,18 @@ class BatchScheduler:
         interval).  0 (default) schedules instantaneously; production
         systems run 10-60 s cycles, which is what makes per-step
         queueing expensive for second-scale steps.
+    incremental_timelines:
+        When True (default), attach a
+        :class:`~repro.scheduler.backfill.TimelineCache` to the policy
+        so successive scheduling passes reuse the previous availability
+        timeline, applying only the allocation deltas since the last
+        pass instead of rebuilding from every active allocation.
+        ``scheduler.timeline_cache.invalidate()`` is the full-rebuild
+        escape hatch.
+    timeline_debug:
+        When True (default: the ``REPRO_TIMELINE_DEBUG`` environment
+        variable), every incremental timeline is cross-checked against
+        a from-scratch rebuild and divergence raises.
     """
 
     def __init__(
@@ -105,6 +121,8 @@ class BatchScheduler:
         ledger: Optional[AccountingLedger] = None,
         grow_before_new_jobs: bool = True,
         cycle_time: float = 0.0,
+        incremental_timelines: bool = True,
+        timeline_debug: Optional[bool] = None,
     ) -> None:
         self.kernel = kernel
         self.cluster = cluster
@@ -117,6 +135,14 @@ class BatchScheduler:
         if cycle_time < 0:
             raise SchedulingError("cycle_time must be >= 0")
         self.cycle_time = cycle_time
+        #: Incremental availability-timeline cache shared with the
+        #: policy; ``None`` when ``incremental_timelines`` is off.
+        self.timeline_cache: Optional[TimelineCache] = None
+        if incremental_timelines:
+            self.timeline_cache = TimelineCache(
+                cluster, debug=timeline_debug
+            )
+            self.policy.timeline_cache = self.timeline_cache
 
         self.pending: List[Job] = []
         self.running: List[Job] = []
@@ -148,6 +174,20 @@ class BatchScheduler:
         self.jobs_by_id[job.id] = job
         self._kick()
         return job
+
+    def close(self) -> None:
+        """Detach this scheduler's timeline cache from the cluster.
+
+        Call when discarding a scheduler while keeping its cluster
+        alive (e.g. a policy sweep re-using one cluster): otherwise the
+        cache stays subscribed to the cluster's allocation feed and
+        keeps doing timeline maintenance for a dead scheduler.
+        """
+        if self.timeline_cache is not None:
+            self.timeline_cache.close()
+            if self.policy.timeline_cache is self.timeline_cache:
+                self.policy.timeline_cache = None
+            self.timeline_cache = None
 
     def cancel(self, job: Job) -> None:
         """Cancel a pending or running job."""
@@ -470,7 +510,7 @@ class BatchScheduler:
             worker = self.kernel.process(
                 self._sleep_work(job.spec.duration), name=f"work:{job.id}"
             )
-        job._worker = worker  # type: ignore[attr-defined]
+        job._worker = worker
         deadline = self.kernel.timeout(limit)
         try:
             outcome = yield self.kernel.any_of([worker, deadline])
@@ -506,7 +546,7 @@ class BatchScheduler:
     def _kill(self, job: Job, state: JobState,
               failed_node: Optional[Node] = None) -> None:
         """Forcibly terminate a running job."""
-        worker = getattr(job, "_worker", None)
+        worker = job._worker
         if worker is not None and worker.is_alive:
             worker.interrupt("killed")
         # Node-failure eviction already freed the failed node; release

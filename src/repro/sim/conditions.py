@@ -23,6 +23,8 @@ if TYPE_CHECKING:  # pragma: no cover
 class ConditionValue:
     """Ordered mapping of triggered events to their values."""
 
+    __slots__ = ("events",)
+
     def __init__(self) -> None:
         self.events: List[Event] = []
 

@@ -38,6 +38,8 @@ class Kernel:
         Experiments replaying traces may start at an arbitrary epoch.
     """
 
+    __slots__ = ("_now", "_heap", "_sequence", "_active_process")
+
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
         self._heap: List[_HeapEntry] = []
