@@ -5,9 +5,47 @@ end, so a single measured round per benchmark is the meaningful unit:
 ``rounds=1, iterations=1`` via ``benchmark.pedantic``.  The benchmark
 *value* is the wall time to regenerate the artefact; the artefact's
 correctness is asserted through the experiment's claim checks.
+
+Besides pytest-benchmark's console table, the suite emits a
+machine-readable ``BENCH_<rev>.json`` at the repository root — one
+entry of wall seconds per benchmark plus any extra metrics a benchmark
+records via the ``bench_record`` fixture — so the performance
+trajectory is tracked across PRs as data, not prose.  ``<rev>`` is
+``$REPRO_BENCH_REV`` or the current ``git`` short hash.
 """
 
+import json
+import os
+import subprocess
+from datetime import datetime, timezone
+from pathlib import Path
+
 import pytest
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Wall seconds per benchmark, plus freeform metric blocks, collected
+#: over the session and flushed to BENCH_<rev>.json at exit.
+_RESULTS = {"benchmarks": {}, "metrics": {}}
+
+
+def _revision() -> str:
+    rev = os.environ.get("REPRO_BENCH_REV")
+    if rev:
+        return rev
+    try:
+        return (
+            subprocess.run(
+                ["git", "rev-parse", "--short", "HEAD"],
+                cwd=_REPO_ROOT,
+                capture_output=True,
+                text=True,
+                check=True,
+            ).stdout.strip()
+            or "unknown"
+        )
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
 
 
 @pytest.fixture
@@ -20,3 +58,56 @@ def run_once(benchmark):
         )
 
     return runner
+
+
+def pytest_runtest_logreport(report):
+    """Record wall seconds for every benchmark test that ran, whether
+    it used ``run_once`` or the raw ``benchmark`` fixture."""
+    if report.when != "call" or not report.passed:
+        return
+    path, _, name = report.nodeid.partition("::")
+    # This conftest also sees reports from tests/ in full-suite runs;
+    # the bench naming convention identifies our own files regardless
+    # of the invocation directory.
+    if not Path(path).name.startswith("test_bench"):
+        return
+    _RESULTS["benchmarks"][name] = round(report.duration, 6)
+
+
+@pytest.fixture
+def bench_record(request):
+    """Attach extra machine-readable metrics to BENCH_<rev>.json."""
+
+    def record(**metrics):
+        _RESULTS["metrics"].setdefault(request.node.name, {}).update(
+            metrics
+        )
+
+    return record
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _RESULTS["benchmarks"] and not _RESULTS["metrics"]:
+        return
+    revision = _revision()
+    path = _REPO_ROOT / f"BENCH_{revision}.json"
+    # Merge into any existing summary for this revision so a partial
+    # run (one benchmark file) never erases the rest of the record.
+    benchmarks, metrics = {}, {}
+    try:
+        previous = json.loads(path.read_text())
+        benchmarks.update(previous.get("benchmarks", {}))
+        metrics.update(previous.get("metrics", {}))
+    except (OSError, ValueError):
+        pass
+    benchmarks.update(_RESULTS["benchmarks"])
+    metrics.update(_RESULTS["metrics"])
+    payload = {
+        "revision": revision,
+        "generated_at": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "benchmarks": dict(sorted(benchmarks.items())),
+        "metrics": dict(sorted(metrics.items())),
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")

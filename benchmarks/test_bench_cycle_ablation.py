@@ -5,9 +5,14 @@ The scheduler cycle is the hidden constant in every "per step" or
 per *step*, elastic per *quantum phase*, VQPU and co-scheduling once.
 Sweeping it makes the sensitivity explicit — and shows why per-step
 queueing of second-scale kernels is hopeless on a 60 s-cycle system.
+
+The cycle x strategy grid runs as a
+:class:`~repro.experiments.sweep.SweepSpec` through the parallel sweep
+engine (``REPRO_SWEEP_WORKERS`` fans it out).
 """
 
 from repro.experiments.common import run_campaign, standard_hybrid_app
+from repro.experiments.sweep import SweepSpec, run_sweep, sweep_cache
 from repro.metrics.report import render_series
 from repro.quantum.technology import SUPERCONDUCTING
 from repro.strategies.coschedule import CoScheduleStrategy
@@ -22,26 +27,45 @@ STRATEGIES = (
 )
 
 
-def _sweep(seed: int = 0):
-    app_kwargs = dict(
+def _point(params, seed):
+    strategy_class = dict(STRATEGIES)[params["strategy"]]
+    app = standard_hybrid_app(
+        SUPERCONDUCTING,
         iterations=4,
         classical_phase_seconds=60.0,
         classical_nodes=4,
         shots=1000,
     )
+    records, _ = run_campaign(
+        strategy_class(),
+        [app],
+        SUPERCONDUCTING,
+        classical_nodes=8,
+        seed=seed,
+        scheduling_cycle=params["cycle"],
+    )
+    return records[0].turnaround
+
+
+def _sweep(seed: int = 0):
+    spec = SweepSpec(
+        experiment_id="A5-cycle-ablation",
+        axes={
+            "cycle": list(CYCLES),
+            "strategy": [name for name, _ in STRATEGIES],
+        },
+        base_seed=seed,
+        seed_mode="shared",
+    )
     results = {name: [] for name, _ in STRATEGIES}
-    for cycle in CYCLES:
-        for name, strategy_class in STRATEGIES:
-            app = standard_hybrid_app(SUPERCONDUCTING, **app_kwargs)
-            records, _ = run_campaign(
-                strategy_class(),
-                [app],
-                SUPERCONDUCTING,
-                classical_nodes=8,
-                seed=seed,
-                scheduling_cycle=cycle,
-            )
-            results[name].append(records[0].turnaround)
+    run_sweep(
+        spec,
+        _point,
+        cache=sweep_cache(None),
+        on_result=lambda point, value: results[
+            point.params["strategy"]
+        ].append(value),
+    )
     return results
 
 

@@ -1,0 +1,158 @@
+"""Sweep-engine benchmark: serial vs parallel vs warm cache.
+
+A 30-point (vqpus x tenants x phase-length) grid of real multi-tenant
+campaigns runs three ways:
+
+1. serial, cold (the pre-engine behaviour: one process, no reuse);
+2. through a 4-worker process pool, cold cache (populates the cache);
+3. serial again against the warm on-disk cache (no simulation at all).
+
+The acceptance assertions: all three produce byte-identical results,
+and the engine cuts wall time by >= 3x on this grid — via the process
+pool where >= 4 cores exist, and via the warm cache everywhere (cache
+hits replace simulation regardless of core count; on a single-core CI
+box the pool can't beat the GIL-free but serialised hardware).  The
+measured times and speedups are recorded in ``BENCH_<rev>.json``.
+"""
+
+import os
+
+from repro.experiments.common import run_campaign, standard_hybrid_app
+from repro.experiments.sweep import (
+    SweepCache,
+    SweepSpec,
+    canonical_bytes,
+    run_sweep,
+)
+from repro.metrics.report import render_table
+from repro.quantum.technology import SUPERCONDUCTING
+from repro.strategies.vqpu import VQPUStrategy
+
+WORKERS = 4
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+#: 5 x 2 x 3 = 30 grid points, each a full campaign simulation.
+GRID = {
+    "vqpus": [1, 2, 3, 4, 6],
+    "tenants": [6, 10],
+    "phase_s": [60.0, 120.0, 180.0],
+}
+
+
+def _campaign_point(params, seed):
+    apps = [
+        standard_hybrid_app(
+            SUPERCONDUCTING,
+            iterations=6,
+            classical_phase_seconds=params["phase_s"],
+            classical_nodes=2,
+            name=f"tenant-{index}",
+        )
+        for index in range(params["tenants"])
+    ]
+    records, env = run_campaign(
+        VQPUStrategy(),
+        apps,
+        SUPERCONDUCTING,
+        classical_nodes=4 * params["tenants"],
+        vqpus_per_qpu=params["vqpus"],
+        background_rho=0.9,
+        background_horizon=4 * 3600.0,
+        seed=seed,
+        scheduling_cycle=30.0,
+    )
+    ends = [r.end_time for r in records if r.end_time is not None]
+    return {
+        "makespan": max(ends) - min(r.submit_time for r in records),
+        "qpu_busy": env.primary_qpu().busy.time_average(),
+    }
+
+
+def _spec(seed: int = 0) -> SweepSpec:
+    return SweepSpec(
+        experiment_id="bench-sweep",
+        axes=GRID,
+        base_seed=seed,
+        seed_mode="derived",
+    )
+
+
+def test_bench_sweep(run_once, bench_record, tmp_path):
+    cache = SweepCache(tmp_path, code_version="bench")
+
+    def three_way():
+        serial = run_sweep(_spec(), _campaign_point, workers=1)
+        parallel = run_sweep(
+            _spec(), _campaign_point, workers=WORKERS, cache=cache
+        )
+        warm = run_sweep(
+            _spec(), _campaign_point, workers=1, cache=cache
+        )
+        return serial, parallel, warm
+
+    serial, parallel, warm = run_once(three_way)
+
+    assert len(serial.points) == 30
+    # Byte-identity across execution modes (the determinism contract).
+    blob = canonical_bytes(serial.values)
+    assert canonical_bytes(parallel.values) == blob
+    assert canonical_bytes(warm.values) == blob
+    assert parallel.cache_hits == 0
+    assert warm.cache_hits == 30
+
+    parallel_speedup = serial.wall_seconds / max(
+        parallel.wall_seconds, 1e-9
+    )
+    warm_speedup = serial.wall_seconds / max(warm.wall_seconds, 1e-9)
+    print()
+    print(
+        render_table(
+            ["mode", "wall_s", "speedup"],
+            [
+                ["serial cold", round(serial.wall_seconds, 3), "1.0x"],
+                [
+                    f"{WORKERS} workers cold",
+                    round(parallel.wall_seconds, 3),
+                    f"{parallel_speedup:.1f}x",
+                ],
+                [
+                    "warm cache",
+                    round(warm.wall_seconds, 3),
+                    f"{warm_speedup:.1f}x",
+                ],
+            ],
+            title=(
+                "Sweep engine: 30-point campaign grid "
+                f"({_usable_cores()} usable cores)"
+            ),
+        )
+    )
+    bench_record(
+        grid_points=30,
+        workers=WORKERS,
+        usable_cores=_usable_cores(),
+        serial_cold_s=round(serial.wall_seconds, 4),
+        parallel_cold_s=round(parallel.wall_seconds, 4),
+        warm_cache_s=round(warm.wall_seconds, 4),
+        parallel_speedup=round(parallel_speedup, 2),
+        warm_cache_speedup=round(warm_speedup, 2),
+        byte_identical=True,
+    )
+
+    # >= 3x wall-time reduction through the engine on this grid.  The
+    # pool delivers it when the hardware can (>= 4 usable cores — the
+    # affinity mask, not os.cpu_count(), which ignores cgroup/affinity
+    # limits on CI runners); the warm cache must deliver it
+    # unconditionally.
+    assert warm_speedup >= 3.0, (serial.wall_seconds, warm.wall_seconds)
+    if _usable_cores() >= 4:
+        assert parallel_speedup >= 3.0, (
+            serial.wall_seconds,
+            parallel.wall_seconds,
+        )

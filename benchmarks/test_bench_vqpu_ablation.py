@@ -4,9 +4,13 @@ Fine sweep of the VQPU count for a fixed tenant population.  The
 makespan must fall monotonically with V and saturate once V reaches the
 tenant count: beyond it there is nobody left to interleave, so extra
 virtual units buy nothing (the delay-bound knob, not a throughput knob).
+
+The grid runs as a :class:`~repro.experiments.sweep.SweepSpec` through
+the parallel sweep engine (``REPRO_SWEEP_WORKERS`` fans it out).
 """
 
 from repro.experiments.common import run_campaign, standard_hybrid_app
+from repro.experiments.sweep import SweepSpec, sweep_values
 from repro.metrics.report import render_series
 from repro.quantum.technology import SUPERCONDUCTING
 from repro.strategies.vqpu import VQPUStrategy
@@ -15,32 +19,44 @@ TENANTS = 6
 SWEEP = (1, 2, 3, 6, 12)
 
 
-def _sweep(seed: int = 0):
-    makespans = []
-    busy = []
-    for vqpus in SWEEP:
-        apps = [
-            standard_hybrid_app(
-                SUPERCONDUCTING,
-                iterations=3,
-                classical_phase_seconds=90.0,
-                classical_nodes=2,
-                name=f"tenant-{index}",
-            )
-            for index in range(TENANTS)
-        ]
-        records, env = run_campaign(
-            VQPUStrategy(),
-            apps,
+def _point(params, seed):
+    apps = [
+        standard_hybrid_app(
             SUPERCONDUCTING,
-            classical_nodes=4 * TENANTS,
-            vqpus_per_qpu=vqpus,
-            seed=seed,
+            iterations=3,
+            classical_phase_seconds=90.0,
+            classical_nodes=2,
+            name=f"tenant-{index}",
         )
-        ends = [r.end_time for r in records if r.end_time is not None]
-        starts = [r.submit_time for r in records]
-        makespans.append(max(ends) - min(starts))
-        busy.append(env.primary_qpu().busy.time_average())
+        for index in range(params["tenants"])
+    ]
+    records, env = run_campaign(
+        VQPUStrategy(),
+        apps,
+        SUPERCONDUCTING,
+        classical_nodes=4 * params["tenants"],
+        vqpus_per_qpu=params["vqpus"],
+        seed=seed,
+    )
+    ends = [r.end_time for r in records if r.end_time is not None]
+    starts = [r.submit_time for r in records]
+    return {
+        "makespan": max(ends) - min(starts),
+        "busy": env.primary_qpu().busy.time_average(),
+    }
+
+
+def _sweep(seed: int = 0):
+    spec = SweepSpec(
+        experiment_id="A1-vqpu-ablation",
+        axes={"vqpus": list(SWEEP)},
+        constants={"tenants": TENANTS},
+        base_seed=seed,
+        seed_mode="shared",
+    )
+    values = sweep_values(spec, _point)
+    makespans = [value["makespan"] for value in values]
+    busy = [value["busy"] for value in values]
     return makespans, busy
 
 

@@ -6,16 +6,19 @@ Usage::
     repro-hpcqc run E1 E4            # specific experiments
     repro-hpcqc run all --seed 7     # everything
     repro-hpcqc run all --markdown   # EXPERIMENTS.md-style output
+    repro-hpcqc sweep all --workers 4 --cache-dir .sweep-cache
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional
 
 from repro._version import __version__
-from repro.experiments import EXPERIMENTS
+from repro.experiments import EXPERIMENTS, SWEEP_EXPERIMENTS
+from repro.experiments.sweep import resolve_workers
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -47,6 +50,48 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="render results as markdown instead of plain tables",
     )
+
+    sweep_parser = subparsers.add_parser(
+        "sweep",
+        help=(
+            "run grid experiments through the parallel sweep engine "
+            "(process-pool workers + optional on-disk result cache)"
+        ),
+    )
+    sweep_parser.add_argument(
+        "experiments",
+        nargs="+",
+        help=(
+            "sweep-capable experiment ids "
+            f"({', '.join(sorted(SWEEP_EXPERIMENTS))}) or 'all'"
+        ),
+    )
+    sweep_parser.add_argument(
+        "--seed", type=int, default=0, help="root RNG seed (default 0)"
+    )
+    sweep_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help=(
+            "worker processes per sweep (default: $REPRO_SWEEP_WORKERS "
+            "or 1 = serial; results are byte-identical either way)"
+        ),
+    )
+    sweep_parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help=(
+            "directory for the on-disk result cache (default: "
+            "$REPRO_SWEEP_CACHE_DIR or no cache); re-runs only "
+            "simulate new grid points"
+        ),
+    )
+    sweep_parser.add_argument(
+        "--markdown",
+        action="store_true",
+        help="render results as markdown instead of plain tables",
+    )
     return parser
 
 
@@ -59,30 +104,71 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"{experiment_id}: {doc}")
         return 0
     if args.command == "run":
-        requested = args.experiments
-        if any(token.lower() == "all" for token in requested):
-            requested = sorted(EXPERIMENTS)
-        unknown = [token for token in requested if token not in EXPERIMENTS]
-        if unknown:
-            parser.error(
-                f"unknown experiment(s): {unknown}; "
-                f"known: {sorted(EXPERIMENTS)}"
-            )
-        any_failed = False
-        for experiment_id in requested:
-            result = EXPERIMENTS[experiment_id](seed=args.seed)
-            output = (
-                result.render_markdown()
-                if args.markdown
-                else result.render()
-            )
-            print(output)
-            print()
-            if not result.all_passed:
-                any_failed = True
-        return 1 if any_failed else 0
+        return _run_experiments(
+            parser,
+            args,
+            registry=EXPERIMENTS,
+            unknown_message="unknown experiment(s)",
+            registry_label="known",
+        )
+    if args.command == "sweep":
+        workers = resolve_workers(args.workers)
+        return _run_experiments(
+            parser,
+            args,
+            registry=SWEEP_EXPERIMENTS,
+            unknown_message="not sweep-capable",
+            registry_label="sweepable",
+            run_kwargs={
+                "workers": workers,
+                "cache_dir": args.cache_dir,
+            },
+            footer=lambda experiment_id, elapsed: (
+                f"[sweep] {experiment_id}: {elapsed:.2f}s "
+                f"(workers={workers}, "
+                f"cache={args.cache_dir or 'off'})"
+            ),
+        )
     parser.print_help()
     return 2
+
+
+def _run_experiments(
+    parser,
+    args,
+    registry,
+    unknown_message,
+    registry_label,
+    run_kwargs=None,
+    footer=None,
+) -> int:
+    """Shared execute/render loop behind the ``run`` and ``sweep`` verbs."""
+    requested = args.experiments
+    if any(token.lower() == "all" for token in requested):
+        requested = sorted(registry)
+    unknown = [token for token in requested if token not in registry]
+    if unknown:
+        parser.error(
+            f"{unknown_message}: {unknown}; "
+            f"{registry_label}: {sorted(registry)}"
+        )
+    any_failed = False
+    for experiment_id in requested:
+        start = time.perf_counter()
+        result = registry[experiment_id](
+            seed=args.seed, **(run_kwargs or {})
+        )
+        elapsed = time.perf_counter() - start
+        output = (
+            result.render_markdown() if args.markdown else result.render()
+        )
+        print(output)
+        if footer is not None:
+            print(footer(experiment_id, elapsed))
+        print()
+        if not result.all_passed:
+            any_failed = True
+    return 1 if any_failed else 0
 
 
 if __name__ == "__main__":

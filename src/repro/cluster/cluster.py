@@ -34,6 +34,14 @@ class Cluster:
         #: Monotone counter bumped on every allocation mutation; lets
         #: incremental consumers (timeline caches) detect missed deltas.
         self.allocation_version = 0
+        #: Monotone counter bumped whenever any node's capacity class
+        #: changes (up <-> draining <-> down).  Capacity consumers
+        #: (timeline caches) compare versions instead of rescanning
+        #: every node state per pass.
+        self.node_state_version = 0
+        for partition in partitions:
+            for node in partition.nodes:
+                node._state_listener = self._on_node_state_change
         #: Observers of allocation deltas, called synchronously with
         #: ``(kind, allocation, node_count)`` where kind is one of
         #: ``allocate``/``release``/``shrink``/``grow``.
@@ -107,6 +115,9 @@ class Cluster:
         self.allocation_version += 1
         for listener in self._allocation_listeners:
             listener(kind, allocation, count)
+
+    def _on_node_state_change(self) -> None:
+        self.node_state_version += 1
 
     # -- allocate / release ----------------------------------------------------------
 

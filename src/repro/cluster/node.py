@@ -13,7 +13,7 @@ its grant.
 from __future__ import annotations
 
 import enum
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.errors import AllocationError, ConfigurationError
 
@@ -83,10 +83,35 @@ class Node:
         self.state = NodeState.IDLE
         #: Job id currently holding the node, if any.
         self.allocated_to: Optional[str] = None
+        #: Set by the owning cluster: called (with no arguments) when
+        #: the node's *capacity class* changes (up / draining / down),
+        #: i.e. exactly when partition capacity figures can change.
+        self._state_listener: Optional[Callable[[], None]] = None
         self._gres: Dict[str, List[GresInstance]] = {}
         for instance in gres or []:
             instance.node = self
             self._gres.setdefault(instance.gres_type, []).append(instance)
+
+    @staticmethod
+    def _capacity_class(state: NodeState) -> int:
+        """Partition capacity depends only on this coarsening of state:
+        IDLE/ALLOCATED nodes are usable, DRAINING ones keep their gres
+        capacity but not their node slot, DOWN ones contribute nothing."""
+        if state in (NodeState.IDLE, NodeState.ALLOCATED):
+            return 0
+        if state == NodeState.DRAINING:
+            return 1
+        return 2
+
+    def _transition(self, new_state: NodeState) -> None:
+        """Change state, notifying the cluster on capacity changes."""
+        old_class = self._capacity_class(self.state)
+        self.state = new_state
+        if (
+            self._state_listener is not None
+            and old_class != self._capacity_class(new_state)
+        ):
+            self._state_listener()
 
     # -- gres ----------------------------------------------------------------
 
@@ -159,7 +184,7 @@ class Node:
     def mark_down(self) -> Optional[str]:
         """Take the node down; returns the id of the evicted job, if any."""
         evicted = self.allocated_to
-        self.state = NodeState.DOWN
+        self._transition(NodeState.DOWN)
         self.allocated_to = None
         for instances in self._gres.values():
             for instance in instances:
@@ -169,12 +194,12 @@ class Node:
     def mark_up(self) -> None:
         """Bring a down/draining node back to service."""
         if self.state in (NodeState.DOWN, NodeState.DRAINING):
-            self.state = NodeState.IDLE
+            self._transition(NodeState.IDLE)
 
     def drain(self) -> None:
         """Stop accepting new jobs; current job may finish."""
         if self.state == NodeState.IDLE:
-            self.state = NodeState.DRAINING
+            self._transition(NodeState.DRAINING)
         elif self.state == NodeState.ALLOCATED:
             # Allocated nodes drain upon release; model as DRAINING once free.
             self.state = NodeState.ALLOCATED  # release() will set IDLE

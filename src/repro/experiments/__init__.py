@@ -17,6 +17,16 @@ from repro.experiments.harness import (
     ResultTable,
     assert_all_claims,
 )
+from repro.experiments.sweep import (
+    SweepCache,
+    SweepPoint,
+    SweepResult,
+    SweepSpec,
+    canonical_bytes,
+    derive_point_seed,
+    run_sweep,
+    sweep_values,
+)
 
 #: Experiment id -> run callable (keyword args: seed, ...).
 EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
@@ -29,10 +39,28 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "E7": access_model.run,
 }
 
+#: The subset whose grids execute through the sweep engine (their
+#: ``run`` accepts ``workers=``/``cache_dir=``).
+SWEEP_EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
+    "E4": fig3_vqpu.run,
+    "E5": fig4_malleability.run,
+    "E6": crossover.run,
+    "E7": access_model.run,
+}
+
 __all__ = [
     "ClaimCheck",
     "EXPERIMENTS",
     "ExperimentResult",
     "ResultTable",
+    "SWEEP_EXPERIMENTS",
+    "SweepCache",
+    "SweepPoint",
+    "SweepResult",
+    "SweepSpec",
     "assert_all_claims",
+    "canonical_bytes",
+    "derive_point_seed",
+    "run_sweep",
+    "sweep_values",
 ]

@@ -17,9 +17,10 @@ once the user population grows — the gap the paper's proposals target.
 
 from __future__ import annotations
 
-from typing import List
+from typing import Any, Dict, Optional
 
 from repro.experiments.harness import ExperimentResult
+from repro.experiments.sweep import SweepSpec, run_sweep, sweep_cache
 from repro.metrics.stats import mean
 from repro.quantum.circuit import Circuit
 from repro.quantum.cloud import CloudQPUEndpoint
@@ -117,12 +118,61 @@ def _batch_scenario(
     return overheads
 
 
+def _run_point(params: Dict[str, Any], seed: int) -> Dict[str, float]:
+    """One (model, user-count) cell; summary stats of the overheads."""
+    if params["model"] == "cloud":
+        overheads = _cloud_scenario(
+            params["users"],
+            params["kernels_per_user"],
+            params["think_time"],
+            seed,
+        )
+    else:
+        overheads = _batch_scenario(
+            params["users"],
+            params["kernels_per_user"],
+            params["think_time"],
+            seed,
+            params["scheduling_cycle"],
+        )
+    return {
+        "mean": overheads.mean,
+        "p95": overheads.percentile(95),
+        "minimum": overheads.minimum,
+    }
+
+
+def sweep_spec(
+    seed: int = 0,
+    kernels_per_user: int = 8,
+    think_time: float = 30.0,
+    scheduling_cycle: float = 30.0,
+    user_counts: tuple = (1, 4, 16),
+) -> SweepSpec:
+    return SweepSpec(
+        experiment_id="E7",
+        axes={
+            "users": list(user_counts),
+            "model": ["cloud", "batch"],
+        },
+        constants={
+            "kernels_per_user": kernels_per_user,
+            "think_time": think_time,
+            "scheduling_cycle": scheduling_cycle,
+        },
+        base_seed=seed,
+        seed_mode="shared",
+    )
+
+
 def run(
     seed: int = 0,
     kernels_per_user: int = 8,
     think_time: float = 30.0,
     scheduling_cycle: float = 30.0,
     user_counts: tuple = (1, 4, 16),
+    workers: Optional[int] = None,
+    cache_dir: Optional[str] = None,
 ) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="E7",
@@ -142,24 +192,41 @@ def run(
         },
     )
     rows = []
-    cloud_by_users = {}
-    batch_by_users = {}
-    for users in user_counts:
-        cloud = _cloud_scenario(users, kernels_per_user, think_time, seed)
-        batch = _batch_scenario(
-            users, kernels_per_user, think_time, seed, scheduling_cycle
-        )
-        cloud_by_users[users] = cloud
-        batch_by_users[users] = batch
-        rows.append(
-            [
-                users,
-                round(cloud.mean, 2),
-                round(cloud.percentile(95), 2),
-                round(batch.mean, 2),
-                round(batch.percentile(95), 2),
-            ]
-        )
+    cloud_by_users: Dict[int, Dict[str, float]] = {}
+    batch_by_users: Dict[int, Dict[str, float]] = {}
+
+    def aggregate(point, metrics: Dict[str, float]) -> None:
+        users = point.params["users"]
+        if point.params["model"] == "cloud":
+            cloud_by_users[users] = metrics
+        else:
+            batch_by_users[users] = metrics
+            # Point order is users-major, cloud before batch: the pair
+            # is complete when the batch half arrives.
+            cloud = cloud_by_users[users]
+            rows.append(
+                [
+                    users,
+                    round(cloud["mean"], 2),
+                    round(cloud["p95"], 2),
+                    round(metrics["mean"], 2),
+                    round(metrics["p95"], 2),
+                ]
+            )
+
+    run_sweep(
+        sweep_spec(
+            seed=seed,
+            kernels_per_user=kernels_per_user,
+            think_time=think_time,
+            scheduling_cycle=scheduling_cycle,
+            user_counts=user_counts,
+        ),
+        _run_point,
+        workers=workers,
+        cache=sweep_cache(cache_dir),
+        on_result=aggregate,
+    )
     result.add_table(
         "Per-kernel access overhead (seconds; kernel exec ~3 s)",
         [
@@ -176,38 +243,38 @@ def run(
     result.check(
         "the cloud path costs at least a polling quantum even for a "
         "single idle user",
-        single_cloud.minimum >= 0.5,
-        detail=f"min overhead {single_cloud.minimum:.2f}s",
+        single_cloud["minimum"] >= 0.5,
+        detail=f"min overhead {single_cloud['minimum']:.2f}s",
     )
     many = max(user_counts)
     result.check(
         "cloud overhead grows with the user population (vendor-queue "
         "contention)",
-        cloud_by_users[many].mean > single_cloud.mean * 2,
+        cloud_by_users[many]["mean"] > single_cloud["mean"] * 2,
         detail=(
-            f"{single_cloud.mean:.2f}s (1 user) -> "
-            f"{cloud_by_users[many].mean:.2f}s ({many} users)"
+            f"{single_cloud['mean']:.2f}s (1 user) -> "
+            f"{cloud_by_users[many]['mean']:.2f}s ({many} users)"
         ),
     )
     result.check(
         "the batch path pays the scheduling cycle per kernel: the "
         "unloaded mean overhead is about half a cycle (submissions land "
         "uniformly within the running cycle)",
-        batch_by_users[min(user_counts)].mean >= scheduling_cycle * 0.4,
+        batch_by_users[min(user_counts)]["mean"] >= scheduling_cycle * 0.4,
         detail=(
             f"mean overhead "
-            f"{batch_by_users[min(user_counts)].mean:.1f}s vs cycle "
+            f"{batch_by_users[min(user_counts)]['mean']:.1f}s vs cycle "
             f"{scheduling_cycle:.0f}s"
         ),
     )
     result.check(
         "in both models the seconds-scale kernel is dwarfed by access "
         "overhead at high tenancy (overhead > 3x execution)",
-        batch_by_users[many].mean > 9.0
-        and cloud_by_users[many].mean > 9.0,
+        batch_by_users[many]["mean"] > 9.0
+        and cloud_by_users[many]["mean"] > 9.0,
         detail=(
-            f"batch {batch_by_users[many].mean:.1f}s, "
-            f"cloud {cloud_by_users[many].mean:.1f}s vs ~3 s exec"
+            f"batch {batch_by_users[many]['mean']:.1f}s, "
+            f"cloud {cloud_by_users[many]['mean']:.1f}s vs ~3 s exec"
         ),
     )
     return result

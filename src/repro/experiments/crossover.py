@@ -19,10 +19,11 @@ The regime map the paper sketches in prose is then checked explicitly:
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.experiments.common import run_campaign, standard_hybrid_app
 from repro.experiments.harness import ExperimentResult
+from repro.experiments.sweep import SweepSpec, run_sweep, sweep_cache
 from repro.metrics.stats import mean
 from repro.quantum.technology import (
     NEUTRAL_ATOM,
@@ -45,16 +46,104 @@ _TECH_CELLS: List[Tuple[str, QPUTechnology, int, int, float, int]] = [
 
 _LOADS = (("low load", 0.0), ("high load", 1.1))
 
+_STRATEGY_NAMES = ("coschedule", "workflow", "vqpu", "malleable", "elastic")
 
-def _strategies_for(vqpus: int):
-    return [
-        ("coschedule", CoScheduleStrategy(), 1),
-        ("workflow", WorkflowStrategy(), 1),
-        ("vqpu", VQPUStrategy(), vqpus),
-        ("malleable", MalleableStrategy(), 1),
-        # Extension (S4): single job, QPU attached per quantum phase.
-        ("elastic", ElasticQPUStrategy(), 1),
+
+def _make_strategy(name: str, tenants: int):
+    """Strategy instance + VQPU count for one grid point."""
+    if name == "coschedule":
+        return CoScheduleStrategy(), 1
+    if name == "workflow":
+        return WorkflowStrategy(), 1
+    if name == "vqpu":
+        return VQPUStrategy(), tenants
+    if name == "malleable":
+        return MalleableStrategy(), 1
+    # Extension (S4): single job, QPU attached per quantum phase.
+    return ElasticQPUStrategy(), 1
+
+
+def _run_cell(params: Dict[str, Any], seed: int) -> Dict[str, float]:
+    """One grid point: a full multi-tenant campaign in a fresh facility."""
+    tech_label = params["technology"]
+    name = params["strategy"]
+    rho = dict(_LOADS)[params["load"]]
+    _, technology, tenants, iterations, phase_s, shots = next(
+        cell for cell in _TECH_CELLS if cell[0] == tech_label
+    )
+    strategy, vqpus = _make_strategy(name, tenants)
+    apps = [
+        standard_hybrid_app(
+            technology,
+            iterations=iterations,
+            classical_phase_seconds=phase_s,
+            classical_nodes=4,
+            min_classical_nodes=1,
+            shots=shots,
+            name=f"{tech_label[:2]}-{name}-t{index}",
+        )
+        for index in range(tenants)
     ]
+    submit_at = params["warmup"] if rho > 0 else 0.0
+    records, env = run_campaign(
+        strategy,
+        apps,
+        technology,
+        classical_nodes=8 * tenants,
+        vqpus_per_qpu=vqpus,
+        background_rho=rho,
+        background_horizon=params["horizon"],
+        seed=seed,
+        submit_times=[submit_at] * tenants,
+        scheduling_cycle=params["scheduling_cycle"],
+    )
+    del env
+    turnarounds = [r.turnaround for r in records if r.turnaround]
+    wasted = sum(
+        max(
+            r.classical_held_node_seconds - r.classical_useful_node_seconds,
+            0.0,
+        )
+        for r in records
+    )
+    completed = sum(
+        1 for r in records if r.details.get("final_state") == "completed"
+    )
+    return {
+        "mean_turnaround": mean(turnarounds),
+        "wasted_node_s": wasted,
+        "completed": completed,
+        "queue_entries": mean(
+            [float(len(r.queue_waits)) for r in records]
+        ),
+        "tenants": tenants,
+    }
+
+
+def sweep_spec(
+    seed: int = 0,
+    horizon: float = 10 * 3600.0,
+    scheduling_cycle: float = 30.0,
+    warmup: float = 3600.0,
+) -> SweepSpec:
+    """The experiment's grid: technology x load x strategy (30 points)."""
+    return SweepSpec(
+        experiment_id="E6",
+        axes={
+            "technology": [cell[0] for cell in _TECH_CELLS],
+            "load": [label for label, _ in _LOADS],
+            "strategy": list(_STRATEGY_NAMES),
+        },
+        constants={
+            "horizon": horizon,
+            "scheduling_cycle": scheduling_cycle,
+            "warmup": warmup,
+        },
+        base_seed=seed,
+        # Matched universes: every cell faces the same random
+        # environment, as the paper's comparison requires.
+        seed_mode="shared",
+    )
 
 
 def run(
@@ -62,6 +151,8 @@ def run(
     horizon: float = 10 * 3600.0,
     scheduling_cycle: float = 30.0,
     warmup: float = 3600.0,
+    workers: Optional[int] = None,
+    cache_dir: Optional[str] = None,
 ) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="E6",
@@ -75,74 +166,38 @@ def run(
         ),
         parameters={"seed": seed, "scheduling_cycle_s": scheduling_cycle},
     )
-    rows = []
+    rows: List[List[Any]] = []
     cells: Dict[Tuple[str, str], Dict[str, Dict[str, float]]] = {}
-    for tech_label, technology, tenants, iterations, phase_s, shots in (
-        _TECH_CELLS
-    ):
-        for load_label, rho in _LOADS:
-            cell: Dict[str, Dict[str, float]] = {}
-            for name, strategy, vqpus in _strategies_for(tenants):
-                apps = [
-                    standard_hybrid_app(
-                        technology,
-                        iterations=iterations,
-                        classical_phase_seconds=phase_s,
-                        classical_nodes=4,
-                        min_classical_nodes=1,
-                        shots=shots,
-                        name=f"{tech_label[:2]}-{name}-t{index}",
-                    )
-                    for index in range(tenants)
-                ]
-                submit_at = warmup if rho > 0 else 0.0
-                records, env = run_campaign(
-                    strategy,
-                    apps,
-                    technology,
-                    classical_nodes=8 * tenants,
-                    vqpus_per_qpu=vqpus,
-                    background_rho=rho,
-                    background_horizon=horizon,
-                    seed=seed,
-                    submit_times=[submit_at] * tenants,
-                    scheduling_cycle=scheduling_cycle,
-                )
-                turnarounds = [
-                    r.turnaround for r in records if r.turnaround
-                ]
-                wasted = sum(
-                    max(
-                        r.classical_held_node_seconds
-                        - r.classical_useful_node_seconds,
-                        0.0,
-                    )
-                    for r in records
-                )
-                completed = sum(
-                    1
-                    for r in records
-                    if r.details.get("final_state") == "completed"
-                )
-                cell[name] = {
-                    "mean_turnaround": mean(turnarounds),
-                    "wasted_node_s": wasted,
-                    "completed": completed,
-                    "queue_entries": mean(
-                        [float(len(r.queue_waits)) for r in records]
-                    ),
-                }
-                rows.append(
-                    [
-                        tech_label,
-                        load_label,
-                        name,
-                        round(mean(turnarounds), 1),
-                        round(wasted, 1),
-                        f"{completed}/{tenants}",
-                    ]
-                )
-            cells[(tech_label, load_label)] = cell
+
+    def aggregate(point, metrics: Dict[str, float]) -> None:
+        """Streamed in point order: table rows land deterministically."""
+        tech_label = point.params["technology"]
+        load_label = point.params["load"]
+        name = point.params["strategy"]
+        cells.setdefault((tech_label, load_label), {})[name] = metrics
+        rows.append(
+            [
+                tech_label,
+                load_label,
+                name,
+                round(metrics["mean_turnaround"], 1),
+                round(metrics["wasted_node_s"], 1),
+                f"{metrics['completed']:.0f}/{metrics['tenants']:.0f}",
+            ]
+        )
+
+    run_sweep(
+        sweep_spec(
+            seed=seed,
+            horizon=horizon,
+            scheduling_cycle=scheduling_cycle,
+            warmup=warmup,
+        ),
+        _run_cell,
+        workers=workers,
+        cache=sweep_cache(cache_dir),
+        on_result=aggregate,
+    )
     result.add_table(
         "Crossover sweep (mean tenant turnaround / wasted classical "
         "node-seconds)",

@@ -17,14 +17,19 @@ The marginal-gains caveat is also reproduced: for quantum-dominated
 tenants ("the time needed by the quantum partition is comparable to or
 greater than the one required to prepare the data"), virtualisation
 stops helping.
+
+The two sub-sweeps (classical-dominated V sweep, quantum-dominated
+caveat pair) are one non-rectangular :class:`SweepSpec` executed
+through the parallel sweep engine.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import Any, Dict, List, Optional
 
 from repro.experiments.common import run_campaign, standard_hybrid_app
 from repro.experiments.harness import ExperimentResult
+from repro.experiments.sweep import SweepSpec, run_sweep, sweep_cache
 from repro.metrics.stats import mean
 from repro.quantum.technology import SUPERCONDUCTING
 from repro.strategies.vqpu import VQPUStrategy
@@ -49,11 +54,86 @@ def _tenant_apps(
     ]
 
 
+def _run_point(params: Dict[str, Any], seed: int) -> Dict[str, float]:
+    """One V-sweep cell: a fresh multi-tenant campaign."""
+    tenants = params["tenants"]
+    v = params["vqpus"]
+    quantum_dominated = params["case"] == "quantum"
+    apps = _tenant_apps(
+        tenants,
+        classical_phase_seconds=5.0 if quantum_dominated else 120.0,
+        iterations=params["iterations"],
+        shots=20000 if quantum_dominated else 1000,
+    )
+    records, env = run_campaign(
+        VQPUStrategy(),
+        apps,
+        SUPERCONDUCTING,
+        classical_nodes=4 * tenants,
+        vqpus_per_qpu=v,
+        seed=seed,
+    )
+    turnarounds = [r.turnaround for r in records if r.turnaround]
+    makespan = max(
+        r.end_time for r in records if r.end_time is not None
+    ) - min(r.submit_time for r in records)
+    qpu = env.primary_qpu()
+    busy_fraction = qpu.busy.time_average(makespan)
+    interleave_waits = [
+        wait for r in records for wait in r.quantum_access_waits
+    ]
+    kernel_time = mean(
+        [
+            r.qpu_busy_seconds / max(len(r.quantum_access_waits), 1)
+            for r in records
+        ]
+    )
+    bound = (v - 1) * max(
+        (
+            r.qpu_busy_seconds / max(len(r.quantum_access_waits), 1)
+            for r in records
+        ),
+        default=0.0,
+    )
+    return {
+        "makespan": makespan,
+        "mean_turnaround": mean(turnarounds),
+        "busy_fraction": busy_fraction,
+        "max_wait": max(interleave_waits, default=0.0),
+        "mean_wait": mean(interleave_waits),
+        "bound": bound,
+        "kernel_time": kernel_time,
+    }
+
+
+def sweep_spec(
+    seed: int = 0,
+    tenants: int = 8,
+    iterations: int = 4,
+    vqpu_counts: tuple = (1, 2, 4, 8),
+) -> SweepSpec:
+    """Classical-dominated V sweep plus the quantum-dominated caveat pair."""
+    points = [
+        {"case": "classical", "vqpus": v} for v in vqpu_counts
+    ] + [
+        {"case": "quantum", "vqpus": v} for v in (1, max(vqpu_counts))
+    ]
+    return SweepSpec(
+        experiment_id="E4",
+        explicit=points,
+        constants={"tenants": tenants, "iterations": iterations},
+        base_seed=seed,
+        seed_mode="shared",
+    )
+
+
 def run(
     seed: int = 0,
     tenants: int = 8,
     iterations: int = 4,
     vqpu_counts: tuple = (1, 2, 4, 8),
+    workers: Optional[int] = None,
+    cache_dir: Optional[str] = None,
 ) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="E4",
@@ -70,67 +150,49 @@ def run(
             "seed": seed,
         },
     )
-    technology = SUPERCONDUCTING
 
     # Classical-dominated tenants: 120 s classical phases, ~3 s kernels.
     rows = []
-    sweep = {}
-    for v in vqpu_counts:
-        apps = _tenant_apps(
-            tenants,
-            classical_phase_seconds=120.0,
-            iterations=iterations,
-            shots=1000,
-        )
-        records, env = run_campaign(
-            VQPUStrategy(),
-            apps,
-            technology,
-            classical_nodes=4 * tenants,
-            vqpus_per_qpu=v,
-            seed=seed,
-        )
-        turnarounds = [r.turnaround for r in records if r.turnaround]
-        makespan = max(
-            r.end_time for r in records if r.end_time is not None
-        ) - min(r.submit_time for r in records)
-        qpu = env.primary_qpu()
-        busy_fraction = qpu.busy.time_average(makespan)
-        interleave_waits = [
-            wait for r in records for wait in r.quantum_access_waits
-        ]
-        kernel_time = mean(
-            [
-                r.qpu_busy_seconds / max(len(r.quantum_access_waits), 1)
-                for r in records
-            ]
-        )
-        bound = (v - 1) * max(
-            (
-                r.qpu_busy_seconds / max(len(r.quantum_access_waits), 1)
-                for r in records
-            ),
-            default=0.0,
-        )
-        sweep[v] = {
-            "makespan": makespan,
-            "mean_turnaround": mean(turnarounds),
-            "busy_fraction": busy_fraction,
-            "max_wait": max(interleave_waits, default=0.0),
-            "mean_wait": mean(interleave_waits),
-            "bound": bound,
-        }
+    sweep: Dict[int, Dict[str, float]] = {}
+    caveat_rows = []
+    caveat: Dict[int, float] = {}
+    kernel_times: List[float] = []
+
+    def aggregate(point, metrics: Dict[str, float]) -> None:
+        v = point.params["vqpus"]
+        if point.params["case"] == "quantum":
+            caveat[v] = metrics["makespan"]
+            caveat_rows.append([v, round(metrics["makespan"], 1)])
+            return
+        sweep[v] = metrics
+        kernel_times.append(metrics["kernel_time"])
         rows.append(
             [
                 v,
-                round(makespan, 1),
-                round(mean(turnarounds), 1),
-                round(busy_fraction, 4),
-                round(mean(interleave_waits), 2),
-                round(max(interleave_waits, default=0.0), 2),
-                round(bound, 2),
+                round(metrics["makespan"], 1),
+                round(metrics["mean_turnaround"], 1),
+                round(metrics["busy_fraction"], 4),
+                round(metrics["mean_wait"], 2),
+                round(metrics["max_wait"], 2),
+                round(metrics["bound"], 2),
             ]
         )
+
+    run_sweep(
+        sweep_spec(
+            seed=seed,
+            tenants=tenants,
+            iterations=iterations,
+            vqpu_counts=vqpu_counts,
+        ),
+        _run_point,
+        workers=workers,
+        cache=sweep_cache(cache_dir),
+        on_result=aggregate,
+    )
+    # The slack term of the delay-bound check uses the kernel time of
+    # the last classical-dominated cell (largest V), as measured.
+    kernel_time = kernel_times[-1]
     result.add_table(
         f"VQPU sweep: {tenants} classical-dominated tenants, 1 physical QPU",
         [
@@ -183,28 +245,6 @@ def run(
 
     # Marginal-gains caveat: quantum-dominated tenants (short classical
     # prep, heavy kernels) barely benefit from more VQPUs.
-    caveat_rows = []
-    caveat = {}
-    for v in (1, max(vqpu_counts)):
-        apps = _tenant_apps(
-            tenants,
-            classical_phase_seconds=5.0,
-            iterations=iterations,
-            shots=20000,
-        )
-        records, env = run_campaign(
-            VQPUStrategy(),
-            apps,
-            technology,
-            classical_nodes=4 * tenants,
-            vqpus_per_qpu=v,
-            seed=seed,
-        )
-        makespan = max(
-            r.end_time for r in records if r.end_time is not None
-        ) - min(r.submit_time for r in records)
-        caveat[v] = makespan
-        caveat_rows.append([v, round(makespan, 1)])
     result.add_table(
         "Marginal gains for quantum-dominated tenants "
         "(5 s classical prep, 20000-shot kernels)",

@@ -12,17 +12,114 @@ Two scenarios straight from the paper's Section 4 discussion:
    while the retained minimal allocation restores the full node count
    in one reconfiguration ("faster resumption") instead of a fresh
    queue wait.
+
+The scenario x strategy grid (non-rectangular: the workflow only
+appears under the saturated queue) runs through the sweep engine.
 """
 
 from __future__ import annotations
 
+from typing import Any, Dict, List, Optional
+
 from repro.experiments.common import run_campaign, standard_hybrid_app
 from repro.experiments.harness import ExperimentResult
+from repro.experiments.sweep import SweepSpec, run_sweep, sweep_cache
 from repro.metrics.stats import mean
 from repro.quantum.technology import NEUTRAL_ATOM, SUPERCONDUCTING
 from repro.strategies.coschedule import CoScheduleStrategy
 from repro.strategies.malleability import MalleableStrategy
 from repro.strategies.workflow import WorkflowStrategy
+
+
+def _make_strategy(name: str, reconfiguration_cost: float):
+    if name == "coschedule":
+        return CoScheduleStrategy()
+    if name == "workflow":
+        return WorkflowStrategy()
+    return MalleableStrategy(reconfiguration_cost=reconfiguration_cost)
+
+
+def _run_point(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """One (scenario, strategy) cell; returns the record's table fields."""
+    strategy = _make_strategy(
+        params["strategy"], params["reconfiguration_cost"]
+    )
+    if params["scenario"] == "saturated":
+        app = standard_hybrid_app(
+            SUPERCONDUCTING,
+            iterations=params["iterations"],
+            classical_phase_seconds=300.0,
+            classical_nodes=8,
+            min_classical_nodes=1,
+        )
+        records, env = run_campaign(
+            strategy,
+            [app],
+            SUPERCONDUCTING,
+            classical_nodes=32,
+            background_rho=params["background_rho"],
+            background_horizon=params["horizon"],
+            seed=seed,
+            submit_times=[params["warmup"]],
+        )
+    else:
+        app = standard_hybrid_app(
+            NEUTRAL_ATOM,
+            iterations=2,
+            classical_phase_seconds=300.0,
+            classical_nodes=16,
+            min_classical_nodes=1,
+            shots=2000,
+        )
+        records, env = run_campaign(
+            strategy,
+            [app],
+            NEUTRAL_ATOM,
+            classical_nodes=32,
+            seed=seed,
+        )
+    del env
+    record = records[0]
+    return {
+        "turnaround": record.turnaround or 0.0,
+        "queue_entries": len(record.queue_waits),
+        "total_queue_wait": record.total_queue_wait,
+        "classical_efficiency": record.classical_efficiency,
+        "classical_held_node_seconds": record.classical_held_node_seconds,
+        "resizes": record.details.get("resizes", 0),
+        "final_state": record.details.get("final_state"),
+        "grow_waits_s": list(record.details.get("grow_waits_s", [])),
+    }
+
+
+def sweep_spec(
+    seed: int = 0,
+    iterations: int = 5,
+    background_rho: float = 1.15,
+    horizon: float = 8 * 3600.0,
+    reconfiguration_cost: float = 5.0,
+    warmup: float = 3600.0,
+) -> SweepSpec:
+    points = [
+        {"scenario": "saturated", "strategy": name}
+        for name in ("coschedule", "workflow", "malleable")
+    ] + [
+        {"scenario": "neutral_atom", "strategy": name}
+        for name in ("coschedule", "malleable")
+    ]
+    return SweepSpec(
+        experiment_id="E5",
+        explicit=points,
+        constants={
+            "iterations": iterations,
+            "background_rho": background_rho,
+            "horizon": horizon,
+            "reconfiguration_cost": reconfiguration_cost,
+            "warmup": warmup,
+        },
+        base_seed=seed,
+        seed_mode="shared",
+    )
 
 
 def run(
@@ -32,6 +129,8 @@ def run(
     horizon: float = 8 * 3600.0,
     reconfiguration_cost: float = 5.0,
     warmup: float = 3600.0,
+    workers: Optional[int] = None,
+    cache_dir: Optional[str] = None,
 ) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="E5",
@@ -50,44 +149,56 @@ def run(
         },
     )
 
-    # -- Scenario 1: saturated classical partition, short phases ---------------
-    rows = []
-    records_by_strategy = {}
-    for strategy in (
-        CoScheduleStrategy(),
-        WorkflowStrategy(),
-        MalleableStrategy(reconfiguration_cost=reconfiguration_cost),
-    ):
-        app = standard_hybrid_app(
-            SUPERCONDUCTING,
-            iterations=iterations,
-            classical_phase_seconds=300.0,
-            classical_nodes=8,
-            min_classical_nodes=1,
-        )
-        records, env = run_campaign(
-            strategy,
-            [app],
-            SUPERCONDUCTING,
-            classical_nodes=32,
-            background_rho=background_rho,
-            background_horizon=horizon,
+    rows: List[List[Any]] = []
+    rows2: List[List[Any]] = []
+    records_by_strategy: Dict[str, Dict[str, Any]] = {}
+    na_records: Dict[str, Dict[str, Any]] = {}
+
+    def aggregate(point, metrics: Dict[str, Any]) -> None:
+        name = point.params["strategy"]
+        if point.params["scenario"] == "saturated":
+            records_by_strategy[name] = metrics
+            rows.append(
+                [
+                    name,
+                    round(metrics["turnaround"], 1),
+                    metrics["queue_entries"],
+                    round(metrics["total_queue_wait"], 1),
+                    round(metrics["classical_efficiency"], 3),
+                    metrics["resizes"],
+                    metrics["final_state"],
+                ]
+            )
+        else:
+            na_records[name] = metrics
+            grow_waits = metrics["grow_waits_s"]
+            rows2.append(
+                [
+                    name,
+                    round(metrics["turnaround"], 1),
+                    round(metrics["classical_held_node_seconds"], 1),
+                    round(metrics["classical_efficiency"], 3),
+                    round(mean(grow_waits), 2) if grow_waits else 0.0,
+                    metrics["final_state"],
+                ]
+            )
+
+    run_sweep(
+        sweep_spec(
             seed=seed,
-            submit_times=[warmup],
-        )
-        record = records[0]
-        records_by_strategy[strategy.name] = record
-        rows.append(
-            [
-                strategy.name,
-                round(record.turnaround or 0.0, 1),
-                len(record.queue_waits),
-                round(record.total_queue_wait, 1),
-                round(record.classical_efficiency, 3),
-                record.details.get("resizes", 0),
-                record.details.get("final_state"),
-            ]
-        )
+            iterations=iterations,
+            background_rho=background_rho,
+            horizon=horizon,
+            reconfiguration_cost=reconfiguration_cost,
+            warmup=warmup,
+        ),
+        _run_point,
+        workers=workers,
+        cache=sweep_cache(cache_dir),
+        on_result=aggregate,
+    )
+
+    # -- Scenario 1: saturated classical partition, short phases ---------------
     result.add_table(
         "Saturated classical partition (rho=%.2f), 300 s phases, "
         "superconducting QPU" % background_rho,
@@ -107,54 +218,20 @@ def run(
     workflow = records_by_strategy["workflow"]
     result.check(
         "the malleable job queues exactly once",
-        len(malleable.queue_waits) == 1,
-        detail=f"{len(malleable.queue_waits)} queue entries",
+        malleable["queue_entries"] == 1,
+        detail=f"{malleable['queue_entries']} queue entries",
     )
     result.check(
         "under a saturated queue, malleability avoids the workflow's "
         "repeated queueing and turns around faster",
-        (malleable.turnaround or 0) < (workflow.turnaround or 0),
+        malleable["turnaround"] < workflow["turnaround"],
         detail=(
-            f"malleable {malleable.turnaround:.0f}s vs "
-            f"workflow {workflow.turnaround:.0f}s"
+            f"malleable {malleable['turnaround']:.0f}s vs "
+            f"workflow {workflow['turnaround']:.0f}s"
         ),
     )
 
     # -- Scenario 2: neutral atom, long quantum phases --------------------------
-    rows2 = []
-    na_records = {}
-    for strategy in (
-        CoScheduleStrategy(),
-        MalleableStrategy(reconfiguration_cost=reconfiguration_cost),
-    ):
-        app = standard_hybrid_app(
-            NEUTRAL_ATOM,
-            iterations=2,
-            classical_phase_seconds=300.0,
-            classical_nodes=16,
-            min_classical_nodes=1,
-            shots=2000,
-        )
-        records, env = run_campaign(
-            strategy,
-            [app],
-            NEUTRAL_ATOM,
-            classical_nodes=32,
-            seed=seed,
-        )
-        record = records[0]
-        na_records[strategy.name] = record
-        grow_waits = record.details.get("grow_waits_s", [])
-        rows2.append(
-            [
-                strategy.name,
-                round(record.turnaround or 0.0, 1),
-                round(record.classical_held_node_seconds, 1),
-                round(record.classical_efficiency, 3),
-                round(mean(grow_waits), 2) if grow_waits else 0.0,
-                record.details.get("final_state"),
-            ]
-        )
     result.add_table(
         "Neutral-atom QPU (quantum phases > 30 min incl. calibration), "
         "idle cluster",
@@ -174,25 +251,25 @@ def run(
         "during long quantum phases the malleable job returns the "
         "classical nodes: held node-seconds fall by > 3x vs exclusive "
         "co-scheduling",
-        na_malleable.classical_held_node_seconds
-        < na_coschedule.classical_held_node_seconds / 3.0,
+        na_malleable["classical_held_node_seconds"]
+        < na_coschedule["classical_held_node_seconds"] / 3.0,
         detail=(
-            f"malleable {na_malleable.classical_held_node_seconds:.0f} "
+            f"malleable {na_malleable['classical_held_node_seconds']:.0f} "
             f"vs coschedule "
-            f"{na_coschedule.classical_held_node_seconds:.0f} node-s"
+            f"{na_coschedule['classical_held_node_seconds']:.0f} node-s"
         ),
     )
-    grow_waits = na_malleable.details.get("grow_waits_s", [])
+    grow_waits = na_malleable["grow_waits_s"]
     result.check(
         "resumption is fast: on an uncontended cluster the regrow is "
         "granted immediately (grow wait ~ 0)",
         bool(grow_waits) and max(grow_waits) < 1.0,
         detail=f"grow waits {grow_waits}",
     )
-    reconfig_overhead = (na_malleable.turnaround or 0) - (
-        na_coschedule.turnaround or 0
+    reconfig_overhead = (
+        na_malleable["turnaround"] - na_coschedule["turnaround"]
     )
-    resizes = na_malleable.details.get("resizes", 0)
+    resizes = na_malleable["resizes"]
     result.check(
         "the malleability price is the reconfiguration cost "
         "(turnaround delta ~ resizes x cost)",

@@ -1,0 +1,562 @@
+"""Parallel sweep engine: fan experiment campaigns across processes.
+
+Every paper artefact is a grid of independent (strategy x load x seed)
+simulation campaigns.  This module turns those grids into declarative
+:class:`SweepSpec` objects and executes them through one engine:
+
+- **Deterministic seed derivation** — each grid point owns a seed
+  derived purely from ``(base_seed, experiment_id, params,
+  replication)`` via :func:`repro.sim.rng.derive_seed`, so the point's
+  result is a function of its coordinates alone, never of which worker
+  ran it or in what order.
+- **Process-pool execution** — :func:`run_sweep` fans points across
+  ``workers`` processes (serial in-process fallback when ``workers=1``)
+  and always returns results in *point order*; streaming consumers see
+  the same order regardless of completion order.
+- **Opt-in on-disk cache** — results are memoised under a key of
+  (experiment id, runner, params, seed, code version), so re-running a
+  benchmark suite only simulates new points.
+
+Results are *byte-identical* between serial and parallel execution and
+between cold and warm cache (see :func:`canonical_bytes`, which the
+determinism suite uses to assert exactly that).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import hashlib
+import os
+import pickle
+import subprocess
+import tempfile
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+import multiprocessing
+
+from repro._version import __version__
+from repro.errors import ConfigurationError
+from repro.metrics.stats import RunningStats
+from repro.sim.rng import derive_seed
+
+#: Environment knobs: default worker count and cache directory for
+#: sweeps that do not specify them explicitly.
+WORKERS_ENV_VAR = "REPRO_SWEEP_WORKERS"
+CACHE_ENV_VAR = "REPRO_SWEEP_CACHE_DIR"
+#: Override the code-version component of cache keys (e.g. a VCS hash).
+CODE_VERSION_ENV_VAR = "REPRO_SWEEP_CODE_VERSION"
+
+#: A point runner: ``runner(params, seed) -> picklable result``.  Must
+#: be a module-level callable so worker processes can import it.
+PointRunner = Callable[[Dict[str, Any], int], Any]
+
+
+def canonical_params(params: Mapping[str, Any]) -> str:
+    """Stable textual encoding of a parameter mapping.
+
+    Parameters must be JSON-representable (scalars, lists, nested
+    mappings) so that the encoding — and everything derived from it:
+    seeds, cache keys — is reproducible across processes and runs.
+    """
+    try:
+        return json.dumps(params, sort_keys=True, separators=(",", ":"))
+    except (TypeError, ValueError) as exc:
+        raise ConfigurationError(
+            f"sweep params must be JSON-representable: {params!r}"
+        ) from exc
+
+
+def derive_point_seed(
+    base_seed: int,
+    experiment_id: str,
+    params: Mapping[str, Any],
+    replication: int = 0,
+) -> int:
+    """The seed owned by one grid point (pure function of coordinates)."""
+    key = f"sweep:{experiment_id}:{canonical_params(params)}:rep{replication}"
+    return derive_seed(base_seed, key)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One grid point: parameters, replication index and derived seed."""
+
+    index: int
+    params: Dict[str, Any]
+    replication: int
+    seed: int
+
+    def key(self) -> str:
+        """Canonical identity of the point within its spec."""
+        return f"{canonical_params(self.params)}:rep{self.replication}"
+
+
+@dataclass
+class SweepSpec:
+    """A declarative parameter grid with replications.
+
+    Parameters
+    ----------
+    experiment_id:
+        Stable name scoping seeds and cache entries.
+    axes:
+        Ordered mapping of axis name to its values; points enumerate the
+        cartesian product in row-major order (last axis fastest).
+    explicit:
+        Alternative to ``axes`` for non-rectangular grids: an explicit
+        sequence of parameter mappings, enumerated in the given order.
+    constants:
+        Parameters merged into every point (part of its identity, so
+        they participate in derived seeds and cache keys).
+    replications:
+        Number of seed replications of the whole grid (outermost loop).
+    base_seed:
+        Root seed the per-point seeds are derived from.
+    seed_mode:
+        ``"derived"`` (default) gives every (point, replication) its own
+        seed via :func:`derive_point_seed` — statistically independent
+        points.  ``"shared"`` gives every point of one replication the
+        *same* seed (replication 0 uses ``base_seed`` itself) — the
+        matched-universe mode comparison experiments need, where each
+        strategy must face an identical random environment.
+    """
+
+    experiment_id: str
+    axes: Optional[Mapping[str, Sequence[Any]]] = None
+    explicit: Optional[Sequence[Mapping[str, Any]]] = None
+    constants: Dict[str, Any] = field(default_factory=dict)
+    replications: int = 1
+    base_seed: int = 0
+    seed_mode: str = "derived"
+
+    def __post_init__(self) -> None:
+        if (self.axes is None) == (self.explicit is None):
+            raise ConfigurationError(
+                "a SweepSpec needs exactly one of axes= or explicit="
+            )
+        if self.replications < 1:
+            raise ConfigurationError("replications must be >= 1")
+        if self.seed_mode not in ("derived", "shared"):
+            raise ConfigurationError(
+                f"unknown seed_mode {self.seed_mode!r} "
+                "(expected 'derived' or 'shared')"
+            )
+
+    def param_sets(self) -> List[Dict[str, Any]]:
+        """The grid's parameter mappings, one per point, in point order."""
+        if self.explicit is not None:
+            sets = [dict(entry) for entry in self.explicit]
+        else:
+            sets = [{}]
+            for axis, values in self.axes.items():
+                sets = [
+                    {**params, axis: value}
+                    for params in sets
+                    for value in values
+                ]
+        for params in sets:
+            clash = set(params) & set(self.constants)
+            if clash:
+                raise ConfigurationError(
+                    f"sweep constants clash with axis params: {sorted(clash)}"
+                )
+            params.update(self.constants)
+        return sets
+
+    def seed_for(
+        self, params: Mapping[str, Any], replication: int
+    ) -> int:
+        if self.seed_mode == "shared":
+            if replication == 0:
+                return self.base_seed
+            return derive_seed(
+                self.base_seed, f"sweep:{self.experiment_id}:rep{replication}"
+            )
+        return derive_point_seed(
+            self.base_seed, self.experiment_id, params, replication
+        )
+
+    def points(self) -> List[SweepPoint]:
+        """Every (params, replication) pair, in deterministic order."""
+        points: List[SweepPoint] = []
+        sets = self.param_sets()
+        for replication in range(self.replications):
+            for params in sets:
+                points.append(
+                    SweepPoint(
+                        index=len(points),
+                        # Own copy per point: replications must not
+                        # share mutable params.
+                        params=dict(params),
+                        replication=replication,
+                        seed=self.seed_for(params, replication),
+                    )
+                )
+        return points
+
+    def __len__(self) -> int:
+        sets = len(self.explicit) if self.explicit is not None else 1
+        if self.axes is not None:
+            for values in self.axes.values():
+                sets *= len(values)
+        return sets * self.replications
+
+
+# -- canonical serialisation -------------------------------------------------
+
+
+def _canonicalise(value: Any) -> Any:
+    """Reduce ``value`` to JSON-encodable form, deterministically."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            "__type__": type(value).__name__,
+            **{
+                f.name: _canonicalise(getattr(value, f.name))
+                for f in dataclasses.fields(value)
+            },
+        }
+    if isinstance(value, dict):
+        return {str(key): _canonicalise(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_canonicalise(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(repr(item) for item in value)
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    if isinstance(value, float):
+        return value
+    return repr(value)
+
+
+def canonical_bytes(value: Any) -> bytes:
+    """Deterministic serialisation used for byte-identity assertions.
+
+    Floats round-trip through ``repr`` (shortest exact form), dict keys
+    are sorted, dataclasses are expanded field by field — so two results
+    serialise identically iff they are value-identical.
+    """
+    return json.dumps(
+        _canonicalise(value), sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+
+
+# -- on-disk result cache ----------------------------------------------------
+
+
+_CODE_VERSION: Optional[str] = None
+
+
+def _default_code_version() -> str:
+    """Cache-key component tied to the code that produced a result.
+
+    ``$REPRO_SWEEP_CODE_VERSION`` wins; otherwise the package version
+    plus the current VCS revision (when a ``git`` checkout is visible),
+    so committed code changes invalidate cached points even without a
+    package-version bump.  Uncommitted edits are on the operator — the
+    cache is opt-in for exactly that reason.
+    """
+    override = os.environ.get(CODE_VERSION_ENV_VAR)
+    if override:
+        return override
+    global _CODE_VERSION
+    if _CODE_VERSION is None:
+        version = __version__
+        try:
+            revision = subprocess.run(
+                ["git", "rev-parse", "--short", "HEAD"],
+                cwd=Path(__file__).resolve().parent,
+                capture_output=True,
+                text=True,
+                timeout=5.0,
+            ).stdout.strip()
+            if revision:
+                version = f"{version}+g{revision}"
+        except (OSError, subprocess.SubprocessError):
+            pass
+        _CODE_VERSION = version
+    return _CODE_VERSION
+
+
+class SweepCache:
+    """Opt-in on-disk memo of per-point results.
+
+    Entries are keyed by (experiment id, runner name, canonical params,
+    seed, replication, code version).  The default code version binds
+    the entry to both the package version and the VCS revision (see
+    :func:`_default_code_version`), so rerunning after a commit only
+    reuses points the commit could not have changed — nothing, unless
+    you pin ``code_version`` yourself.
+    """
+
+    def __init__(
+        self,
+        directory: os.PathLike,
+        code_version: Optional[str] = None,
+    ) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.code_version = code_version or _default_code_version()
+
+    @classmethod
+    def from_environment(cls) -> Optional["SweepCache"]:
+        """A cache rooted at ``$REPRO_SWEEP_CACHE_DIR``, if set."""
+        directory = os.environ.get(CACHE_ENV_VAR)
+        return cls(directory) if directory else None
+
+    def _path(
+        self, spec: SweepSpec, runner_name: str, point: SweepPoint
+    ) -> Path:
+        key = "\n".join(
+            (
+                spec.experiment_id,
+                runner_name,
+                self.code_version,
+                canonical_params(point.params),
+                str(point.seed),
+                str(point.replication),
+            )
+        )
+        digest = hashlib.sha256(key.encode("utf-8")).hexdigest()
+        return self.directory / f"{digest}.pkl"
+
+    def load(
+        self, spec: SweepSpec, runner_name: str, point: SweepPoint
+    ) -> Tuple[bool, Any]:
+        """``(hit, value)``; unreadable/corrupt entries count as misses."""
+        path = self._path(spec, runner_name, point)
+        try:
+            with open(path, "rb") as handle:
+                return True, pickle.load(handle)
+        except (
+            OSError,
+            pickle.PickleError,
+            EOFError,
+            AttributeError,
+            ImportError,
+        ):
+            # Unreadable, corrupt, or referencing renamed/moved code:
+            # treat as a miss and re-simulate.
+            return False, None
+
+    def store(
+        self,
+        spec: SweepSpec,
+        runner_name: str,
+        point: SweepPoint,
+        value: Any,
+    ) -> None:
+        """Atomically persist one point result (write + rename)."""
+        path = self._path(spec, runner_name, point)
+        handle = tempfile.NamedTemporaryFile(
+            dir=self.directory, suffix=".tmp", delete=False
+        )
+        try:
+            with handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(handle.name, path)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+
+
+# -- execution ---------------------------------------------------------------
+
+
+@dataclass
+class SweepResult:
+    """Everything one sweep execution produced, in point order."""
+
+    spec: SweepSpec
+    points: List[SweepPoint]
+    #: Per-point runner return values, index-aligned with ``points``.
+    values: List[Any]
+    workers: int
+    cache_hits: int = 0
+    cache_misses: int = 0
+    wall_seconds: float = 0.0
+    #: Per-point simulation seconds (0.0 for cache hits).
+    point_seconds: List[float] = field(default_factory=list)
+
+    def value_map(self) -> Dict[str, Any]:
+        """Point key -> value (for non-positional lookups)."""
+        return {
+            point.key(): value
+            for point, value in zip(self.points, self.values)
+        }
+
+    def timing_stats(self) -> RunningStats:
+        """Summary statistics over the simulated points' wall times."""
+        stats = RunningStats()
+        for seconds in self.point_seconds:
+            if seconds > 0.0:
+                stats.add(seconds)
+        return stats
+
+
+def _runner_name(runner: PointRunner) -> str:
+    module = getattr(runner, "__module__", "") or ""
+    qualname = getattr(runner, "__qualname__", repr(runner))
+    return f"{module}:{qualname}"
+
+
+def _execute_point(
+    runner: PointRunner, params: Dict[str, Any], seed: int
+) -> Tuple[Any, float]:
+    start = time.perf_counter()
+    value = runner(params, seed)
+    return value, time.perf_counter() - start
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Explicit worker count, else ``$REPRO_SWEEP_WORKERS``, else 1."""
+    if workers is None:
+        raw = os.environ.get(WORKERS_ENV_VAR, "1")
+        try:
+            workers = int(raw)
+        except ValueError:
+            raise ConfigurationError(
+                f"${WORKERS_ENV_VAR} must be an integer, got {raw!r}"
+            ) from None
+    if workers < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
+def _mp_context():
+    """Fork where available: point runners defined in non-importable
+    modules (pytest benchmark files) resolve by reference in forked
+    children; spawn elsewhere."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+def run_sweep(
+    spec: SweepSpec,
+    runner: PointRunner,
+    workers: Optional[int] = None,
+    cache: Optional[SweepCache] = None,
+    on_result: Optional[Callable[[SweepPoint, Any], None]] = None,
+) -> SweepResult:
+    """Execute every point of ``spec`` through ``runner``.
+
+    ``on_result(point, value)`` streams completed points **in point
+    order** (out-of-order completions are buffered), so aggregation is
+    deterministic no matter how the pool schedules the work.  The
+    returned :class:`SweepResult` holds values in the same order.
+    """
+    workers = resolve_workers(workers)
+    points = spec.points()
+    runner_name = _runner_name(runner)
+    start = time.perf_counter()
+    values: List[Any] = [None] * len(points)
+    seconds: List[float] = [0.0] * len(points)
+    completed = [False] * len(points)
+    delivered = 0
+    hits = 0
+
+    def flush() -> None:
+        """Stream the completed contiguous prefix, in point order."""
+        nonlocal delivered
+        while delivered < len(points) and completed[delivered]:
+            if on_result is not None:
+                on_result(points[delivered], values[delivered])
+            delivered += 1
+
+    #: Points still to simulate after consulting the cache.
+    to_run: List[SweepPoint] = []
+    for point in points:
+        if cache is not None:
+            hit, value = cache.load(spec, runner_name, point)
+            if hit:
+                values[point.index] = value
+                completed[point.index] = True
+                hits += 1
+                continue
+        to_run.append(point)
+
+    def finish(point: SweepPoint, value: Any, elapsed: float) -> None:
+        values[point.index] = value
+        seconds[point.index] = elapsed
+        completed[point.index] = True
+        if cache is not None:
+            cache.store(spec, runner_name, point, value)
+
+    flush()
+    if workers == 1 or len(to_run) <= 1:
+        for point in to_run:
+            # The runner gets a copy so an in-process mutation can
+            # never corrupt the point's identity (cache key, reports) —
+            # pool workers get a pickled copy for free.
+            value, elapsed = _execute_point(
+                runner, dict(point.params), point.seed
+            )
+            finish(point, value, elapsed)
+            flush()
+    else:
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(to_run)), mp_context=_mp_context()
+        ) as pool:
+            futures = {
+                pool.submit(
+                    _execute_point, runner, point.params, point.seed
+                ): point
+                for point in to_run
+            }
+            pending = set(futures)
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    point = futures[future]
+                    value, elapsed = future.result()
+                    finish(point, value, elapsed)
+                flush()
+    flush()
+
+    return SweepResult(
+        spec=spec,
+        points=points,
+        values=values,
+        workers=workers,
+        cache_hits=hits,
+        cache_misses=len(to_run),
+        wall_seconds=time.perf_counter() - start,
+        point_seconds=seconds,
+    )
+
+
+def sweep_cache(cache_dir: Optional[os.PathLike]) -> Optional[SweepCache]:
+    """Cache at ``cache_dir``, else ``$REPRO_SWEEP_CACHE_DIR``, else none."""
+    if cache_dir:
+        return SweepCache(cache_dir)
+    return SweepCache.from_environment()
+
+
+def sweep_values(
+    spec: SweepSpec,
+    runner: PointRunner,
+    workers: Optional[int] = None,
+    cache_dir: Optional[os.PathLike] = None,
+) -> List[Any]:
+    """Convenience wrapper: values in point order, cache by directory."""
+    return run_sweep(
+        spec, runner, workers=workers, cache=sweep_cache(cache_dir)
+    ).values

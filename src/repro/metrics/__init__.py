@@ -16,6 +16,7 @@ from repro.metrics.report import (
     summarise_records,
 )
 from repro.metrics.stats import (
+    RunningStats,
     bootstrap_ci,
     bounded_slowdowns,
     geometric_mean,
@@ -26,6 +27,7 @@ from repro.metrics.stats import (
 
 __all__ = [
     "FacilitySnapshot",
+    "RunningStats",
     "StrategySummary",
     "bootstrap_ci",
     "bounded_slowdowns",

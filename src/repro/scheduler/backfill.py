@@ -662,7 +662,7 @@ class TimelineCache:
         self._records: Dict[object, list] = {}
         self._applied_version = -1
         self._needs_rebuild = True
-        self._capacity: Dict[str, Tuple[int, Dict[str, int]]] = {}
+        self._node_state_version = -1
         #: Smallest finite expected end among allocations recorded as
         #: unbounded (expected end at/past the horizon when applied).
         #: Once ``now + HORIZON`` overtakes it, a rebuild would place a
@@ -749,17 +749,10 @@ class TimelineCache:
         return base.fork()
 
     def _capacity_changed(self) -> bool:
-        for name, partition in self.cluster.partitions.items():
-            snapshot = self._capacity.get(name)
-            if snapshot is None:
-                return True
-            nodes, gres = snapshot
-            if partition.usable_node_count() != nodes:
-                return True
-            for gres_type, capacity in gres.items():
-                if partition.gres_capacity(gres_type) != capacity:
-                    return True
-        return False
+        """O(1): the cluster bumps ``node_state_version`` on every
+        capacity-affecting node transition (failure/repair/drain), so a
+        version compare replaces the per-pass scan of all node states."""
+        return self._node_state_version != self.cluster.node_state_version
 
     def _rebuild(self, now: float) -> ClusterTimeline:
         base = ClusterTimeline(self.cluster, now)
@@ -776,16 +769,7 @@ class TimelineCache:
                 allocation.gres_counts(),
                 end,
             ]
-        self._capacity = {
-            name: (
-                partition.usable_node_count(),
-                {
-                    gres_type: partition.gres_capacity(gres_type)
-                    for gres_type in partition.gres_types()
-                },
-            )
-            for name, partition in self.cluster.partitions.items()
-        }
+        self._node_state_version = self.cluster.node_state_version
         self._applied_version = self.cluster.allocation_version
         self._needs_rebuild = False
         self.rebuilds += 1

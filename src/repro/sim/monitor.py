@@ -18,17 +18,108 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.kernel import Kernel
 
 
-class TimeWeightedValue:
-    """A piecewise-constant value integrated over simulated time."""
+class RunningStats:
+    """Constant-memory accumulator of count/total/mean/variance.
 
-    def __init__(self, kernel: "Kernel", initial: float = 0.0) -> None:
+    Welford's online algorithm, with the Chan et al. pairwise rule in
+    :meth:`merge` so per-shard accumulators from a parallel sweep can be
+    combined without revisiting samples.  Backs the O(1) summary
+    properties of :class:`SampleSeries` and the sweep engine's
+    per-point timing summaries (re-exported as
+    ``repro.metrics.stats.RunningStats``).
+    """
+
+    __slots__ = ("count", "total", "mean", "_m2", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def add(self, value: float) -> None:
+        """Fold one observation into the summary (O(1))."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    def merge(self, other: "RunningStats") -> None:
+        """Fold another accumulator's summary into this one."""
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self.total = other.total
+            self.mean = other.mean
+            self._m2 = other._m2
+            self.minimum = other.minimum
+            self.maximum = other.maximum
+            return
+        count = self.count + other.count
+        delta = other.mean - self.mean
+        self._m2 += (
+            other._m2 + delta * delta * self.count * other.count / count
+        )
+        self.mean += delta * other.count / count
+        self.total += other.total
+        self.count = count
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+
+    @property
+    def variance(self) -> float:
+        """Population variance (0 for fewer than two observations)."""
+        if self.count < 2:
+            return 0.0
+        return max(self._m2, 0.0) / self.count
+
+    @property
+    def stdev(self) -> float:
+        """Population standard deviation."""
+        return math.sqrt(self.variance)
+
+    def __repr__(self) -> str:
+        return (
+            f"<RunningStats n={self.count} mean={self.mean:.4g} "
+            f"stdev={self.stdev:.4g}>"
+        )
+
+
+class TimeWeightedValue:
+    """A piecewise-constant value integrated over simulated time.
+
+    History recording is opt-in (``record_history=True``): the busy-node
+    and device counters live on every allocation hot path, and the
+    integral needs only the running sum, so the default keeps
+    :meth:`set` allocation-free instead of growing an unread step list
+    for the whole simulation.
+    """
+
+    def __init__(
+        self,
+        kernel: "Kernel",
+        initial: float = 0.0,
+        record_history: bool = False,
+    ) -> None:
         self.kernel = kernel
         self._value = float(initial)
         self._start_time = kernel.now
         self._last_change = kernel.now
         self._integral = 0.0
-        #: Optional full history of (time, new_value) steps.
-        self.history: List[Tuple[float, float]] = [(kernel.now, initial)]
+        #: Full (time, new_value) step history; ``None`` unless
+        #: ``record_history`` was requested at construction.
+        self.history: Optional[List[Tuple[float, float]]] = (
+            [(kernel.now, float(initial))] if record_history else None
+        )
 
     @property
     def value(self) -> float:
@@ -41,7 +132,8 @@ class TimeWeightedValue:
         self._integral += self._value * (now - self._last_change)
         self._last_change = now
         self._value = float(value)
-        self.history.append((now, self._value))
+        if self.history is not None:
+            self.history.append((now, self._value))
 
     def add(self, delta: float) -> None:
         """Increment the tracked quantity by ``delta``."""
@@ -67,15 +159,25 @@ class TimeWeightedValue:
 
 
 class SampleSeries:
-    """Point samples with incremental summary statistics."""
+    """Point samples with incremental summary statistics.
+
+    Summary properties (``total``/``mean``/``stdev``/extremes) are O(1)
+    per access: observations fold into a :class:`RunningStats`
+    accumulator as they arrive instead of re-summing the sample list on
+    every read.  The raw samples are kept only for order statistics
+    (:meth:`percentile`).
+    """
 
     def __init__(self, name: str = "") -> None:
         self.name = name
         self.samples: List[float] = []
+        self._stats = RunningStats()
 
     def record(self, value: float) -> None:
         """Append one observation."""
-        self.samples.append(float(value))
+        value = float(value)
+        self.samples.append(value)
+        self._stats.add(value)
 
     @property
     def count(self) -> int:
@@ -83,21 +185,21 @@ class SampleSeries:
 
     @property
     def total(self) -> float:
-        return math.fsum(self.samples)
+        return self._stats.total
 
     @property
     def mean(self) -> float:
         if not self.samples:
             return 0.0
-        return self.total / len(self.samples)
+        return self._stats.mean
 
     @property
     def maximum(self) -> float:
-        return max(self.samples) if self.samples else 0.0
+        return self._stats.maximum if self.samples else 0.0
 
     @property
     def minimum(self) -> float:
-        return min(self.samples) if self.samples else 0.0
+        return self._stats.minimum if self.samples else 0.0
 
     def percentile(self, q: float) -> float:
         """Linear-interpolated percentile of the samples, ``q`` in [0, 100]."""
@@ -120,12 +222,7 @@ class SampleSeries:
     @property
     def stdev(self) -> float:
         """Population standard deviation (0 for fewer than two samples)."""
-        n = len(self.samples)
-        if n < 2:
-            return 0.0
-        mean = self.mean
-        variance = math.fsum((x - mean) ** 2 for x in self.samples) / n
-        return math.sqrt(variance)
+        return self._stats.stdev
 
     def __repr__(self) -> str:
         return (

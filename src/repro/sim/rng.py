@@ -15,10 +15,20 @@ from typing import Dict
 import numpy as np
 
 
-def _derive_seed(root_seed: int, name: str) -> int:
-    """Map ``(root_seed, name)`` to a stable 64-bit child seed."""
+def derive_seed(root_seed: int, name: str) -> int:
+    """Map ``(root_seed, name)`` to a stable 64-bit child seed.
+
+    The derivation is pure (sha256 over the textual key), so any two
+    processes — or two runs years apart — agree on the child seed.  It
+    is the one primitive behind both named streams and the sweep
+    engine's per-grid-point seeds.
+    """
     digest = hashlib.sha256(f"{root_seed}:{name}".encode("utf-8")).digest()
     return int.from_bytes(digest[:8], "little")
+
+
+#: Backwards-compatible alias (pre-sweep-engine name).
+_derive_seed = derive_seed
 
 
 class RandomStreams:

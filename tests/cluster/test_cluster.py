@@ -169,3 +169,35 @@ class TestUtilisationMonitors:
 
     def test_repr(self, cluster):
         assert "classical" in repr(cluster)
+
+
+class TestNodeStateVersion:
+    """The O(1) capacity-change signal consumed by TimelineCache."""
+
+    def test_starts_at_zero(self, cluster):
+        assert cluster.node_state_version == 0
+
+    def test_failure_and_repair_bump(self, cluster):
+        node = cluster.partition("classical").nodes[0]
+        node.mark_down()
+        assert cluster.node_state_version == 1
+        node.mark_up()
+        assert cluster.node_state_version == 2
+
+    def test_drain_bumps(self, cluster):
+        cluster.partition("classical").nodes[0].drain()
+        assert cluster.node_state_version == 1
+
+    def test_allocate_release_do_not_bump(self, cluster):
+        allocation = cluster.allocate("job-1", "classical", 2)
+        cluster.release(allocation)
+        # IDLE <-> ALLOCATED transitions leave capacity unchanged, so
+        # the hot allocation path never touches the counter.
+        assert cluster.node_state_version == 0
+
+    def test_down_node_failing_again_does_not_bump(self, cluster):
+        node = cluster.partition("classical").nodes[0]
+        node.mark_down()
+        version = cluster.node_state_version
+        node.mark_down()  # already DOWN: capacity class unchanged
+        assert cluster.node_state_version == version

@@ -1,0 +1,317 @@
+"""Determinism suite for the parallel sweep engine.
+
+The engine's contract: for a fixed seed, sweep results are
+*byte-identical* no matter how they were produced — serial, any worker
+count, cold cache or warm cache — and aggregation order is the point
+order, never the completion order.
+"""
+
+import time
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import fig3_vqpu
+from repro.experiments.sweep import (
+    SweepCache,
+    SweepSpec,
+    canonical_bytes,
+    derive_point_seed,
+    resolve_workers,
+    run_sweep,
+    sweep_values,
+)
+
+
+def _simulate(params, seed):
+    """A tiny but real discrete-event campaign (picklable, ~10 ms)."""
+    return fig3_vqpu._run_point(
+        {
+            "case": params["case"],
+            "vqpus": params["vqpus"],
+            "tenants": 2,
+            "iterations": 1,
+        },
+        seed,
+    )
+
+
+def _slow_early_points(params, seed):
+    """Completion order is the *reverse* of point order under >1 worker."""
+    time.sleep(0.2 * (2 - params["i"]))
+    return {"i": params["i"], "seed": seed}
+
+
+def _record_seed(params, seed):
+    return seed
+
+
+def _mutating_runner(params, seed):
+    params["scratch"] = seed  # must not leak into the point's identity
+    return params["i"]
+
+
+def _small_spec(seed=0, replications=1, seed_mode="derived"):
+    return SweepSpec(
+        experiment_id="test-sweep",
+        axes={"case": ["classical"], "vqpus": [1, 2]},
+        replications=replications,
+        base_seed=seed,
+        seed_mode=seed_mode,
+    )
+
+
+class TestSweepSpec:
+    def test_grid_enumeration_row_major(self):
+        spec = SweepSpec(
+            experiment_id="x",
+            axes={"a": [1, 2], "b": ["u", "v"]},
+        )
+        assert [p.params for p in spec.points()] == [
+            {"a": 1, "b": "u"},
+            {"a": 1, "b": "v"},
+            {"a": 2, "b": "u"},
+            {"a": 2, "b": "v"},
+        ]
+        assert [p.index for p in spec.points()] == [0, 1, 2, 3]
+        assert len(spec) == 4
+
+    def test_explicit_points_preserve_order(self):
+        explicit = [{"k": 3}, {"k": 1}, {"k": 2}]
+        spec = SweepSpec(experiment_id="x", explicit=explicit)
+        assert [p.params for p in spec.points()] == explicit
+
+    def test_constants_merged_into_every_point(self):
+        spec = SweepSpec(
+            experiment_id="x", axes={"a": [1]}, constants={"c": 9}
+        )
+        assert spec.points()[0].params == {"a": 1, "c": 9}
+
+    def test_constants_clash_rejected(self):
+        spec = SweepSpec(
+            experiment_id="x", axes={"a": [1]}, constants={"a": 2}
+        )
+        with pytest.raises(ConfigurationError):
+            spec.points()
+
+    def test_needs_exactly_one_grid_source(self):
+        with pytest.raises(ConfigurationError):
+            SweepSpec(experiment_id="x")
+        with pytest.raises(ConfigurationError):
+            SweepSpec(experiment_id="x", axes={"a": [1]}, explicit=[{}])
+
+    def test_replications_enumerate_outermost(self):
+        spec = SweepSpec(
+            experiment_id="x", axes={"a": [1, 2]}, replications=2
+        )
+        points = spec.points()
+        assert [(p.replication, p.params["a"]) for p in points] == [
+            (0, 1),
+            (0, 2),
+            (1, 1),
+            (1, 2),
+        ]
+        assert len(spec) == 4
+
+
+class TestSeedDerivation:
+    def test_shared_mode_replication_zero_uses_base_seed(self):
+        spec = _small_spec(seed=7, seed_mode="shared")
+        assert all(p.seed == 7 for p in spec.points())
+
+    def test_shared_mode_replications_get_distinct_shared_seeds(self):
+        spec = _small_spec(seed=7, replications=2, seed_mode="shared")
+        seeds = {p.replication: set() for p in spec.points()}
+        for p in spec.points():
+            seeds[p.replication].add(p.seed)
+        assert seeds[0] == {7}
+        assert len(seeds[1]) == 1
+        assert seeds[1] != {7}
+
+    def test_derived_mode_gives_every_point_its_own_seed(self):
+        spec = _small_spec(seed=7, replications=2, seed_mode="derived")
+        seeds = [p.seed for p in spec.points()]
+        assert len(set(seeds)) == len(seeds)
+
+    def test_derivation_is_param_order_independent(self):
+        assert derive_point_seed(
+            0, "x", {"a": 1, "b": 2}
+        ) == derive_point_seed(0, "x", {"b": 2, "a": 1})
+
+    def test_derivation_is_stable_across_calls(self):
+        first = derive_point_seed(3, "x", {"a": 1}, replication=1)
+        assert derive_point_seed(3, "x", {"a": 1}, replication=1) == first
+        assert derive_point_seed(3, "x", {"a": 1}, replication=2) != first
+        assert derive_point_seed(3, "y", {"a": 1}, replication=1) != first
+
+    def test_non_json_params_rejected(self):
+        with pytest.raises(ConfigurationError):
+            derive_point_seed(0, "x", {"a": object()})
+
+
+class TestByteIdentity:
+    """The acceptance criterion, asserted literally."""
+
+    def test_serial_and_parallel_results_are_byte_identical(self):
+        spec = _small_spec(seed=0, seed_mode="shared")
+        serial = run_sweep(spec, _simulate, workers=1)
+        for workers in (2, 4):
+            parallel = run_sweep(spec, _simulate, workers=workers)
+            assert canonical_bytes(parallel.values) == canonical_bytes(
+                serial.values
+            )
+
+    def test_cold_and_warm_cache_are_byte_identical(self, tmp_path):
+        spec = _small_spec(seed=0)
+        cache = SweepCache(tmp_path)
+        cold = run_sweep(spec, _simulate, workers=1, cache=cache)
+        assert cold.cache_hits == 0
+        assert cold.cache_misses == len(spec)
+        warm = run_sweep(spec, _simulate, workers=1, cache=cache)
+        assert warm.cache_hits == len(spec)
+        assert warm.cache_misses == 0
+        assert canonical_bytes(warm.values) == canonical_bytes(cold.values)
+
+    def test_worker_count_change_on_warm_cache_is_byte_identical(
+        self, tmp_path
+    ):
+        spec = _small_spec(seed=0)
+        cache = SweepCache(tmp_path)
+        cold = run_sweep(spec, _simulate, workers=1, cache=cache)
+        warm_parallel = run_sweep(spec, _simulate, workers=4, cache=cache)
+        assert warm_parallel.cache_hits == len(spec)
+        assert canonical_bytes(warm_parallel.values) == canonical_bytes(
+            cold.values
+        )
+
+    def test_partial_cache_only_simulates_new_points(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        small = SweepSpec(
+            experiment_id="test-sweep",
+            axes={"case": ["classical"], "vqpus": [1]},
+        )
+        run_sweep(small, _simulate, cache=cache)
+        grown = SweepSpec(
+            experiment_id="test-sweep",
+            axes={"case": ["classical"], "vqpus": [1, 2]},
+        )
+        result = run_sweep(grown, _simulate, cache=cache)
+        assert result.cache_hits == 1
+        assert result.cache_misses == 1
+        fresh = run_sweep(grown, _simulate)
+        assert canonical_bytes(result.values) == canonical_bytes(
+            fresh.values
+        )
+
+
+class TestOrdering:
+    def test_streaming_follows_point_order_not_completion_order(self):
+        spec = SweepSpec(
+            experiment_id="order", axes={"i": [0, 1, 2]}
+        )
+        delivered = []
+        result = run_sweep(
+            spec,
+            _slow_early_points,
+            workers=3,
+            on_result=lambda point, value: delivered.append(
+                point.params["i"]
+            ),
+        )
+        assert delivered == [0, 1, 2]
+        assert [value["i"] for value in result.values] == [0, 1, 2]
+
+    def test_values_align_with_points(self):
+        spec = _small_spec(seed=5, seed_mode="derived")
+        result = run_sweep(spec, _record_seed, workers=2)
+        assert result.values == [p.seed for p in result.points]
+
+
+class TestCacheKeying:
+    def test_code_version_invalidates(self, tmp_path):
+        spec = _small_spec()
+        old = SweepCache(tmp_path, code_version="v1")
+        run_sweep(spec, _simulate, cache=old)
+        new = SweepCache(tmp_path, code_version="v2")
+        result = run_sweep(spec, _simulate, cache=new)
+        assert result.cache_hits == 0
+
+    def test_different_seeds_never_collide(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        a = run_sweep(
+            _small_spec(seed=0, seed_mode="derived"), _record_seed,
+            cache=cache,
+        )
+        b = run_sweep(
+            _small_spec(seed=1, seed_mode="derived"), _record_seed,
+            cache=cache,
+        )
+        assert b.cache_hits == 0
+        assert a.values != b.values
+
+    def test_runner_mutating_params_cannot_poison_identity(
+        self, tmp_path
+    ):
+        """Runners get a copy: the point's params (and thus its cache
+        key and report coordinates) stay pristine, and a warm re-run
+        hits every entry."""
+        spec = SweepSpec(
+            experiment_id="mut", axes={"i": [1, 2]}, replications=2
+        )
+        cache = SweepCache(tmp_path)
+        cold = run_sweep(spec, _mutating_runner, cache=cache)
+        assert all(
+            set(p.params) == {"i"} for p in cold.points
+        )
+        warm = run_sweep(spec, _mutating_runner, cache=cache)
+        assert warm.cache_hits == len(spec)
+        assert warm.values == cold.values
+
+    def test_corrupt_entry_counts_as_miss(self, tmp_path):
+        spec = _small_spec()
+        cache = SweepCache(tmp_path)
+        run_sweep(spec, _record_seed, cache=cache)
+        for entry in tmp_path.glob("*.pkl"):
+            entry.write_bytes(b"not a pickle")
+        result = run_sweep(spec, _record_seed, cache=cache)
+        assert result.cache_hits == 0
+        assert result.cache_misses == len(spec)
+
+
+class TestWorkersResolution:
+    def test_explicit_wins(self):
+        assert resolve_workers(3) == 3
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "5")
+        assert resolve_workers(None) == 5
+
+    def test_default_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SWEEP_WORKERS", raising=False)
+        assert resolve_workers(None) == 1
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_workers(0)
+
+
+class TestExperimentLevelDeterminism:
+    """Full experiment artefacts agree serial vs parallel (E4 is the
+    cheapest sweep experiment; E5-E7 are covered by their own tests
+    plus the engine-level identity above)."""
+
+    def test_e4_serial_vs_parallel(self):
+        serial = fig3_vqpu.run(seed=0, workers=1)
+        parallel = fig3_vqpu.run(seed=0, workers=2)
+        assert canonical_bytes(serial) == canonical_bytes(parallel)
+
+    def test_e4_cold_vs_warm_cache(self, tmp_path):
+        cold = fig3_vqpu.run(seed=0, cache_dir=str(tmp_path))
+        warm = fig3_vqpu.run(seed=0, cache_dir=str(tmp_path))
+        assert canonical_bytes(cold) == canonical_bytes(warm)
+
+    def test_sweep_values_honours_env_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_CACHE_DIR", str(tmp_path))
+        spec = _small_spec()
+        sweep_values(spec, _record_seed)
+        assert list(tmp_path.glob("*.pkl"))

@@ -4,6 +4,7 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.metrics.stats import (
+    RunningStats,
     bootstrap_ci,
     bounded_slowdowns,
     geometric_mean,
@@ -11,6 +12,55 @@ from repro.metrics.stats import (
     median,
     ratio,
 )
+
+
+class TestRunningStats:
+    def test_matches_batch_formulas(self):
+        values = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+        stats = RunningStats()
+        for value in values:
+            stats.add(value)
+        assert stats.count == 8
+        assert stats.total == pytest.approx(sum(values))
+        assert stats.mean == pytest.approx(mean(values))
+        assert stats.stdev == pytest.approx(2.0)
+        assert stats.minimum == 2.0
+        assert stats.maximum == 9.0
+
+    def test_empty(self):
+        stats = RunningStats()
+        assert stats.count == 0
+        assert stats.variance == 0.0
+        assert stats.stdev == 0.0
+
+    def test_merge_equals_single_pass(self):
+        values = [float(v) for v in range(1, 21)]
+        combined = RunningStats()
+        for value in values:
+            combined.add(value)
+        left, right = RunningStats(), RunningStats()
+        for value in values[:7]:
+            left.add(value)
+        for value in values[7:]:
+            right.add(value)
+        left.merge(right)
+        assert left.count == combined.count
+        assert left.total == pytest.approx(combined.total)
+        assert left.mean == pytest.approx(combined.mean)
+        assert left.stdev == pytest.approx(combined.stdev)
+        assert left.minimum == combined.minimum
+        assert left.maximum == combined.maximum
+
+    def test_merge_with_empty_sides(self):
+        filled = RunningStats()
+        filled.add(3.0)
+        empty = RunningStats()
+        filled.merge(empty)
+        assert filled.count == 1
+        empty2 = RunningStats()
+        empty2.merge(filled)
+        assert empty2.count == 1
+        assert empty2.mean == 3.0
 
 
 class TestBasics:

@@ -569,3 +569,18 @@ def test_cache_served_forks_are_isolated(kernel):
     first.occupy([JobComponent("classical", 8, 100.0)], 0.0, 100.0)
     second = cache.timeline(cluster, 0.0)
     assert second.fits_at([JobComponent("classical", 8, 100.0)], 0.0, 100.0)
+
+
+def test_capacity_check_is_version_based(kernel):
+    """No node-state churn => no rescan-triggered rebuilds; a drain (a
+    capacity change without any allocation event) still forces one."""
+    cluster = build_hpcqc_cluster(kernel, 8, ["d0"])
+    cache = TimelineCache(cluster, debug=True)
+    cache.timeline(cluster, 0.0)
+    for _ in range(5):
+        cache.timeline(cluster, 0.0)
+    assert cache.rebuilds == 1
+    cluster.partition("classical").nodes[0].drain()
+    timeline = cache.timeline(cluster, 0.0)
+    assert cache.rebuilds == 2
+    assert timeline.partitions["classical"].capacity_nodes == 7

@@ -34,8 +34,8 @@ class TestTimeWeightedValue:
         value.add(3.0)
         assert value.value == 5.0
 
-    def test_history_records_steps(self, kernel):
-        value = TimeWeightedValue(kernel, initial=1.0)
+    def test_history_records_steps_when_opted_in(self, kernel):
+        value = TimeWeightedValue(kernel, initial=1.0, record_history=True)
 
         def proc(k):
             yield k.timeout(2.0)
@@ -44,6 +44,15 @@ class TestTimeWeightedValue:
         kernel.process(proc(kernel))
         kernel.run()
         assert value.history == [(0.0, 1.0), (2.0, 4.0)]
+
+    def test_history_off_by_default(self, kernel):
+        value = TimeWeightedValue(kernel, initial=1.0)
+        value.set(2.0)
+        assert value.history is None
+        # The integral path is unaffected by the missing history.
+        kernel.timeout(1.0)
+        kernel.run()
+        assert value.integral() == pytest.approx(2.0)
 
     def test_time_average_with_zero_window(self, kernel):
         value = TimeWeightedValue(kernel, initial=7.0)

@@ -33,6 +33,51 @@ class TestRun:
         assert main(["run", "E1", "--seed", "5"]) == 0
 
 
+class TestSweep:
+    def test_sweep_single_experiment(self, capsys):
+        assert main(["sweep", "E4"]) == 0
+        output = capsys.readouterr().out
+        assert "Virtual QPUs" in output
+        assert "[PASS]" in output
+        assert "[sweep] E4" in output
+
+    def test_sweep_with_workers_and_cache(self, capsys, tmp_path):
+        cache_dir = tmp_path / "cache"
+        assert (
+            main(
+                [
+                    "sweep",
+                    "E7",
+                    "--workers",
+                    "2",
+                    "--cache-dir",
+                    str(cache_dir),
+                ]
+            )
+            == 0
+        )
+        first = capsys.readouterr().out
+        assert list(cache_dir.glob("*.pkl"))
+        # Warm re-run: every point served from the cache, same output.
+        assert (
+            main(["sweep", "E7", "--cache-dir", str(cache_dir)]) == 0
+        )
+        second = capsys.readouterr().out
+
+        def tables(text):
+            return [
+                line
+                for line in text.splitlines()
+                if not line.startswith("[sweep]")
+            ]
+
+        assert tables(first) == tables(second)
+
+    def test_sweep_rejects_non_sweepable(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "E1"])
+
+
 class TestMisc:
     def test_no_command_shows_help(self, capsys):
         assert main([]) == 2
