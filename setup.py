@@ -1,0 +1,4 @@
+"""Shim for environments without PEP 660 editable support (no wheel)."""
+from setuptools import setup
+
+setup()

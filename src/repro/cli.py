@@ -7,11 +7,16 @@ Usage::
     repro-hpcqc run all --seed 7     # everything
     repro-hpcqc run all --markdown   # EXPERIMENTS.md-style output
     repro-hpcqc sweep all --workers 4 --cache-dir .sweep-cache
+    repro-hpcqc scenario list
+    repro-hpcqc scenario describe failure-storm
+    repro-hpcqc scenario run --preset baseline-32 --seed 7
+    repro-hpcqc scenario run --json my_facility.json --horizon 7200
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import List, Optional
@@ -92,6 +97,49 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="render results as markdown instead of plain tables",
     )
+
+    scenario_parser = subparsers.add_parser(
+        "scenario",
+        help=(
+            "work with declarative facility scenarios "
+            "(named presets or JSON files)"
+        ),
+    )
+    scenario_sub = scenario_parser.add_subparsers(dest="scenario_command")
+    scenario_sub.add_parser("list", help="list registered scenario presets")
+    describe_parser = scenario_sub.add_parser(
+        "describe", help="print one preset as JSON"
+    )
+    describe_parser.add_argument("name", help="preset name")
+    scenario_run = scenario_sub.add_parser(
+        "run",
+        help=(
+            "build a scenario, inject its workload and faults, drive "
+            "it to the horizon and print facility metrics"
+        ),
+    )
+    source = scenario_run.add_mutually_exclusive_group(required=True)
+    source.add_argument("--preset", help="registered preset name")
+    source.add_argument(
+        "--json",
+        dest="json_path",
+        help="path to a ScenarioSpec JSON file",
+    )
+    scenario_run.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="override the scenario's root seed",
+    )
+    scenario_run.add_argument(
+        "--horizon",
+        type=float,
+        default=None,
+        help=(
+            "simulated seconds to run (default: the scenario's "
+            "workload horizon)"
+        ),
+    )
     return parser
 
 
@@ -111,6 +159,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             unknown_message="unknown experiment(s)",
             registry_label="known",
         )
+    if args.command == "scenario":
+        return _scenario_command(parser, args)
     if args.command == "sweep":
         workers = resolve_workers(args.workers)
         return _run_experiments(
@@ -131,6 +181,50 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
     parser.print_help()
     return 2
+
+
+def _scenario_command(parser, args) -> int:
+    """The ``scenario`` verb: list / describe / run."""
+    from repro.errors import ReproError
+    from repro.scenarios import (
+        ScenarioSpec,
+        get_scenario,
+        list_scenarios,
+        run_scenario,
+    )
+
+    if args.scenario_command == "list":
+        for name in list_scenarios():
+            print(f"{name}: {get_scenario(name).description}")
+        return 0
+    if args.scenario_command == "describe":
+        try:
+            spec = get_scenario(args.name)
+        except ReproError as exc:
+            parser.error(str(exc))
+        print(spec.to_json())
+        return 0
+    if args.scenario_command == "run":
+        try:
+            if args.preset:
+                spec = get_scenario(args.preset)
+            else:
+                with open(args.json_path, "r", encoding="utf-8") as handle:
+                    spec = ScenarioSpec.from_json(handle.read())
+            start = time.perf_counter()
+            metrics = run_scenario(
+                spec, seed=args.seed, horizon=args.horizon
+            )
+        except (ReproError, OSError) as exc:
+            parser.error(str(exc))
+        elapsed = time.perf_counter() - start
+        print(json.dumps(metrics, indent=2, sort_keys=True))
+        print(
+            f"[scenario] {spec.name}: {metrics['horizon_s']:.0f}s "
+            f"simulated in {elapsed:.2f}s wall"
+        )
+        return 0
+    parser.error("scenario needs a subcommand: list, describe or run")
 
 
 def _run_experiments(

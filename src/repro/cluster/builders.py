@@ -55,6 +55,7 @@ def build_hpcqc_cluster(
     classical_max_walltime: Optional[float] = None,
     quantum_max_walltime: Optional[float] = None,
     cores_per_node: int = 64,
+    record_history: bool = False,
 ) -> Cluster:
     """Canonical two-partition HPC-QC cluster (paper Listing 1 topology).
 
@@ -79,4 +80,6 @@ def build_hpcqc_cluster(
     quantum = Partition(
         QUANTUM_PARTITION, quantum_nodes, max_walltime=quantum_max_walltime
     )
-    return Cluster(kernel, [classical, quantum])
+    return Cluster(
+        kernel, [classical, quantum], record_history=record_history
+    )

@@ -21,7 +21,12 @@ from repro.sim.monitor import TimeWeightedValue
 class Cluster:
     """A set of partitions plus allocation bookkeeping."""
 
-    def __init__(self, kernel: Kernel, partitions: List[Partition]) -> None:
+    def __init__(
+        self,
+        kernel: Kernel,
+        partitions: List[Partition],
+        record_history: bool = False,
+    ) -> None:
         if not partitions:
             raise ConfigurationError("a cluster needs at least one partition")
         names = [p.name for p in partitions]
@@ -48,9 +53,15 @@ class Cluster:
         self._allocation_listeners: List[
             Callable[[str, Allocation, int], None]
         ] = []
+        #: Whether the busy counters keep full step histories
+        #: (scenario monitoring opt-in; off on the hot path by default).
+        self.record_history = record_history
         #: Per-partition time-weighted busy-node counters.
         self.busy_nodes: Dict[str, TimeWeightedValue] = {
-            p.name: TimeWeightedValue(kernel, 0.0) for p in partitions
+            p.name: TimeWeightedValue(
+                kernel, 0.0, record_history=record_history
+            )
+            for p in partitions
         }
         #: Per-partition, per-gres-type busy-unit counters.
         self.busy_gres: Dict[str, Dict[str, TimeWeightedValue]] = {}
@@ -59,7 +70,10 @@ class Cluster:
                 {t for node in partition.nodes for t in node.gres_types()}
             )
             self.busy_gres[partition.name] = {
-                t: TimeWeightedValue(kernel, 0.0) for t in gres_types
+                t: TimeWeightedValue(
+                    kernel, 0.0, record_history=record_history
+                )
+                for t in gres_types
             }
 
     # -- queries ------------------------------------------------------------------
@@ -261,7 +275,9 @@ class Cluster:
         for gres_type, count in gres_counts.items():
             monitors = self.busy_gres[partition_name]
             if gres_type not in monitors:
-                monitors[gres_type] = TimeWeightedValue(self.kernel, 0.0)
+                monitors[gres_type] = TimeWeightedValue(
+                    self.kernel, 0.0, record_history=self.record_history
+                )
             monitors[gres_type].add(sign * count)
 
     def node_utilisation(self, partition_name: str) -> float:

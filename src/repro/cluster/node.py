@@ -83,6 +83,9 @@ class Node:
         self.state = NodeState.IDLE
         #: Job id currently holding the node, if any.
         self.allocated_to: Optional[str] = None
+        #: Drain requested while allocated: the running job finishes,
+        #: then release parks the node in ``DRAINING`` instead of IDLE.
+        self._drain_pending = False
         #: Set by the owning cluster: called (with no arguments) when
         #: the node's *capacity class* changes (up / draining / down),
         #: i.e. exactly when partition capacity figures can change.
@@ -173,7 +176,11 @@ class Node:
             )
         self.allocated_to = None
         if self.state == NodeState.ALLOCATED:
-            self.state = NodeState.IDLE
+            if self._drain_pending:
+                self._drain_pending = False
+                self._transition(NodeState.DRAINING)
+            else:
+                self.state = NodeState.IDLE
         for instances in self._gres.values():
             for instance in instances:
                 if instance.allocated_to == job_id:
@@ -184,6 +191,7 @@ class Node:
     def mark_down(self) -> Optional[str]:
         """Take the node down; returns the id of the evicted job, if any."""
         evicted = self.allocated_to
+        self._drain_pending = False
         self._transition(NodeState.DOWN)
         self.allocated_to = None
         for instances in self._gres.values():
@@ -192,17 +200,26 @@ class Node:
         return evicted
 
     def mark_up(self) -> None:
-        """Bring a down/draining node back to service."""
+        """Bring a down/draining node back to service.
+
+        Also cancels a pending drain on an allocated node (the undrain
+        action), so the node returns to IDLE on release as usual.
+        """
+        self._drain_pending = False
         if self.state in (NodeState.DOWN, NodeState.DRAINING):
             self._transition(NodeState.IDLE)
 
     def drain(self) -> None:
-        """Stop accepting new jobs; current job may finish."""
+        """Stop accepting new jobs; current job may finish.
+
+        An idle node drains immediately; an allocated node keeps
+        running its job and transitions to ``DRAINING`` when the job's
+        allocation is released.
+        """
         if self.state == NodeState.IDLE:
             self._transition(NodeState.DRAINING)
         elif self.state == NodeState.ALLOCATED:
-            # Allocated nodes drain upon release; model as DRAINING once free.
-            self.state = NodeState.ALLOCATED  # release() will set IDLE
+            self._drain_pending = True
 
     def __repr__(self) -> str:
         return f"<Node {self.name} {self.state.value}>"

@@ -26,11 +26,35 @@ from repro.quantum.circuit import Circuit
 from repro.quantum.cloud import CloudQPUEndpoint
 from repro.quantum.qpu import QPU
 from repro.quantum.technology import SUPERCONDUCTING
+from repro.scenarios import (
+    FleetSpec,
+    PolicySpec,
+    ScenarioSpec,
+    TopologySpec,
+    build,
+)
 from repro.scheduler.job import JobComponent, JobSpec
 from repro.sim.kernel import Kernel
 from repro.sim.monitor import SampleSeries
 from repro.sim.rng import RandomStreams
-from repro.strategies.envs import make_environment
+
+
+def batch_access_scenario(
+    scheduling_cycle: float, seed: int = 0
+) -> ScenarioSpec:
+    """The batch-gres access facility: tiny partition, production cycle."""
+    return ScenarioSpec(
+        name="access-batch",
+        description=(
+            "Section 3's batch access model: users wrap each kernel "
+            "in a --gres=qpu:1 job behind a production scheduling "
+            "cycle."
+        ),
+        topology=TopologySpec(classical_nodes=4),
+        fleet=FleetSpec(technology="superconducting"),
+        policy=PolicySpec(scheduling_cycle=scheduling_cycle),
+        seed=seed,
+    )
 
 
 def _cloud_scenario(
@@ -73,12 +97,7 @@ def _batch_scenario(
     scheduling_cycle: float,
 ) -> SampleSeries:
     """Users wrapping each kernel in a batch job with a qpu gres."""
-    env = make_environment(
-        classical_nodes=4,
-        technology=SUPERCONDUCTING,
-        seed=seed,
-        scheduling_cycle=scheduling_cycle,
-    )
+    env = build(batch_access_scenario(scheduling_cycle, seed=seed))
     overheads = SampleSeries("batch-overheads")
     circuit = Circuit(10, 100, name="access-kernel")
     technology = SUPERCONDUCTING

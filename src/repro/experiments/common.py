@@ -1,34 +1,80 @@
-"""Shared scenario builders for the experiment modules."""
+"""Shared scenario builders for the experiment modules.
+
+Every experiment declares its facility as a
+:class:`~repro.scenarios.spec.ScenarioSpec` (usually via
+:func:`campaign_scenario`) and materialises it through the single
+:func:`repro.scenarios.build.build` pipeline; :func:`run_campaign`
+drives a set of hybrid applications through one strategy inside such a
+scenario.  The legacy keyword form of ``run_campaign`` (classical
+nodes, rho, horizon as separate arguments) remains for benchmarks and
+tests and is translated into a spec internally — both forms build
+identical facilities.
+"""
 
 from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
-from repro.quantum.circuit import Circuit
 from repro.quantum.technology import QPUTechnology
+from repro.scenarios.build import (
+    background_trace,
+    build,
+    install_background,
+    offered_load_interarrival,
+)
+from repro.scenarios.spec import (
+    FleetSpec,
+    PolicySpec,
+    ScenarioSpec,
+    TopologySpec,
+    WorkloadSpec,
+)
+from repro.quantum.circuit import Circuit
 from repro.scheduler.job import Job
 from repro.strategies.application import HybridApplication, vqe_like
 from repro.strategies.base import Environment, IntegrationStrategy, RunRecord
-from repro.strategies.envs import make_environment
-from repro.workloads.distributions import LogUniform, PowerOfTwoNodes
 from repro.workloads.generator import CampaignDriver, submit_trace
-from repro.workloads.swf import TraceJob, synthesise_trace
+from repro.workloads.swf import TraceJob
+
+__all__ = [
+    "campaign_scenario",
+    "make_background_trace",
+    "offered_load_interarrival",
+    "run_campaign",
+    "standard_hybrid_app",
+    "start_background",
+]
 
 
-def offered_load_interarrival(
-    rho: float,
-    cluster_nodes: int,
-    mean_job_nodes: float,
-    mean_job_runtime: float,
-) -> float:
-    """Mean interarrival producing offered load ``rho`` on the partition.
+def campaign_scenario(
+    technology: QPUTechnology,
+    classical_nodes: int = 32,
+    vqpus_per_qpu: int = 1,
+    background_rho: float = 0.0,
+    background_horizon: float = 0.0,
+    scheduling_cycle: float = 0.0,
+    seed: int = 0,
+    name: Optional[str] = None,
+) -> ScenarioSpec:
+    """The scenario one experiment campaign runs under.
 
-    Offered load is node-seconds demanded per node-second of capacity:
-    ``rho = nodes × runtime / (interarrival × cluster_nodes)``.
+    This is the declarative equivalent of the historical
+    ``make_environment`` + ``start_background`` pair: a two-partition
+    facility around ``technology`` with an optional Poisson background
+    of offered load ``background_rho`` over ``background_horizon``.
     """
-    if rho <= 0:
-        raise ValueError("rho must be positive")
-    return (mean_job_nodes * mean_job_runtime) / (rho * cluster_nodes)
+    return ScenarioSpec(
+        name=name or f"campaign-{technology.name}",
+        topology=TopologySpec(classical_nodes=classical_nodes),
+        fleet=FleetSpec(
+            technology=technology.name, vqpus_per_qpu=vqpus_per_qpu
+        ),
+        workload=WorkloadSpec(
+            background_rho=background_rho, horizon=background_horizon
+        ),
+        policy=PolicySpec(scheduling_cycle=scheduling_cycle),
+        seed=seed,
+    )
 
 
 def make_background_trace(
@@ -42,20 +88,17 @@ def make_background_trace(
     max_nodes: int = 16,
 ) -> List[TraceJob]:
     """Synthesise a classical background trace of offered load ``rho``."""
-    rng = env.streams.stream(seed_name)
-    sizes = PowerOfTwoNodes(min_nodes, max_nodes)
-    runtimes = LogUniform(min_runtime, max_runtime)
-    cluster_nodes = env.cluster.partition("classical").node_count
-    interarrival = offered_load_interarrival(
-        rho, cluster_nodes, sizes.mean(), runtimes.mean()
-    )
-    job_count = max(int(horizon / interarrival) + 1, 1)
-    return synthesise_trace(
-        rng,
-        job_count=job_count,
-        mean_interarrival=interarrival,
-        runtimes=runtimes,
-        sizes=sizes,
+    return background_trace(
+        env,
+        WorkloadSpec(
+            background_rho=rho,
+            horizon=horizon,
+            min_runtime=min_runtime,
+            max_runtime=max_runtime,
+            min_nodes=min_nodes,
+            max_nodes=max_nodes,
+        ),
+        seed_name=seed_name,
     )
 
 
@@ -112,31 +155,42 @@ def standard_hybrid_app(
 def run_campaign(
     strategy: IntegrationStrategy,
     apps: Sequence[HybridApplication],
-    technology: QPUTechnology,
+    technology: Optional[QPUTechnology] = None,
     classical_nodes: int = 32,
     vqpus_per_qpu: int = 1,
     background_rho: float = 0.0,
     background_horizon: float = 0.0,
-    seed: int = 0,
+    seed: Optional[int] = None,
     submit_times: Optional[Sequence[float]] = None,
     scheduling_cycle: float = 0.0,
+    scenario: Optional[ScenarioSpec] = None,
 ) -> tuple[List[RunRecord], Environment]:
-    """Run ``apps`` under ``strategy`` in a fresh environment.
+    """Run ``apps`` under ``strategy`` in a fresh scenario environment.
 
-    Returns the per-app records plus the environment (for facility
-    metrics).  Background classical load of intensity
-    ``background_rho`` is injected over ``background_horizon`` when
-    requested.
+    Pass a :class:`ScenarioSpec` via ``scenario=`` (the declarative
+    form experiments use), or the legacy keyword arguments, which are
+    folded into an equivalent spec.  Returns the per-app records plus
+    the environment (for facility metrics); the scenario's background
+    workload is injected before the campaign launches.
     """
-    env = make_environment(
-        classical_nodes=classical_nodes,
-        technology=technology,
-        vqpus_per_qpu=vqpus_per_qpu,
-        seed=seed,
-        scheduling_cycle=scheduling_cycle,
-    )
-    if background_rho > 0 and background_horizon > 0:
-        start_background(env, background_rho, background_horizon)
+    if scenario is None:
+        if technology is None:
+            raise TypeError(
+                "run_campaign needs either scenario= or technology="
+            )
+        scenario = campaign_scenario(
+            technology,
+            classical_nodes=classical_nodes,
+            vqpus_per_qpu=vqpus_per_qpu,
+            background_rho=background_rho,
+            background_horizon=background_horizon,
+            scheduling_cycle=scheduling_cycle,
+            seed=0 if seed is None else seed,
+        )
+    elif seed is not None:
+        scenario = scenario.with_seed(seed)
+    env = build(scenario)
+    install_background(env, scenario.workload)
     driver = CampaignDriver(env, strategy)
     driver.launch_all(list(apps), submit_times)
     records = driver.collect()

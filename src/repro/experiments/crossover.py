@@ -21,7 +21,11 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.experiments.common import run_campaign, standard_hybrid_app
+from repro.experiments.common import (
+    campaign_scenario,
+    run_campaign,
+    standard_hybrid_app,
+)
 from repro.experiments.harness import ExperimentResult
 from repro.experiments.sweep import SweepSpec, run_sweep, sweep_cache
 from repro.metrics.stats import mean
@@ -88,14 +92,17 @@ def _run_cell(params: Dict[str, Any], seed: int) -> Dict[str, float]:
     records, env = run_campaign(
         strategy,
         apps,
-        technology,
-        classical_nodes=8 * tenants,
-        vqpus_per_qpu=vqpus,
-        background_rho=rho,
-        background_horizon=params["horizon"],
-        seed=seed,
+        scenario=campaign_scenario(
+            technology,
+            classical_nodes=8 * tenants,
+            vqpus_per_qpu=vqpus,
+            background_rho=rho,
+            background_horizon=params["horizon"],
+            scheduling_cycle=params["scheduling_cycle"],
+            seed=seed,
+            name=f"crossover-{tech_label}-{name}",
+        ),
         submit_times=[submit_at] * tenants,
-        scheduling_cycle=params["scheduling_cycle"],
     )
     del env
     turnarounds = [r.turnaround for r in records if r.turnaround]

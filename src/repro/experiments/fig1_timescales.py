@@ -12,13 +12,12 @@ from __future__ import annotations
 
 from repro.experiments.harness import ExperimentResult
 from repro.metrics.report import format_duration
-from repro.quantum.qpu import QPU
 from repro.quantum.technology import (
     TECHNOLOGIES,
     fig1_reference_bands,
     standard_job,
 )
-from repro.sim.kernel import Kernel
+from repro.scenarios import FleetSpec, ScenarioSpec, TopologySpec, build
 
 #: Fig 1 orders technologies fastest job first.
 _ORDER = [
@@ -28,6 +27,16 @@ _ORDER = [
     "trapped_ion",
     "neutral_atom",
 ]
+
+
+def device_scenario(technology_name: str) -> ScenarioSpec:
+    """A minimal single-device facility for bare-metal measurement."""
+    return ScenarioSpec(
+        name=f"fig1-{technology_name}",
+        description="One QPU, no load: measure raw job time scales.",
+        topology=TopologySpec(classical_nodes=1),
+        fleet=FleetSpec(technology=technology_name),
+    )
 
 
 def run(seed: int = 0, shots: int = 1000) -> ExperimentResult:
@@ -54,10 +63,10 @@ def run(seed: int = 0, shots: int = 1000) -> ExperimentResult:
         )
 
         # Measure on a simulated device (deterministic: no jitter).
-        kernel = Kernel()
-        qpu = QPU(kernel, technology)
+        env = build(device_scenario(name))
+        qpu = env.primary_qpu()
         completion = qpu.run(circuit, job_shots)
-        measured = kernel.run(until=completion)
+        measured = env.kernel.run(until=completion)
         measured_total = (
             measured.execution_time + measured.calibration_time
         )

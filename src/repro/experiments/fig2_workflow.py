@@ -17,7 +17,11 @@ that trade:
 
 from __future__ import annotations
 
-from repro.experiments.common import run_campaign, standard_hybrid_app
+from repro.experiments.common import (
+    campaign_scenario,
+    run_campaign,
+    standard_hybrid_app,
+)
 from repro.experiments.harness import ExperimentResult
 from repro.metrics.stats import mean
 from repro.quantum.technology import SUPERCONDUCTING
@@ -69,14 +73,18 @@ def run(
             # Under load, submit after a warmup so the app meets a
             # realistically busy queue rather than an empty cluster.
             submit_at = warmup if rho > 0 else 0.0
-            records, env = run_campaign(
-                strategy,
-                [app],
+            scenario = campaign_scenario(
                 technology,
                 classical_nodes=32,
                 background_rho=rho,
                 background_horizon=horizon,
                 seed=seed,
+                name=f"fig2-{label.replace(' ', '-').replace(',', '')}",
+            )
+            records, env = run_campaign(
+                strategy,
+                [app],
+                scenario=scenario,
                 submit_times=[submit_at],
             )
             record = records[0]
@@ -183,9 +191,12 @@ def run(
     records, env = run_campaign(
         WorkflowStrategy(),
         apps,
-        technology,
-        classical_nodes=32,
-        seed=seed,
+        scenario=campaign_scenario(
+            technology,
+            classical_nodes=32,
+            seed=seed,
+            name="fig2-quantum-contention",
+        ),
     )
     quantum_waits = [
         wait for record in records for wait in record.quantum_access_waits

@@ -27,7 +27,11 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional
 
-from repro.experiments.common import run_campaign, standard_hybrid_app
+from repro.experiments.common import (
+    campaign_scenario,
+    run_campaign,
+    standard_hybrid_app,
+)
 from repro.experiments.harness import ExperimentResult
 from repro.experiments.sweep import SweepSpec, run_sweep, sweep_cache
 from repro.metrics.stats import mean
@@ -68,10 +72,13 @@ def _run_point(params: Dict[str, Any], seed: int) -> Dict[str, float]:
     records, env = run_campaign(
         VQPUStrategy(),
         apps,
-        SUPERCONDUCTING,
-        classical_nodes=4 * tenants,
-        vqpus_per_qpu=v,
-        seed=seed,
+        scenario=campaign_scenario(
+            SUPERCONDUCTING,
+            classical_nodes=4 * tenants,
+            vqpus_per_qpu=v,
+            seed=seed,
+            name=f"fig3-{params['case']}-v{v}",
+        ),
     )
     turnarounds = [r.turnaround for r in records if r.turnaround]
     makespan = max(

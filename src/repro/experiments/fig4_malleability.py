@@ -21,7 +21,11 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional
 
-from repro.experiments.common import run_campaign, standard_hybrid_app
+from repro.experiments.common import (
+    campaign_scenario,
+    run_campaign,
+    standard_hybrid_app,
+)
 from repro.experiments.harness import ExperimentResult
 from repro.experiments.sweep import SweepSpec, run_sweep, sweep_cache
 from repro.metrics.stats import mean
@@ -55,11 +59,14 @@ def _run_point(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
         records, env = run_campaign(
             strategy,
             [app],
-            SUPERCONDUCTING,
-            classical_nodes=32,
-            background_rho=params["background_rho"],
-            background_horizon=params["horizon"],
-            seed=seed,
+            scenario=campaign_scenario(
+                SUPERCONDUCTING,
+                classical_nodes=32,
+                background_rho=params["background_rho"],
+                background_horizon=params["horizon"],
+                seed=seed,
+                name="fig4-saturated",
+            ),
             submit_times=[params["warmup"]],
         )
     else:
@@ -74,9 +81,12 @@ def _run_point(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
         records, env = run_campaign(
             strategy,
             [app],
-            NEUTRAL_ATOM,
-            classical_nodes=32,
-            seed=seed,
+            scenario=campaign_scenario(
+                NEUTRAL_ATOM,
+                classical_nodes=32,
+                seed=seed,
+                name="fig4-neutral-atom",
+            ),
         )
     del env
     record = records[0]

@@ -21,14 +21,30 @@ from typing import Dict
 from repro.experiments.harness import ExperimentResult
 from repro.quantum.circuit import Circuit
 from repro.quantum.technology import TECHNOLOGIES, QPUTechnology
+from repro.scenarios import FleetSpec, ScenarioSpec, TopologySpec, build
 from repro.strategies.application import HybridApplication, vqe_like
 from repro.strategies.base import RunRecord
 from repro.strategies.coschedule import CoScheduleStrategy
-from repro.strategies.envs import make_environment
 
 #: Listing 1 parameters.
 CLASSICAL_NODES = 10
 WALLTIME = 3600.0
+
+
+def listing1_scenario(
+    technology: QPUTechnology, seed: int = 0
+) -> ScenarioSpec:
+    """Listing 1's facility: 10 classical nodes + one exclusive QPU."""
+    return ScenarioSpec(
+        name=f"listing1-{technology.name}",
+        description=(
+            "The Section 3 co-scheduling example: a hetjob holding "
+            "10 classical nodes and 1 QPU for a one-hour walltime."
+        ),
+        topology=TopologySpec(classical_nodes=CLASSICAL_NODES),
+        fleet=FleetSpec(technology=technology.name),
+        seed=seed,
+    )
 
 
 def _listing1_app(technology: QPUTechnology) -> HybridApplication:
@@ -67,11 +83,7 @@ def _listing1_app(technology: QPUTechnology) -> HybridApplication:
 
 
 def _run_one(technology: QPUTechnology, seed: int) -> tuple[RunRecord, Dict]:
-    env = make_environment(
-        classical_nodes=CLASSICAL_NODES,
-        technology=technology,
-        seed=seed,
-    )
+    env = build(listing1_scenario(technology, seed=seed))
     app = _listing1_app(technology)
     strategy = CoScheduleStrategy(
         walltime=WALLTIME, hold_full_walltime=True

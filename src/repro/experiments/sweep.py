@@ -260,14 +260,50 @@ def canonical_bytes(value: Any) -> bytes:
 _CODE_VERSION: Optional[str] = None
 
 
+def _git_output(args: List[str]) -> str:
+    """Stdout of a git command run next to this file ('' on any failure)."""
+    try:
+        return subprocess.run(
+            ["git", *args],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=5.0,
+        ).stdout
+    except (OSError, subprocess.SubprocessError):
+        return ""
+
+
+def _untracked_content_digest() -> str:
+    """One line of ``path:sha256`` per untracked file, repo-wide."""
+    toplevel = _git_output(["rev-parse", "--show-toplevel"]).strip()
+    if not toplevel:
+        return ""
+    listing = _git_output(
+        ["ls-files", "--others", "--exclude-standard", "--full-name", ":/"]
+    )
+    lines = []
+    for rel in listing.splitlines():
+        if not rel:
+            continue
+        try:
+            content = (Path(toplevel) / rel).read_bytes()
+            lines.append(f"{rel}:{hashlib.sha256(content).hexdigest()}")
+        except OSError:
+            lines.append(f"{rel}:unreadable")
+    return "\n".join(lines)
+
+
 def _default_code_version() -> str:
     """Cache-key component tied to the code that produced a result.
 
     ``$REPRO_SWEEP_CODE_VERSION`` wins; otherwise the package version
     plus the current VCS revision (when a ``git`` checkout is visible),
     so committed code changes invalidate cached points even without a
-    package-version bump.  Uncommitted edits are on the operator — the
-    cache is opt-in for exactly that reason.
+    package-version bump.  A dirty working tree appends a marker
+    derived from the uncommitted diff: entries written under edits are
+    keyed to *those* edits, never silently reused for the bare commit
+    (or for different edits on top of it).
     """
     override = os.environ.get(CODE_VERSION_ENV_VAR)
     if override:
@@ -275,18 +311,21 @@ def _default_code_version() -> str:
     global _CODE_VERSION
     if _CODE_VERSION is None:
         version = __version__
-        try:
-            revision = subprocess.run(
-                ["git", "rev-parse", "--short", "HEAD"],
-                cwd=Path(__file__).resolve().parent,
-                capture_output=True,
-                text=True,
-                timeout=5.0,
-            ).stdout.strip()
-            if revision:
-                version = f"{version}+g{revision}"
-        except (OSError, subprocess.SubprocessError):
-            pass
+        revision = _git_output(["rev-parse", "--short", "HEAD"]).strip()
+        if revision:
+            version = f"{version}+g{revision}"
+            status = _git_output(["status", "--porcelain"])
+            if status.strip():
+                # Key dirty trees by their actual content: the tracked
+                # diff, the porcelain status, and the *contents* of
+                # untracked files (which neither status nor diff can
+                # see — a new module's edits must invalidate too).
+                diff = _git_output(["diff", "HEAD"])
+                untracked = _untracked_content_digest()
+                digest = hashlib.sha256(
+                    (status + diff + untracked).encode("utf-8", "replace")
+                ).hexdigest()
+                version = f"{version}.dirty.{digest[:12]}"
         _CODE_VERSION = version
     return _CODE_VERSION
 

@@ -1,0 +1,78 @@
+"""Declarative facility scenarios: specs, presets, build pipeline, sweeps.
+
+The one-stop surface::
+
+    from repro.scenarios import build, get_scenario, with_overrides
+
+    env = build(get_scenario("baseline-32"), seed=7)
+
+See :mod:`repro.scenarios.spec` for the dataclass tree,
+:mod:`repro.scenarios.registry` for the named presets,
+:mod:`repro.scenarios.build` for environment materialisation and fault
+installation, and :mod:`repro.scenarios.sweeps` for dotted-path sweep
+integration.
+"""
+
+from repro.scenarios.build import (
+    DEFAULT_HORIZON,
+    background_trace,
+    build,
+    install_background,
+    install_faults,
+    offered_load_interarrival,
+    run_scenario,
+)
+from repro.scenarios.registry import (
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+)
+from repro.scenarios.spec import (
+    ARRIVAL_PROCESSES,
+    FAULT_ACTIONS,
+    FaultSchedule,
+    FleetSpec,
+    MonitoringSpec,
+    NodeFault,
+    PolicySpec,
+    QPUMaintenance,
+    RandomFailures,
+    ScenarioSpec,
+    TopologySpec,
+    WorkloadSpec,
+    with_overrides,
+)
+from repro.scenarios.sweeps import (
+    point_scenario,
+    run_scenario_point,
+    scenario_sweep_spec,
+)
+
+__all__ = [
+    "ARRIVAL_PROCESSES",
+    "DEFAULT_HORIZON",
+    "FAULT_ACTIONS",
+    "FaultSchedule",
+    "FleetSpec",
+    "MonitoringSpec",
+    "NodeFault",
+    "PolicySpec",
+    "QPUMaintenance",
+    "RandomFailures",
+    "ScenarioSpec",
+    "TopologySpec",
+    "WorkloadSpec",
+    "background_trace",
+    "build",
+    "get_scenario",
+    "install_background",
+    "install_faults",
+    "list_scenarios",
+    "offered_load_interarrival",
+    "point_scenario",
+    "register_scenario",
+    "run_scenario",
+    "run_scenario_point",
+    "scenario_sweep_spec",
+    "with_overrides",
+]

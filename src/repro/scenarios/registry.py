@@ -1,0 +1,188 @@
+"""Named scenario presets.
+
+The registry maps short stable names to :class:`ScenarioSpec` values so
+experiments, sweeps, tests and the CLI can all say ``baseline-32``
+instead of re-declaring the facility.  Presets are plain data — grab
+one with :func:`get_scenario`, perturb it with
+:func:`repro.scenarios.spec.with_overrides` or ``dataclasses.replace``,
+and hand it to :func:`repro.scenarios.build.build`.
+
+Register additional scenarios (e.g. from a site-specific module) with
+:func:`register_scenario`; names are unique and first registration
+wins permanently unless ``replace=True``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import ConfigurationError
+from repro.scenarios.spec import (
+    FaultSchedule,
+    FleetSpec,
+    NodeFault,
+    PolicySpec,
+    QPUMaintenance,
+    RandomFailures,
+    ScenarioSpec,
+    TopologySpec,
+    WorkloadSpec,
+)
+
+_REGISTRY: Dict[str, ScenarioSpec] = {}
+
+
+def register_scenario(
+    spec: ScenarioSpec, replace: bool = False
+) -> ScenarioSpec:
+    """Add ``spec`` to the registry under ``spec.name``."""
+    spec.validate()
+    if spec.name in _REGISTRY and not replace:
+        raise ConfigurationError(
+            f"scenario {spec.name!r} already registered"
+        )
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """The registered preset called ``name``."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scenario {name!r}; known: {list_scenarios()}"
+        ) from None
+
+
+def list_scenarios() -> List[str]:
+    """Registered preset names, sorted."""
+    return sorted(_REGISTRY)
+
+
+# -- built-in presets --------------------------------------------------------
+
+register_scenario(
+    ScenarioSpec(
+        name="baseline-32",
+        description=(
+            "The paper's canonical facility: 32 classical nodes, one "
+            "superconducting QPU behind a qpu gres, EASY backfill, and "
+            "a moderate (rho=0.85) Poisson background over 4 h."
+        ),
+        topology=TopologySpec(classical_nodes=32),
+        fleet=FleetSpec(technology="superconducting"),
+        workload=WorkloadSpec(background_rho=0.85, horizon=4 * 3600.0),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="multitenant-vqpu",
+        description=(
+            "Fig 3's multitenancy substrate: one physical "
+            "superconducting QPU exposed as 8 virtual QPU gres units "
+            "to a 64-node classical partition under load."
+        ),
+        topology=TopologySpec(classical_nodes=64),
+        fleet=FleetSpec(technology="superconducting", vqpus_per_qpu=8),
+        workload=WorkloadSpec(background_rho=0.7, horizon=4 * 3600.0),
+        policy=PolicySpec(scheduling_cycle=30.0),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="failure-storm",
+        description=(
+            "Dependability stress: stochastic node churn (MTBF 2 h, "
+            "20 min repairs) on the classical partition plus a timed "
+            "storm — three nodes fail together at t=30 min, one "
+            "front-end drain, and a QPU maintenance window — under a "
+            "near-saturated background."
+        ),
+        topology=TopologySpec(classical_nodes=32),
+        fleet=FleetSpec(technology="superconducting"),
+        workload=WorkloadSpec(background_rho=0.95, horizon=4 * 3600.0),
+        policy=PolicySpec(policy="conservative", scheduling_cycle=30.0),
+        faults=FaultSchedule(
+            events=(
+                NodeFault(time=1800.0, action="fail", node="cn0003"),
+                NodeFault(time=1800.0, action="fail", node="cn0004"),
+                NodeFault(time=1800.0, action="fail", node="cn0005"),
+                NodeFault(time=2400.0, action="drain", node="cn0010"),
+                NodeFault(time=5400.0, action="repair", node="cn0003"),
+                NodeFault(time=5400.0, action="repair", node="cn0004"),
+                NodeFault(time=5400.0, action="repair", node="cn0005"),
+                NodeFault(time=7200.0, action="undrain", node="cn0010"),
+            ),
+            maintenance=(
+                QPUMaintenance(
+                    qpu="superconducting-0", start=3600.0, duration=900.0
+                ),
+            ),
+            random_failures=RandomFailures(
+                mtbf=2 * 3600.0, mean_repair_time=1200.0
+            ),
+        ),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="bursty-campaign",
+        description=(
+            "Bursty arrivals: the rho=0.9 background hits the 32-node "
+            "partition through a day/night-modulated (diurnal) arrival "
+            "process with 4 h period, so queue depth breathes instead "
+            "of holding steady."
+        ),
+        topology=TopologySpec(classical_nodes=32),
+        fleet=FleetSpec(technology="superconducting"),
+        workload=WorkloadSpec(
+            background_rho=0.9,
+            horizon=8 * 3600.0,
+            arrivals="diurnal",
+            burst_amplitude=0.8,
+            burst_period=4 * 3600.0,
+        ),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="large-1k",
+        description=(
+            "Production scale: 1024 classical nodes, four "
+            "superconducting QPUs each split into 4 VQPUs, EASY "
+            "backfill with a 30 s cycle, and a rho=0.8 background "
+            "over 2 h."
+        ),
+        topology=TopologySpec(classical_nodes=1024),
+        fleet=FleetSpec(
+            technology="superconducting", qpu_count=4, vqpus_per_qpu=4
+        ),
+        workload=WorkloadSpec(
+            background_rho=0.8,
+            horizon=2 * 3600.0,
+            min_nodes=2,
+            max_nodes=64,
+        ),
+        policy=PolicySpec(scheduling_cycle=30.0),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="neutral-atom-hours",
+        description=(
+            "The slow-QPU regime: a neutral-atom device (jobs beyond "
+            "30 min including geometry calibration) behind a 16-node "
+            "classical partition — the direction of co-scheduling "
+            "waste flips versus superconducting."
+        ),
+        topology=TopologySpec(classical_nodes=16),
+        fleet=FleetSpec(technology="neutral_atom"),
+        workload=WorkloadSpec(background_rho=0.5, horizon=6 * 3600.0),
+    )
+)

@@ -1,0 +1,437 @@
+"""Declarative facility scenarios.
+
+The paper's claims are comparisons of integration strategies *under a
+particular facility scenario*: a topology, a QPU fleet, a workload mix,
+a scheduling policy — and, for dependability studies, a schedule of
+faults.  This module makes that scenario a first-class value: a
+:class:`ScenarioSpec` is a frozen dataclass tree that
+
+- round-trips losslessly through ``to_dict``/``from_dict`` and JSON,
+  so scenarios can live in files, cache keys and sweep parameters;
+- validates eagerly (:meth:`ScenarioSpec.validate`), so a bad scenario
+  fails before any simulation starts;
+- supports *dotted-path overrides* (:func:`with_overrides`), which is
+  how sweep axes target individual scenario fields
+  (``"topology.classical_nodes"``) without bespoke glue per experiment.
+
+Building a live :class:`~repro.strategies.base.Environment` from a spec
+is :func:`repro.scenarios.build.build`'s job; named presets live in
+:mod:`repro.scenarios.registry`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Known fault actions, in the order the node lifecycle supports them.
+FAULT_ACTIONS = ("fail", "repair", "drain", "undrain")
+
+#: Known background arrival processes.
+ARRIVAL_PROCESSES = ("poisson", "diurnal")
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """Cluster shape: the classical partition plus QPU front-end packing."""
+
+    classical_nodes: int = 32
+    cores_per_node: int = 64
+    qpus_per_node: int = 1
+    classical_max_walltime: Optional[float] = None
+    quantum_max_walltime: Optional[float] = None
+
+    def validate(self) -> None:
+        if self.classical_nodes < 0:
+            raise ConfigurationError("topology.classical_nodes must be >= 0")
+        if self.cores_per_node <= 0:
+            raise ConfigurationError("topology.cores_per_node must be > 0")
+        if self.qpus_per_node <= 0:
+            raise ConfigurationError("topology.qpus_per_node must be > 0")
+        for label, walltime in (
+            ("classical", self.classical_max_walltime),
+            ("quantum", self.quantum_max_walltime),
+        ):
+            if walltime is not None and walltime <= 0:
+                raise ConfigurationError(
+                    f"topology.{label}_max_walltime must be > 0 when set"
+                )
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """The QPU fleet: technology, device count and virtualisation."""
+
+    technology: str = "superconducting"
+    qpu_count: int = 1
+    vqpus_per_qpu: int = 1
+    jitter: bool = False
+
+    def validate(self) -> None:
+        from repro.quantum.technology import TECHNOLOGIES
+
+        if self.technology not in TECHNOLOGIES:
+            raise ConfigurationError(
+                f"fleet.technology {self.technology!r} unknown; "
+                f"known: {sorted(TECHNOLOGIES)}"
+            )
+        if self.qpu_count < 1:
+            raise ConfigurationError("fleet.qpu_count must be >= 1")
+        if self.vqpus_per_qpu < 1:
+            raise ConfigurationError("fleet.vqpus_per_qpu must be >= 1")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Background classical load offered to the facility.
+
+    ``background_rho`` is offered load in node-seconds demanded per
+    node-second of classical capacity; zero disables the background
+    entirely.  ``arrivals="diurnal"`` modulates the submission rate
+    with a day/night cycle (bursty campaigns).
+    """
+
+    background_rho: float = 0.0
+    horizon: float = 0.0
+    min_runtime: float = 300.0
+    max_runtime: float = 1800.0
+    min_nodes: int = 2
+    max_nodes: int = 16
+    arrivals: str = "poisson"
+    burst_amplitude: float = 0.5
+    burst_period: float = 4 * 3600.0
+
+    def validate(self) -> None:
+        if self.background_rho < 0:
+            raise ConfigurationError("workload.background_rho must be >= 0")
+        if self.horizon < 0:
+            raise ConfigurationError("workload.horizon must be >= 0")
+        if self.background_rho > 0 and self.horizon <= 0:
+            raise ConfigurationError(
+                "workload.horizon must be > 0 when background_rho > 0"
+            )
+        if not 0 < self.min_runtime <= self.max_runtime:
+            raise ConfigurationError(
+                "workload runtimes must satisfy 0 < min_runtime <= max_runtime"
+            )
+        if not 0 < self.min_nodes <= self.max_nodes:
+            raise ConfigurationError(
+                "workload sizes must satisfy 0 < min_nodes <= max_nodes"
+            )
+        if self.arrivals not in ARRIVAL_PROCESSES:
+            raise ConfigurationError(
+                f"workload.arrivals {self.arrivals!r} unknown; "
+                f"known: {ARRIVAL_PROCESSES}"
+            )
+        if not 0.0 <= self.burst_amplitude < 1.0:
+            raise ConfigurationError(
+                "workload.burst_amplitude must be in [0, 1)"
+            )
+        if self.burst_period <= 0:
+            raise ConfigurationError("workload.burst_period must be > 0")
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """Scheduling policy, cycle and multifactor priority weights."""
+
+    policy: str = "easy"
+    scheduling_cycle: float = 0.0
+    priority_age: float = 1000.0
+    priority_size: float = 0.0
+    priority_fairshare: float = 0.0
+    priority_qos: float = 1.0
+
+    def validate(self) -> None:
+        from repro.scheduler.backfill import POLICIES
+
+        if self.policy not in POLICIES:
+            raise ConfigurationError(
+                f"policy.policy {self.policy!r} unknown; "
+                f"known: {sorted(POLICIES)}"
+            )
+        if self.scheduling_cycle < 0:
+            raise ConfigurationError("policy.scheduling_cycle must be >= 0")
+        weights = (
+            self.priority_age,
+            self.priority_size,
+            self.priority_fairshare,
+            self.priority_qos,
+        )
+        if min(weights) < 0:
+            raise ConfigurationError("policy priority weights must be >= 0")
+
+
+@dataclass(frozen=True)
+class MonitoringSpec:
+    """What the facility records beyond the always-on counters."""
+
+    #: Keep full step histories on the cluster's time-weighted busy
+    #: counters (off by default: histories grow unboundedly).
+    record_history: bool = False
+
+    def validate(self) -> None:  # nothing further to check, by design
+        return None
+
+
+@dataclass(frozen=True)
+class NodeFault:
+    """One timed node lifecycle event.
+
+    ``node`` is the node's name (``cn0003``, ``qn00``).  ``fail`` takes
+    the node down (evicting and requeueing its job), ``repair`` brings
+    it back, ``drain`` stops new work (an allocated node finishes its
+    job first, then parks in ``DRAINING``), ``undrain`` returns a
+    drained node to service.
+    """
+
+    time: float
+    action: str
+    node: str
+
+    def validate(self) -> None:
+        if self.time < 0:
+            raise ConfigurationError("fault event time must be >= 0")
+        if self.action not in FAULT_ACTIONS:
+            raise ConfigurationError(
+                f"fault action {self.action!r} unknown; known: {FAULT_ACTIONS}"
+            )
+        if not self.node:
+            raise ConfigurationError("fault event needs a node name")
+
+
+@dataclass(frozen=True)
+class QPUMaintenance:
+    """A booked maintenance window on one QPU (by device name)."""
+
+    qpu: str
+    start: float
+    duration: float
+
+    def validate(self) -> None:
+        if not self.qpu:
+            raise ConfigurationError("maintenance window needs a QPU name")
+        if self.start < 0:
+            raise ConfigurationError("maintenance start must be >= 0")
+        if self.duration <= 0:
+            raise ConfigurationError("maintenance duration must be > 0")
+
+
+@dataclass(frozen=True)
+class RandomFailures:
+    """Stochastic exponential fail/repair churn on one partition."""
+
+    mtbf: float
+    mean_repair_time: float
+    partition: str = "classical"
+
+    def validate(self) -> None:
+        if self.mtbf <= 0 or self.mean_repair_time <= 0:
+            raise ConfigurationError(
+                "random failures need positive mtbf and mean_repair_time"
+            )
+        if not self.partition:
+            raise ConfigurationError("random failures need a partition name")
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """Everything that goes wrong, declaratively.
+
+    Deterministic timed events (``events``), booked QPU maintenance
+    windows (``maintenance``) and an optional stochastic background of
+    exponential failures (``random_failures``).  An empty schedule is
+    the default and installs nothing.
+    """
+
+    events: Tuple[NodeFault, ...] = ()
+    maintenance: Tuple[QPUMaintenance, ...] = ()
+    random_failures: Optional[RandomFailures] = None
+
+    def validate(self) -> None:
+        for event in self.events:
+            event.validate()
+        for window in self.maintenance:
+            window.validate()
+        if self.random_failures is not None:
+            self.random_failures.validate()
+
+    def is_empty(self) -> bool:
+        return (
+            not self.events
+            and not self.maintenance
+            and self.random_failures is None
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A complete facility scenario, as data.
+
+    One spec fixes everything :func:`repro.scenarios.build.build` needs
+    to produce a live environment: topology, fleet, workload, policy,
+    monitoring and fault schedule, plus the root seed.  Experiments,
+    sweeps, presets and the CLI all speak this type.
+    """
+
+    name: str = "custom"
+    description: str = ""
+    topology: TopologySpec = field(default_factory=TopologySpec)
+    fleet: FleetSpec = field(default_factory=FleetSpec)
+    workload: WorkloadSpec = field(default_factory=WorkloadSpec)
+    policy: PolicySpec = field(default_factory=PolicySpec)
+    monitoring: MonitoringSpec = field(default_factory=MonitoringSpec)
+    faults: FaultSchedule = field(default_factory=FaultSchedule)
+    seed: int = 0
+
+    def validate(self) -> "ScenarioSpec":
+        """Check every section; returns self so calls chain."""
+        if not self.name:
+            raise ConfigurationError("a scenario needs a name")
+        self.topology.validate()
+        self.fleet.validate()
+        self.workload.validate()
+        self.policy.validate()
+        self.monitoring.validate()
+        self.faults.validate()
+        if (
+            self.workload.background_rho > 0
+            and self.workload.max_nodes > self.topology.classical_nodes
+        ):
+            raise ConfigurationError(
+                f"workload.max_nodes ({self.workload.max_nodes}) exceeds "
+                f"topology.classical_nodes "
+                f"({self.topology.classical_nodes}): background jobs "
+                "would be unschedulable"
+            )
+        return self
+
+    # -- serialisation -------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain nested dict (JSON-ready; tuples become lists)."""
+        return _to_plain(dataclasses.asdict(self))
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
+        """Inverse of :meth:`to_dict`; unknown keys are rejected."""
+        return _spec_from_dict(cls, data, path="scenario")
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        try:
+            data = json.loads(text)
+        except ValueError as exc:
+            raise ConfigurationError(f"invalid scenario JSON: {exc}") from exc
+        if not isinstance(data, dict):
+            raise ConfigurationError("scenario JSON must be an object")
+        return cls.from_dict(data)
+
+    def with_seed(self, seed: int) -> "ScenarioSpec":
+        return dataclasses.replace(self, seed=int(seed))
+
+
+# -- dict plumbing -----------------------------------------------------------
+
+#: Fields holding nested spec dataclasses (or tuples/optionals of them),
+#: keyed by (owner class, field name).
+_NESTED: Dict[Tuple[type, str], Any] = {
+    (ScenarioSpec, "topology"): TopologySpec,
+    (ScenarioSpec, "fleet"): FleetSpec,
+    (ScenarioSpec, "workload"): WorkloadSpec,
+    (ScenarioSpec, "policy"): PolicySpec,
+    (ScenarioSpec, "monitoring"): MonitoringSpec,
+    (ScenarioSpec, "faults"): FaultSchedule,
+    (FaultSchedule, "events"): ("tuple", NodeFault),
+    (FaultSchedule, "maintenance"): ("tuple", QPUMaintenance),
+    (FaultSchedule, "random_failures"): ("optional", RandomFailures),
+}
+
+
+def _to_plain(value: Any) -> Any:
+    if isinstance(value, dict):
+        return {key: _to_plain(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_to_plain(item) for item in value]
+    return value
+
+
+def _spec_from_dict(cls: type, data: Mapping[str, Any], path: str) -> Any:
+    if not isinstance(data, Mapping):
+        raise ConfigurationError(f"{path} must be a mapping, got {data!r}")
+    fields = {f.name: f for f in dataclasses.fields(cls)}
+    unknown = set(data) - set(fields)
+    if unknown:
+        raise ConfigurationError(
+            f"{path} has unknown keys {sorted(unknown)}; "
+            f"known: {sorted(fields)}"
+        )
+    kwargs: Dict[str, Any] = {}
+    for name, value in data.items():
+        nested = _NESTED.get((cls, name))
+        child_path = f"{path}.{name}"
+        if nested is None:
+            kwargs[name] = value
+        elif isinstance(nested, tuple) and nested[0] == "tuple":
+            if not isinstance(value, (list, tuple)):
+                raise ConfigurationError(f"{child_path} must be a list")
+            kwargs[name] = tuple(
+                _spec_from_dict(nested[1], item, f"{child_path}[{i}]")
+                for i, item in enumerate(value)
+            )
+        elif isinstance(nested, tuple) and nested[0] == "optional":
+            kwargs[name] = (
+                None
+                if value is None
+                else _spec_from_dict(nested[1], value, child_path)
+            )
+        else:
+            kwargs[name] = _spec_from_dict(nested, value, child_path)
+    try:
+        return cls(**kwargs)
+    except TypeError as exc:
+        raise ConfigurationError(f"bad {path}: {exc}") from exc
+
+
+# -- dotted-path overrides ---------------------------------------------------
+
+
+def with_overrides(
+    spec: ScenarioSpec, overrides: Mapping[str, Any]
+) -> ScenarioSpec:
+    """A copy of ``spec`` with dotted-path fields replaced.
+
+    ``with_overrides(spec, {"topology.classical_nodes": 64,
+    "fleet.vqpus_per_qpu": 4})`` — the mechanism sweep axes use to
+    target scenario fields.  Paths must name existing scalar fields;
+    structured fields (``faults.events``) take plain dict/list values
+    as produced by :meth:`ScenarioSpec.to_dict`.
+    """
+    if not overrides:
+        return spec
+    data = spec.to_dict()
+    for path, value in overrides.items():
+        parts = path.split(".")
+        cursor: Any = data
+        for index, part in enumerate(parts[:-1]):
+            if not isinstance(cursor, dict) or part not in cursor:
+                bad = ".".join(parts[: index + 1])
+                raise ConfigurationError(
+                    f"unknown scenario field {bad!r} in override {path!r}"
+                )
+            cursor = cursor[part]
+        leaf = parts[-1]
+        if not isinstance(cursor, dict) or leaf not in cursor:
+            raise ConfigurationError(
+                f"unknown scenario field {path!r} "
+                f"(no such key {leaf!r})"
+            )
+        cursor[leaf] = value
+    return ScenarioSpec.from_dict(data).validate()

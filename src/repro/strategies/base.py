@@ -43,6 +43,9 @@ class Environment:
     #: Virtual-QPU pools, populated when the environment virtualises
     #: its devices (``vqpus_per_qpu > 1``).
     vqpu_pools: List[Any] = field(default_factory=list)
+    #: Stochastic failure injectors installed by the scenario's fault
+    #: schedule (empty unless the scenario requests random churn).
+    fault_injectors: List[Any] = field(default_factory=list)
 
     @property
     def now(self) -> float:

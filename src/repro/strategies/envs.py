@@ -4,23 +4,62 @@ Experiments compare strategies by building one *fresh* environment per
 strategy (same seed, same topology) and launching the same applications
 into each — the simulation analogue of re-running a testbed experiment
 under a different scheduler configuration.
+
+Since the scenario layer landed, this module is a thin veneer:
+:func:`make_environment` translates its keyword arguments into a
+:class:`~repro.scenarios.spec.ScenarioSpec` and hands it to the single
+:func:`repro.scenarios.build.build` pipeline, so imperative callers and
+declarative scenarios construct *identical* facilities.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
-from repro.cluster.builders import build_hpcqc_cluster
-from repro.cluster.cluster import Cluster
-from repro.quantum.qpu import QPU
 from repro.quantum.technology import SUPERCONDUCTING, QPUTechnology
-from repro.scheduler.backfill import make_policy
-from repro.scheduler.priority import MultifactorPriority, PriorityWeights
-from repro.scheduler.scheduler import BatchScheduler
-from repro.sim.kernel import Kernel
-from repro.sim.rng import RandomStreams
+from repro.scheduler.priority import PriorityWeights
 from repro.strategies.base import Environment
-from repro.strategies.vqpu import VirtualQPUPool
+
+
+def environment_scenario(
+    classical_nodes: int = 32,
+    technology: QPUTechnology = SUPERCONDUCTING,
+    qpu_count: int = 1,
+    vqpus_per_qpu: int = 1,
+    policy: str = "easy",
+    seed: int = 0,
+    jitter: bool = False,
+    priority_weights: Optional[PriorityWeights] = None,
+    scheduling_cycle: float = 0.0,
+):
+    """The :class:`ScenarioSpec` equivalent of ``make_environment`` args."""
+    from repro.scenarios.spec import (
+        FleetSpec,
+        PolicySpec,
+        ScenarioSpec,
+        TopologySpec,
+    )
+
+    weights = priority_weights or PriorityWeights()
+    return ScenarioSpec(
+        name="make-environment",
+        topology=TopologySpec(classical_nodes=classical_nodes),
+        fleet=FleetSpec(
+            technology=technology.name,
+            qpu_count=qpu_count,
+            vqpus_per_qpu=vqpus_per_qpu,
+            jitter=jitter,
+        ),
+        policy=PolicySpec(
+            policy=policy,
+            scheduling_cycle=scheduling_cycle,
+            priority_age=weights.age,
+            priority_size=weights.size,
+            priority_fairshare=weights.fairshare,
+            priority_qos=weights.qos,
+        ),
+        seed=seed,
+    )
 
 
 def make_environment(
@@ -46,52 +85,18 @@ def make_environment(
     jitter:
         Enable stochastic duration jitter on QPU executions.
     """
-    kernel = Kernel()
-    streams = RandomStreams(seed)
-    qpus: List[QPU] = [
-        QPU(
-            kernel,
-            technology,
-            name=f"{technology.name}-{index}",
-            streams=streams if jitter else None,
-        )
-        for index in range(qpu_count)
-    ]
-    if vqpus_per_qpu > 1:
-        devices: List[object] = []
-        pools: List[VirtualQPUPool] = []
-        for qpu in qpus:
-            pool = VirtualQPUPool(qpu, vqpus_per_qpu)
-            pools.append(pool)
-            devices.extend(pool.virtual_qpus)
-    else:
-        devices = list(qpus)
-        pools = []
+    from repro.scenarios.build import build
 
-    # One front-end node per (virtual) QPU gres unit: node allocation is
-    # whole-node exclusive, so co-tenancy requires one schedulable node
-    # slot per virtual unit (gateway nodes are cheap in practice).
-    cluster: Cluster = build_hpcqc_cluster(
-        kernel,
-        classical_nodes=classical_nodes,
-        qpu_devices=devices,
-        qpus_per_node=1,
-    )
-    scheduler = BatchScheduler(
-        kernel,
-        cluster,
-        policy=make_policy(policy),
-        priority=MultifactorPriority(
-            weights=priority_weights,
-            total_nodes=cluster.total_nodes(),
-        ),
-        cycle_time=scheduling_cycle,
-    )
-    return Environment(
-        kernel=kernel,
-        cluster=cluster,
-        scheduler=scheduler,
-        qpus=qpus,
-        streams=streams,
-        vqpu_pools=pools,
+    return build(
+        environment_scenario(
+            classical_nodes=classical_nodes,
+            technology=technology,
+            qpu_count=qpu_count,
+            vqpus_per_qpu=vqpus_per_qpu,
+            policy=policy,
+            seed=seed,
+            jitter=jitter,
+            priority_weights=priority_weights,
+            scheduling_cycle=scheduling_cycle,
+        )
     )

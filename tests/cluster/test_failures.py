@@ -1,10 +1,21 @@
-"""Tests for node failure injection."""
+"""Tests for node failure injection and declarative fault schedules."""
 
 import pytest
 
 from repro.cluster.failures import FailureInjector
 from repro.cluster.node import Node, NodeState
 from repro.errors import ConfigurationError
+from repro.experiments.sweep import SweepSpec, canonical_bytes, run_sweep
+from repro.scenarios import (
+    FaultSchedule,
+    NodeFault,
+    RandomFailures,
+    ScenarioSpec,
+    TopologySpec,
+    WorkloadSpec,
+    build,
+    run_scenario,
+)
 
 
 class TestFailureInjector:
@@ -83,3 +94,141 @@ class TestFailureInjector:
             streams=streams,
         )
         assert "FailureInjector" in repr(injector)
+
+
+#: A stormy scenario: deterministic fail/repair/drain events plus
+#: stochastic churn, under a busy background.
+_STORM = ScenarioSpec(
+    name="test-storm",
+    topology=TopologySpec(classical_nodes=16),
+    workload=WorkloadSpec(background_rho=0.8, horizon=3600.0),
+    faults=FaultSchedule(
+        events=(
+            NodeFault(time=600.0, action="fail", node="cn0001"),
+            NodeFault(time=600.0, action="fail", node="cn0002"),
+            NodeFault(time=900.0, action="drain", node="cn0003"),
+            NodeFault(time=1800.0, action="repair", node="cn0001"),
+            NodeFault(time=2400.0, action="undrain", node="cn0003"),
+        ),
+        random_failures=RandomFailures(
+            mtbf=1800.0, mean_repair_time=300.0
+        ),
+    ),
+)
+
+
+def _storm_point(params, seed):
+    """Module-level sweep runner (pool workers resolve it by import)."""
+    spec = ScenarioSpec.from_dict(params["scenario"])
+    return run_scenario(spec, seed=seed, horizon=params["horizon"])
+
+
+class TestDeterministicFaultInjection:
+    def test_same_seed_same_schedule_same_metrics(self):
+        first = run_scenario(_STORM, seed=9, horizon=3600.0)
+        second = run_scenario(_STORM, seed=9, horizon=3600.0)
+        assert canonical_bytes(first) == canonical_bytes(second)
+        # The deterministic storm really happened.
+        assert first["background_jobs"] > 0
+
+    def test_serial_vs_parallel_sweep_byte_identical(self):
+        spec = SweepSpec(
+            experiment_id="fault-storm",
+            axes={"seed_salt": [0, 1, 2]},
+            constants={
+                "scenario": _STORM.to_dict(),
+                "horizon": 3600.0,
+            },
+            base_seed=5,
+        )
+        serial = run_sweep(spec, _storm_point, workers=1)
+        parallel = run_sweep(spec, _storm_point, workers=2)
+        assert canonical_bytes(serial.values) == canonical_bytes(
+            parallel.values
+        )
+
+    def test_timed_events_change_node_states(self):
+        quiet = ScenarioSpec(
+            name="quiet",
+            topology=TopologySpec(classical_nodes=16),
+        )
+        stormy = ScenarioSpec(
+            name="stormy",
+            topology=TopologySpec(classical_nodes=16),
+            faults=FaultSchedule(
+                events=(
+                    NodeFault(time=10.0, action="fail", node="cn0001"),
+                    NodeFault(time=20.0, action="drain", node="cn0002"),
+                )
+            ),
+        )
+        calm = run_scenario(quiet, horizon=100.0)
+        hit = run_scenario(stormy, horizon=100.0)
+        assert calm["node_states"] == {"idle": 17}
+        assert hit["node_states"] == {"down": 1, "draining": 1, "idle": 15}
+
+
+class TestDrainWhileAllocated:
+    def test_drain_of_allocated_node_parks_in_draining_on_release(self):
+        node = Node("cn0")
+        node.allocate("job-1")
+        node.drain()
+        # The running job is undisturbed...
+        assert node.state == NodeState.ALLOCATED
+        assert node.allocated_to == "job-1"
+        # ...and the node parks in DRAINING once the job releases it.
+        node.release("job-1")
+        assert node.state == NodeState.DRAINING
+        assert not node.is_available
+        node.mark_up()
+        assert node.state == NodeState.IDLE
+
+    def test_undrain_before_release_cancels_the_drain(self):
+        node = Node("cn0")
+        node.allocate("job-1")
+        node.drain()
+        node.mark_up()  # undrain while still allocated
+        node.release("job-1")
+        assert node.state == NodeState.IDLE
+        assert node.is_available
+
+    def test_failure_clears_pending_drain(self):
+        node = Node("cn0")
+        node.allocate("job-1")
+        node.drain()
+        assert node.mark_down() == "job-1"
+        node.mark_up()
+        assert node.state == NodeState.IDLE
+
+    def test_drain_event_during_allocation_in_scenario(self, kernel):
+        """End to end: a drained-while-allocated node finishes its job,
+        then transitions through DRAINING."""
+        env = build(
+            ScenarioSpec(
+                name="drain-live",
+                topology=TopologySpec(classical_nodes=2),
+                faults=FaultSchedule(
+                    events=(
+                        NodeFault(
+                            time=50.0, action="drain", node="cn0000"
+                        ),
+                    )
+                ),
+            )
+        )
+        from repro.scheduler.job import JobComponent, JobSpec
+
+        job = env.scheduler.submit(
+            JobSpec(
+                name="victim",
+                components=[JobComponent("classical", 2, 300.0)],
+                duration=200.0,
+            )
+        )
+        node = env.cluster.partition("classical").nodes[0]
+        env.kernel.run(until=100.0)
+        # Drain fired mid-job: still allocated, not yet draining.
+        assert node.state == NodeState.ALLOCATED
+        env.kernel.run(until=job.finished)
+        env.kernel.run(until=env.kernel.now + 1.0)
+        assert node.state == NodeState.DRAINING

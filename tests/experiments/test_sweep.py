@@ -227,6 +227,102 @@ class TestOrdering:
         assert result.values == [p.seed for p in result.points]
 
 
+class TestCodeVersion:
+    """The default cache code-version must never alias distinct code."""
+
+    def _version_with(self, monkeypatch, outputs):
+        """Compute _default_code_version with git outputs stubbed."""
+        from repro.experiments import sweep as sweep_module
+
+        def fake_git(args):
+            return outputs.get(args[0], "")
+
+        monkeypatch.setattr(sweep_module, "_git_output", fake_git)
+        monkeypatch.setattr(sweep_module, "_CODE_VERSION", None)
+        monkeypatch.delenv(
+            sweep_module.CODE_VERSION_ENV_VAR, raising=False
+        )
+        return sweep_module._default_code_version()
+
+    def test_clean_tree_keys_to_revision_only(self, monkeypatch):
+        version = self._version_with(
+            monkeypatch, {"rev-parse": "abc123\n", "status": ""}
+        )
+        assert version.endswith("+gabc123")
+        assert "dirty" not in version
+
+    def test_dirty_tree_appends_content_marker(self, monkeypatch):
+        clean = self._version_with(
+            monkeypatch, {"rev-parse": "abc123\n", "status": ""}
+        )
+        dirty = self._version_with(
+            monkeypatch,
+            {
+                "rev-parse": "abc123\n",
+                "status": " M src/repro/foo.py\n",
+                "diff": "-old\n+new\n",
+            },
+        )
+        assert dirty != clean
+        assert ".dirty." in dirty
+
+    def test_different_edits_get_different_markers(self, monkeypatch):
+        first = self._version_with(
+            monkeypatch,
+            {
+                "rev-parse": "abc123\n",
+                "status": " M a.py\n",
+                "diff": "-x\n+y\n",
+            },
+        )
+        second = self._version_with(
+            monkeypatch,
+            {
+                "rev-parse": "abc123\n",
+                "status": " M a.py\n",
+                "diff": "-x\n+z\n",
+            },
+        )
+        assert first != second
+
+    def test_untracked_files_count_as_dirty(self, monkeypatch):
+        version = self._version_with(
+            monkeypatch,
+            {"rev-parse": "abc123\n", "status": "?? new_file.py\n"},
+        )
+        assert ".dirty." in version
+
+    def test_untracked_content_changes_the_marker(
+        self, monkeypatch, tmp_path
+    ):
+        """Editing an untracked file must invalidate cache keys even
+        though neither `status` nor `diff HEAD` sees its contents."""
+        untracked = tmp_path / "new_module.py"
+
+        def version_for(content):
+            untracked.write_text(content)
+            return self._version_with(
+                monkeypatch,
+                {
+                    # rev-parse is called for HEAD and --show-toplevel;
+                    # both resolve through the same stub output.
+                    "rev-parse": f"{tmp_path}\n",
+                    "status": "?? new_module.py\n",
+                    "ls-files": "new_module.py\n",
+                },
+            )
+
+        assert version_for("x = 1\n") != version_for("x = 2\n")
+
+    def test_env_override_wins(self, monkeypatch):
+        from repro.experiments import sweep as sweep_module
+
+        monkeypatch.setenv(
+            sweep_module.CODE_VERSION_ENV_VAR, "pinned-v9"
+        )
+        assert sweep_module._default_code_version() == "pinned-v9"
+
+
 class TestCacheKeying:
     def test_code_version_invalidates(self, tmp_path):
         spec = _small_spec()

@@ -1,0 +1,241 @@
+"""Tests for the build pipeline: environments, faults, workloads, runs."""
+
+import pytest
+
+from repro.cluster.node import NodeState
+from repro.errors import ConfigurationError
+from repro.quantum.technology import TRAPPED_ION
+from repro.scenarios import (
+    FaultSchedule,
+    FleetSpec,
+    NodeFault,
+    QPUMaintenance,
+    RandomFailures,
+    ScenarioSpec,
+    TopologySpec,
+    WorkloadSpec,
+    background_trace,
+    build,
+    run_scenario,
+)
+from repro.strategies.envs import environment_scenario, make_environment
+
+
+class TestBuildEquivalence:
+    """build(spec) and the legacy factory construct identical facilities."""
+
+    def test_matches_make_environment(self):
+        legacy = make_environment(
+            classical_nodes=12,
+            technology=TRAPPED_ION,
+            vqpus_per_qpu=2,
+            seed=4,
+            scheduling_cycle=30.0,
+        )
+        scenario = build(
+            environment_scenario(
+                classical_nodes=12,
+                technology=TRAPPED_ION,
+                vqpus_per_qpu=2,
+                seed=4,
+                scheduling_cycle=30.0,
+            )
+        )
+        assert sorted(legacy.cluster.partitions) == sorted(
+            scenario.cluster.partitions
+        )
+        for name, partition in legacy.cluster.partitions.items():
+            twin = scenario.cluster.partition(name)
+            assert [n.name for n in partition.nodes] == [
+                n.name for n in twin.nodes
+            ]
+        assert [q.name for q in legacy.qpus] == [
+            q.name for q in scenario.qpus
+        ]
+        assert legacy.scheduler.cycle_time == scenario.scheduler.cycle_time
+        assert legacy.streams.seed == scenario.streams.seed
+
+    def test_seed_override_beats_spec_seed(self):
+        env = build(ScenarioSpec(seed=3), seed=11)
+        assert env.streams.seed == 11
+
+    def test_invalid_spec_rejected_before_building(self):
+        with pytest.raises(ConfigurationError):
+            build(ScenarioSpec(fleet=FleetSpec(qpu_count=0)))
+
+    def test_topology_knobs_propagate(self):
+        env = build(
+            ScenarioSpec(
+                topology=TopologySpec(
+                    classical_nodes=4,
+                    cores_per_node=128,
+                    classical_max_walltime=3600.0,
+                )
+            )
+        )
+        classical = env.cluster.partition("classical")
+        assert classical.nodes[0].cores == 128
+        assert classical.max_walltime == 3600.0
+
+    def test_monitoring_history_opt_in(self):
+        plain = build(ScenarioSpec())
+        assert plain.cluster.busy_nodes["classical"].history is None
+        traced = build(
+            ScenarioSpec.from_dict(
+                {"monitoring": {"record_history": True}}
+            )
+        )
+        assert traced.cluster.busy_nodes["classical"].history is not None
+
+
+class TestFaultInstallation:
+    def test_unknown_node_rejected_at_build_time(self):
+        spec = ScenarioSpec(
+            faults=FaultSchedule(
+                events=(
+                    NodeFault(time=1.0, action="fail", node="cn9999"),
+                )
+            )
+        )
+        with pytest.raises(ConfigurationError):
+            build(spec)
+
+    def test_unknown_qpu_rejected_at_build_time(self):
+        spec = ScenarioSpec(
+            faults=FaultSchedule(
+                maintenance=(
+                    QPUMaintenance(qpu="nonesuch", start=10.0,
+                                   duration=5.0),
+                )
+            )
+        )
+        with pytest.raises(ConfigurationError):
+            build(spec)
+
+    def test_maintenance_booked_on_named_device(self):
+        env = build(
+            ScenarioSpec(
+                faults=FaultSchedule(
+                    maintenance=(
+                        QPUMaintenance(
+                            qpu="superconducting-0",
+                            start=10.0,
+                            duration=5.0,
+                        ),
+                    )
+                )
+            )
+        )
+        from repro.quantum.circuit import Circuit
+
+        qpu = env.primary_qpu()
+
+        def client(kernel):
+            yield kernel.timeout(20.0)  # arrive after the window opens
+            yield qpu.run(Circuit(4, 10), 100)
+
+        env.kernel.process(client(env.kernel))
+        env.kernel.run()
+        # The overdue window ran before the kernel was served.
+        assert qpu.maintenance_performed == 1
+
+    def test_random_failures_attach_injector(self):
+        env = build(
+            ScenarioSpec(
+                faults=FaultSchedule(
+                    random_failures=RandomFailures(
+                        mtbf=50.0, mean_repair_time=5.0
+                    )
+                )
+            )
+        )
+        assert len(env.fault_injectors) == 1
+        env.kernel.run(until=2000.0)
+        assert env.fault_injectors[0].failure_count > 0
+
+    def test_empty_schedule_installs_nothing(self):
+        env = build(ScenarioSpec())
+        assert env.fault_injectors == []
+        # Kernel quiesces immediately: nothing but the scheduler waits.
+        env.kernel.run(until=10.0)
+        assert env.kernel.now == 10.0
+
+    def test_simultaneous_events_apply_in_declaration_order(self):
+        spec = ScenarioSpec(
+            topology=TopologySpec(classical_nodes=4),
+            faults=FaultSchedule(
+                events=(
+                    NodeFault(time=5.0, action="fail", node="cn0000"),
+                    NodeFault(time=5.0, action="repair", node="cn0000"),
+                )
+            ),
+        )
+        env = build(spec)
+        env.kernel.run(until=6.0)
+        node = env.cluster.partition("classical").nodes[0]
+        assert node.state == NodeState.IDLE
+
+
+class TestBackgroundTrace:
+    def test_zero_rho_yields_empty_trace(self):
+        env = build(ScenarioSpec())
+        assert background_trace(env, WorkloadSpec()) == []
+
+    def test_poisson_and_diurnal_differ_only_in_arrivals(self):
+        poisson = background_trace(
+            build(ScenarioSpec(seed=1)),
+            WorkloadSpec(background_rho=0.5, horizon=7200.0),
+        )
+        diurnal = background_trace(
+            build(ScenarioSpec(seed=1)),
+            WorkloadSpec(
+                background_rho=0.5,
+                horizon=7200.0,
+                arrivals="diurnal",
+                burst_amplitude=0.9,
+            ),
+        )
+        assert poisson and diurnal
+        assert [j.submit_time for j in poisson] != [
+            j.submit_time for j in diurnal
+        ]
+
+    def test_trace_is_deterministic_per_seed(self):
+        workload = WorkloadSpec(background_rho=0.6, horizon=3600.0)
+        first = background_trace(build(ScenarioSpec(seed=2)), workload)
+        second = background_trace(build(ScenarioSpec(seed=2)), workload)
+        assert [
+            (j.submit_time, j.runtime, j.nodes) for j in first
+        ] == [(j.submit_time, j.runtime, j.nodes) for j in second]
+
+
+class TestRunScenario:
+    def test_metrics_shape(self):
+        metrics = run_scenario(
+            ScenarioSpec(
+                workload=WorkloadSpec(
+                    background_rho=0.5, horizon=1800.0
+                )
+            )
+        )
+        for key in (
+            "scenario",
+            "seed",
+            "horizon_s",
+            "background_jobs",
+            "utilisation_classical",
+            "utilisation_quantum",
+            "qpu0_utilisation",
+            "node_states",
+        ):
+            assert key in metrics
+        assert metrics["background_jobs"] > 0
+        assert 0.0 <= metrics["utilisation_classical"] <= 1.0
+
+    def test_default_horizon_used_without_workload(self):
+        metrics = run_scenario(ScenarioSpec())
+        assert metrics["horizon_s"] == 3600.0
+
+    def test_explicit_horizon_wins(self):
+        metrics = run_scenario(ScenarioSpec(), horizon=120.0)
+        assert metrics["horizon_s"] == 120.0

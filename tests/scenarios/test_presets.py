@@ -1,0 +1,95 @@
+"""Every registered preset is serialisable, buildable and rebuildable."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.scenarios import (
+    ScenarioSpec,
+    build,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+)
+
+#: The presets ISSUE 3 promises, at minimum.
+_PROMISED = {
+    "baseline-32",
+    "multitenant-vqpu",
+    "failure-storm",
+    "bursty-campaign",
+    "large-1k",
+}
+
+
+class TestRegistry:
+    def test_at_least_five_presets(self):
+        assert len(list_scenarios()) >= 5
+
+    def test_promised_presets_registered(self):
+        assert _PROMISED <= set(list_scenarios())
+
+    def test_every_preset_has_a_description(self):
+        for name in list_scenarios():
+            assert get_scenario(name).description
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_scenario("no-such-scenario")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            register_scenario(get_scenario("baseline-32"))
+
+    def test_replace_allows_re_registration(self):
+        spec = get_scenario("baseline-32")
+        assert register_scenario(spec, replace=True) == spec
+
+
+@pytest.mark.parametrize("name", sorted(_PROMISED | {"neutral-atom-hours"}))
+class TestPresetRoundTrip:
+    def test_dict_and_json_round_trip(self, name):
+        spec = get_scenario(name)
+        via_dict = ScenarioSpec.from_dict(spec.to_dict())
+        via_json = ScenarioSpec.from_json(
+            json.dumps(json.loads(spec.to_json()))
+        )
+        assert via_dict == spec
+        assert via_json == spec
+
+    def test_round_tripped_spec_rebuilds_equivalent_environment(self, name):
+        spec = get_scenario(name)
+        original = build(spec)
+        rebuilt = build(ScenarioSpec.from_json(spec.to_json()))
+        # Same partitions...
+        assert sorted(original.cluster.partitions) == sorted(
+            rebuilt.cluster.partitions
+        )
+        for pname, partition in original.cluster.partitions.items():
+            twin = rebuilt.cluster.partition(pname)
+            assert partition.node_count == twin.node_count
+            # ...same gres capacities...
+            assert partition.gres_types() == twin.gres_types()
+            for gres_type in partition.gres_types():
+                assert partition.gres_capacity(
+                    gres_type
+                ) == twin.gres_capacity(gres_type)
+            # ...same node names.
+            assert [n.name for n in partition.nodes] == [
+                n.name for n in twin.nodes
+            ]
+        # Same fleet (device names fix the jitter stream names).
+        assert [q.name for q in original.qpus] == [
+            q.name for q in rebuilt.qpus
+        ]
+        assert [q.technology.name for q in original.qpus] == [
+            q.technology.name for q in rebuilt.qpus
+        ]
+        assert len(original.vqpu_pools) == len(rebuilt.vqpu_pools)
+        # Same policy/scheduler shape and root random stream seed.
+        assert type(original.scheduler.policy) is type(
+            rebuilt.scheduler.policy
+        )
+        assert original.scheduler.cycle_time == rebuilt.scheduler.cycle_time
+        assert original.streams.seed == rebuilt.streams.seed

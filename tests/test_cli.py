@@ -78,6 +78,80 @@ class TestSweep:
             main(["sweep", "E1"])
 
 
+class TestScenario:
+    def test_list_shows_presets(self, capsys):
+        assert main(["scenario", "list"]) == 0
+        output = capsys.readouterr().out
+        for name in (
+            "baseline-32",
+            "multitenant-vqpu",
+            "failure-storm",
+            "bursty-campaign",
+            "large-1k",
+        ):
+            assert name in output
+
+    def test_describe_prints_json(self, capsys):
+        import json
+
+        assert main(["scenario", "describe", "failure-storm"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["name"] == "failure-storm"
+        assert data["faults"]["events"]
+
+    def test_describe_unknown_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["scenario", "describe", "no-such-preset"])
+
+    def test_run_preset(self, capsys):
+        assert (
+            main(
+                [
+                    "scenario",
+                    "run",
+                    "--preset",
+                    "baseline-32",
+                    "--horizon",
+                    "600",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert '"utilisation_classical"' in output
+        assert "[scenario] baseline-32" in output
+
+    def test_run_json_file(self, capsys, tmp_path):
+        from repro.scenarios import get_scenario
+
+        path = tmp_path / "facility.json"
+        path.write_text(get_scenario("baseline-32").to_json())
+        assert (
+            main(
+                [
+                    "scenario",
+                    "run",
+                    "--json",
+                    str(path),
+                    "--horizon",
+                    "600",
+                    "--seed",
+                    "3",
+                ]
+            )
+            == 0
+        )
+        assert '"seed": 3' in capsys.readouterr().out
+
+    def test_run_missing_file_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["scenario", "run", "--json", "/no/such/file.json"])
+
+    def test_run_needs_a_source(self):
+        with pytest.raises(SystemExit):
+            main(["scenario", "run"])
+
+
 class TestMisc:
     def test_no_command_shows_help(self, capsys):
         assert main([]) == 2
