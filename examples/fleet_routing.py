@@ -8,6 +8,11 @@ across two superconducting devices and one trapped-ion device under
 each routing policy of :class:`repro.quantum.fleet.QPUFleet` and
 reports makespan and per-device load.
 
+The :class:`~repro.quantum.fleet.QPUFleet` router sits *below* the
+declarative scenario surface (heterogeneous fleets in ``FleetSpec``
+are a roadmap item), so this example assembles its kernel and devices
+directly.
+
 Run with::
 
     python examples/fleet_routing.py

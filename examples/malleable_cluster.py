@@ -8,26 +8,36 @@ scheduler), and grows back afterwards — the scheduler grants regrowth
 ahead of new jobs.  Compared against a workflow, which re-queues at
 every step.
 
+Environment knobs (for quick smoke runs): ``REPRO_EXAMPLE_HORIZON``
+caps the background horizon.
+
 Run with::
 
     python examples/malleable_cluster.py
 """
 
+import os
+
 from repro.metrics.report import render_table
-from repro.quantum import SUPERCONDUCTING, Circuit
+from repro.quantum import Circuit
+from repro.scenarios import (
+    ScenarioSpec,
+    TopologySpec,
+    WorkloadSpec,
+    build,
+    install_background,
+)
 from repro.strategies import (
     CoScheduleStrategy,
     MalleableStrategy,
     WorkflowStrategy,
-    make_environment,
     vqe_like,
 )
 from repro.workloads import CampaignDriver
-from repro.experiments.common import start_background
 
 BACKGROUND_RHO = 1.15     # offered load on the classical partition
 WARMUP = 3600.0           # let the queue build before submitting
-HORIZON = 8 * 3600.0
+HORIZON = float(os.environ.get("REPRO_EXAMPLE_HORIZON", 8 * 3600.0))
 
 
 def make_app():
@@ -49,12 +59,16 @@ def main() -> None:
         WorkflowStrategy(),
         MalleableStrategy(reconfiguration_cost=5.0),
     ):
-        env = make_environment(
-            classical_nodes=32,
-            technology=SUPERCONDUCTING,
+        spec = ScenarioSpec(
+            name="malleable-demo",
+            topology=TopologySpec(classical_nodes=32),
+            workload=WorkloadSpec(
+                background_rho=BACKGROUND_RHO, horizon=HORIZON
+            ),
             seed=0,
         )
-        start_background(env, BACKGROUND_RHO, HORIZON)
+        env = build(spec)
+        install_background(env, spec.workload)
         driver = CampaignDriver(env, strategy)
         driver.launch_all([make_app()], submit_times=[WARMUP])
         [record] = driver.collect()

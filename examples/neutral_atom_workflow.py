@@ -15,12 +15,12 @@ Run with::
 
 from repro.metrics.report import render_table
 from repro.quantum import NEUTRAL_ATOM, Circuit
+from repro.scenarios import FleetSpec, ScenarioSpec, TopologySpec, build
 from repro.strategies import (
     CoScheduleStrategy,
     HybridApplication,
     WorkflowStrategy,
     classical,
-    make_environment,
     quantum,
 )
 
@@ -57,8 +57,13 @@ def main() -> None:
 
     rows = []
     for strategy in (CoScheduleStrategy(), WorkflowStrategy()):
-        env = make_environment(
-            classical_nodes=32, technology=NEUTRAL_ATOM, seed=3
+        env = build(
+            ScenarioSpec(
+                name="neutral-atom-pipeline",
+                topology=TopologySpec(classical_nodes=32),
+                fleet=FleetSpec(technology="neutral_atom"),
+                seed=3,
+            )
         )
         run = strategy.launch(env, app)
         env.kernel.run(until=run.done)

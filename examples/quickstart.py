@@ -20,12 +20,12 @@ Run with::
 
 from repro.metrics.report import render_table
 from repro.quantum import SUPERCONDUCTING, Circuit
+from repro.scenarios import FleetSpec, ScenarioSpec, TopologySpec, build
 from repro.strategies import (
     CoScheduleStrategy,
     MalleableStrategy,
     VQPUStrategy,
     WorkflowStrategy,
-    make_environment,
     vqe_like,
 )
 
@@ -56,12 +56,17 @@ def main() -> None:
     ]
     rows = []
     for strategy, vqpus in strategies:
-        # Fresh facility per strategy: same topology, same seed.
-        env = make_environment(
-            classical_nodes=32,
-            technology=SUPERCONDUCTING,
-            vqpus_per_qpu=vqpus,
-            seed=42,
+        # Fresh facility per strategy: same declarative scenario (same
+        # topology, same seed), materialised by the one build pipeline.
+        env = build(
+            ScenarioSpec(
+                name="quickstart",
+                topology=TopologySpec(classical_nodes=32),
+                fleet=FleetSpec(
+                    technology="superconducting", vqpus_per_qpu=vqpus
+                ),
+                seed=42,
+            )
         )
         run = strategy.launch(env, app)
         env.kernel.run(until=run.done)

@@ -1,123 +1,103 @@
 #!/usr/bin/env python
-"""Synthetic SWF trace replay comparing backfill policies.
+"""Trace-driven workload replay through the declarative scenario layer.
 
-Generates an archive-shaped synthetic workload trace (log-uniform
-runtimes, power-of-two job sizes, Poisson arrivals), writes it to SWF,
-reads it back, and replays it through the batch scheduler under FIFO,
-EASY and conservative backfill — alongside a stream of hybrid HPC-QC
-hetjobs, which are exactly the jobs head-of-line blocking punishes.
+The ``trace-replay`` preset binds the checked-in synthetic SWF sample
+(64 archive-shaped jobs, offered load ~0.86 on 32 nodes) to the
+baseline facility.  This example replays that trace under FIFO, EASY
+and conservative backfill by perturbing the preset with dotted-path
+overrides — no imperative environment assembly — then sweeps the
+trace's ``time_scale`` through the deterministic sweep engine to show
+how compressing arrivals stresses the queue.
+
+Environment knobs (for quick smoke runs): ``REPRO_EXAMPLE_HORIZON``
+caps the simulated seconds.
 
 Run with::
 
     python examples/trace_replay.py
 """
 
-import tempfile
+import os
 
+from repro.experiments.sweep import run_sweep
 from repro.metrics.report import render_table
-from repro.metrics.stats import mean
-from repro.quantum import SUPERCONDUCTING
-from repro.strategies import CoScheduleStrategy, make_environment
-from repro.experiments.common import standard_hybrid_app
-from repro.workloads import (
-    CampaignDriver,
-    LogUniform,
-    PowerOfTwoNodes,
-    read_swf,
-    submit_trace,
-    synthesise_trace,
-    write_swf,
+from repro.scenarios import (
+    get_scenario,
+    run_scenario,
+    run_scenario_point,
+    scenario_sweep_spec,
+    with_overrides,
 )
 
-TRACE_JOBS = 80
 POLICIES = ("fifo", "easy", "conservative")
+HORIZON = float(os.environ.get("REPRO_EXAMPLE_HORIZON", 4 * 3600.0))
 
 
 def main() -> None:
-    # Synthesise once, persist to SWF, and reuse the identical trace
-    # for every policy (as a trace-replay study would).
-    seed_env = make_environment(seed=99)
-    # Runtime/size marginals chosen for an offered load of ~0.8 on the
-    # 32-node partition: mean work ~2900 node-s per job every ~115 s.
-    trace = synthesise_trace(
-        seed_env.streams.stream("trace"),
-        job_count=TRACE_JOBS,
-        mean_interarrival=115.0,
-        runtimes=LogUniform(120.0, 1800.0),
-        sizes=PowerOfTwoNodes(2, 8),
-    )
-    with tempfile.NamedTemporaryFile(
-        "w", suffix=".swf", delete=False
-    ) as handle:
-        write_swf(trace, handle)
-        path = handle.name
-    trace = read_swf(path)
-    print(f"Synthesised {len(trace)} jobs -> {path}")
+    preset = get_scenario("trace-replay")
+    print(f"Preset: {preset.name} — {preset.description}")
     print()
 
+    # One facility per policy, identical trace: a classic replay study.
     rows = []
     for policy in POLICIES:
-        env = make_environment(
-            classical_nodes=32,
-            technology=SUPERCONDUCTING,
-            policy=policy,
-            seed=99,
-        )
-        jobs = submit_trace(env, trace)
-        driver = CampaignDriver(env, CoScheduleStrategy())
-        hybrids = [
-            standard_hybrid_app(
-                SUPERCONDUCTING,
-                iterations=3,
-                classical_phase_seconds=120.0,
-                classical_nodes=8,
-                name=f"hybrid-{index}",
-            )
-            for index in range(4)
-        ]
-        driver.launch_all(
-            hybrids, submit_times=[900.0 * i for i in range(4)]
-        )
-        hybrid_records = driver.collect()
-        env.kernel.run()  # drain the rest of the trace
-
-        waits = [j.wait_time for j in jobs if j.wait_time is not None]
-        slowdowns = [
-            j.slowdown() for j in jobs if j.slowdown() is not None
-        ]
+        spec = with_overrides(preset, {"policy.policy": policy})
+        metrics = run_scenario(spec, seed=99, horizon=HORIZON)
         rows.append(
             [
                 policy,
-                f"{mean(waits):.0f}",
-                f"{mean(slowdowns):.2f}",
-                f"{mean([r.total_queue_wait for r in hybrid_records]):.0f}",
-                f"{env.cluster.node_utilisation('classical'):.3f}",
-                f"{env.kernel.now / 3600:.2f}",
+                str(metrics["trace_jobs"]),
+                str(metrics["trace_completed"]),
+                f"{metrics['trace_mean_wait_s']:.0f}",
+                f"{metrics['trace_mean_slowdown']:.2f}",
+                f"{metrics['utilisation_classical']:.3f}",
             ]
         )
-
     print(
         render_table(
             [
                 "policy",
-                "trace mean_wait_s",
-                "trace mean_slowdown",
-                "hybrid queue_wait_s",
+                "jobs",
+                "completed",
+                "mean_wait_s",
+                "mean_slowdown",
                 "classical_util",
-                "makespan_h",
             ],
             rows,
-            title=(
-                f"SWF replay ({TRACE_JOBS} classical jobs + 4 hybrid "
-                "hetjobs, 32 nodes)"
-            ),
+            title="SWF sample replayed under three backfill policies",
+        )
+    )
+    print()
+
+    # Sweep a trace-rescale field by dotted path: halving submit times
+    # doubles the arrival rate at unchanged per-job work.
+    sweep = scenario_sweep_spec(
+        "trace-replay",
+        {"workload.trace.time_scale": [1.0, 0.75, 0.5]},
+        run_horizon=HORIZON,
+    )
+    result = run_sweep(sweep, run_scenario_point)
+    rows = [
+        [
+            f"{point.params['workload.trace.time_scale']:.2f}",
+            str(value["trace_jobs"]),
+            f"{value['trace_mean_wait_s']:.0f}",
+            f"{value['trace_mean_slowdown']:.2f}",
+        ]
+        for point, value in zip(result.points, result.values)
+    ]
+    print(
+        render_table(
+            ["time_scale", "jobs", "mean_wait_s", "mean_slowdown"],
+            rows,
+            title="workload.trace.time_scale sweep (EASY backfill)",
         )
     )
     print()
     print(
-        "Backfill keeps the machine dense around the rigid hetjobs; "
-        "strict FIFO\nhead-blocking shows up directly in the trace "
-        "jobs' waits and slowdowns."
+        "Backfill keeps the machine dense around the rigid jobs; "
+        "compressing the\ntrace (time_scale < 1) packs the same work "
+        "into less time and the queue\nwait climbs accordingly."
     )
 
 

@@ -16,7 +16,8 @@ Run with::
 from repro.metrics.report import render_table
 from repro.metrics.stats import mean
 from repro.quantum import SUPERCONDUCTING, Circuit
-from repro.strategies import VQPUStrategy, make_environment, vqe_like
+from repro.scenarios import FleetSpec, ScenarioSpec, TopologySpec, build
+from repro.strategies import VQPUStrategy, vqe_like
 from repro.workloads import CampaignDriver
 
 GROUPS = 8
@@ -49,11 +50,15 @@ def make_campaign_apps():
 def main() -> None:
     rows = []
     for vqpus in VQPU_SWEEP:
-        env = make_environment(
-            classical_nodes=4 * GROUPS,
-            technology=SUPERCONDUCTING,
-            vqpus_per_qpu=vqpus,
-            seed=7,
+        env = build(
+            ScenarioSpec(
+                name="vqe-campaign",
+                topology=TopologySpec(classical_nodes=4 * GROUPS),
+                fleet=FleetSpec(
+                    technology="superconducting", vqpus_per_qpu=vqpus
+                ),
+                seed=7,
+            )
         )
         driver = CampaignDriver(env, VQPUStrategy())
         driver.launch_all(make_campaign_apps())

@@ -11,6 +11,8 @@ Usage::
     repro-hpcqc scenario describe failure-storm
     repro-hpcqc scenario run --preset baseline-32 --seed 7
     repro-hpcqc scenario run --json my_facility.json --horizon 7200
+    repro-hpcqc trace info sample-32n.swf
+    repro-hpcqc trace replay my_site.swf --time-scale 0.5 --loop
 """
 
 from __future__ import annotations
@@ -140,6 +142,96 @@ def _build_parser() -> argparse.ArgumentParser:
             "workload horizon)"
         ),
     )
+
+    trace_parser = subparsers.add_parser(
+        "trace",
+        help=(
+            "inspect and replay SWF workload trace files "
+            "(paths resolve against the CWD, then the packaged "
+            "sample directory)"
+        ),
+    )
+    trace_sub = trace_parser.add_subparsers(dest="trace_command")
+    info_parser = trace_sub.add_parser(
+        "info", help="parse an SWF file and print summary statistics"
+    )
+    info_parser.add_argument("path", help="SWF trace file")
+    info_parser.add_argument(
+        "--nodes",
+        type=int,
+        default=32,
+        help="partition width for the offered-load estimate (default 32)",
+    )
+    replay_parser = trace_sub.add_parser(
+        "replay",
+        help=(
+            "replay an SWF file through a scenario preset's facility "
+            "and print the run metrics"
+        ),
+    )
+    replay_parser.add_argument("path", help="SWF trace file")
+    replay_parser.add_argument(
+        "--preset",
+        default="trace-replay",
+        help=(
+            "scenario preset supplying the facility "
+            "(default: trace-replay)"
+        ),
+    )
+    replay_parser.add_argument(
+        "--seed", type=int, default=None, help="override the root seed"
+    )
+    replay_parser.add_argument(
+        "--horizon",
+        type=float,
+        default=None,
+        help="simulated seconds to run (default: the preset's horizon)",
+    )
+    # Replay-rule flags default to None = "keep the preset's trace
+    # setting (or the TraceSpec default)", so a preset's declared
+    # mapping rules survive unless explicitly overridden.
+    replay_parser.add_argument(
+        "--time-scale",
+        type=float,
+        default=None,
+        help="multiply submit times (0.5 doubles the arrival rate)",
+    )
+    replay_parser.add_argument(
+        "--runtime-scale",
+        type=float,
+        default=None,
+        help="multiply runtimes and requested walltimes",
+    )
+    replay_parser.add_argument(
+        "--qpu-fraction",
+        type=float,
+        default=None,
+        help=(
+            "deterministic fraction of trace jobs routed to the "
+            "quantum partition as qpu gres requests"
+        ),
+    )
+    replay_parser.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        help="truncate to the first N trace jobs",
+    )
+    replay_parser.add_argument(
+        "--loop",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help=(
+            "repeat the trace until the horizon is filled "
+            "(--no-loop forces a single pass)"
+        ),
+    )
+    replay_parser.add_argument(
+        "--jitter",
+        type=float,
+        default=None,
+        help="gaussian submit-time jitter std-dev in seconds",
+    )
     return parser
 
 
@@ -161,6 +253,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
     if args.command == "scenario":
         return _scenario_command(parser, args)
+    if args.command == "trace":
+        return _trace_command(parser, args)
     if args.command == "sweep":
         workers = resolve_workers(args.workers)
         return _run_experiments(
@@ -225,6 +319,106 @@ def _scenario_command(parser, args) -> int:
         )
         return 0
     parser.error("scenario needs a subcommand: list, describe or run")
+
+
+def _trace_command(parser, args) -> int:
+    """The ``trace`` verb: info / replay."""
+    import dataclasses
+
+    from repro.errors import ReproError
+    from repro.scenarios import (
+        TraceSpec,
+        get_scenario,
+        resolve_trace_path,
+        run_scenario,
+    )
+    from repro.workloads.arrivals import TraceArrivals
+    from repro.workloads.swf import read_swf
+
+    if args.trace_command == "info":
+        if args.nodes < 1:
+            parser.error("--nodes must be >= 1")
+        try:
+            path = resolve_trace_path(args.path)
+            jobs = read_swf(str(path))
+        except ReproError as exc:
+            parser.error(str(exc))
+        if not jobs:
+            print(json.dumps({"path": str(path), "jobs": 0}, indent=2))
+            return 0
+        # The recorded submit times as an arrival process (sorted and
+        # validated); the burstiness stats scan the whole trace.
+        arrivals = TraceArrivals(job.submit_time for job in jobs)
+        submits = arrivals.submit_times
+        span = max(submits) - min(submits)
+        busiest_hour = 0
+        window_start = 0
+        for index, time_s in enumerate(submits):
+            while time_s - submits[window_start] > 3600.0:
+                window_start += 1
+            busiest_hour = max(busiest_hour, index - window_start + 1)
+        work = sum(job.nodes * job.runtime for job in jobs)
+        from repro.metrics.stats import mean
+
+        summary = {
+            "path": str(path),
+            "jobs": len(jobs),
+            "span_s": span,
+            "mean_interarrival_s": span / max(len(jobs) - 1, 1),
+            "busiest_hour_jobs": busiest_hour,
+            "nodes_min": min(job.nodes for job in jobs),
+            "nodes_max": max(job.nodes for job in jobs),
+            "nodes_mean": mean([job.nodes for job in jobs]),
+            "runtime_min_s": min(job.runtime for job in jobs),
+            "runtime_max_s": max(job.runtime for job in jobs),
+            "runtime_mean_s": mean([job.runtime for job in jobs]),
+            "node_seconds": work,
+            "users": len({job.user for job in jobs}),
+            f"offered_load_{args.nodes}_nodes": (
+                work / (span * args.nodes) if span > 0 else 0.0
+            ),
+        }
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    if args.trace_command == "replay":
+        try:
+            spec = get_scenario(args.preset)
+            # Start from the preset's own trace (mapping rules like
+            # partition/max_nodes/oversize carry over), point it at
+            # the given file, and apply only the flags actually set.
+            base = spec.workload.trace or TraceSpec(path=args.path)
+            updates = {"path": args.path, "jobs": ()}
+            for attribute, value in (
+                ("time_scale", args.time_scale),
+                ("runtime_scale", args.runtime_scale),
+                ("qpu_fraction", args.qpu_fraction),
+                ("limit", args.limit),
+                ("loop", args.loop),
+                ("jitter", args.jitter),
+            ):
+                if value is not None:
+                    updates[attribute] = value
+            trace = dataclasses.replace(base, **updates)
+            spec = dataclasses.replace(
+                spec,
+                workload=dataclasses.replace(spec.workload, trace=trace),
+            ).validate()
+            start = time.perf_counter()
+            metrics = run_scenario(
+                spec, seed=args.seed, horizon=args.horizon
+            )
+        except ReproError as exc:
+            parser.error(str(exc))
+        elapsed = time.perf_counter() - start
+        print(json.dumps(metrics, indent=2, sort_keys=True))
+        print(
+            f"[trace] {args.path} via {spec.name}: "
+            f"{metrics['trace_jobs']} jobs replayed, "
+            f"{metrics['horizon_s']:.0f}s simulated in "
+            f"{elapsed:.2f}s wall"
+        )
+        return 0
+    parser.error("trace needs a subcommand: info or replay")
 
 
 def _run_experiments(

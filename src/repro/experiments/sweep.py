@@ -71,6 +71,12 @@ def canonical_params(params: Mapping[str, Any]) -> str:
     Parameters must be JSON-representable (scalars, lists, nested
     mappings) so that the encoding — and everything derived from it:
     seeds, cache keys — is reproducible across processes and runs.
+    Keys are sorted, so declaration order never leaks into identities:
+
+    >>> canonical_params({"b": 2, "a": 1})
+    '{"a":1,"b":2}'
+    >>> canonical_params({"a": 1, "b": 2})
+    '{"a":1,"b":2}'
     """
     try:
         return json.dumps(params, sort_keys=True, separators=(",", ":"))
@@ -86,7 +92,18 @@ def derive_point_seed(
     params: Mapping[str, Any],
     replication: int = 0,
 ) -> int:
-    """The seed owned by one grid point (pure function of coordinates)."""
+    """The seed owned by one grid point (pure function of coordinates).
+
+    Any process, any year, any worker count derives the same seed for
+    the same coordinates — that is what makes sweep results a function
+    of the grid alone:
+
+    >>> derive_point_seed(0, "demo", {"x": 1})
+    15097343031012186446
+    >>> derive_point_seed(0, "demo", {"x": 1}, replication=1) \\
+    ...     != derive_point_seed(0, "demo", {"x": 1})
+    True
+    """
     key = f"sweep:{experiment_id}:{canonical_params(params)}:rep{replication}"
     return derive_seed(base_seed, key)
 
@@ -133,6 +150,15 @@ class SweepSpec:
         *same* seed (replication 0 uses ``base_seed`` itself) — the
         matched-universe mode comparison experiments need, where each
         strategy must face an identical random environment.
+
+    Points enumerate the cartesian product in row-major order (last
+    axis fastest), replications outermost:
+
+    >>> spec = SweepSpec("demo", axes={"a": [1, 2], "b": [10, 20]})
+    >>> [p.params for p in spec.points()]
+    [{'a': 1, 'b': 10}, {'a': 1, 'b': 20}, {'a': 2, 'b': 10}, {'a': 2, 'b': 20}]
+    >>> len(spec)
+    4
     """
 
     experiment_id: str
@@ -248,6 +274,9 @@ def canonical_bytes(value: Any) -> bytes:
     Floats round-trip through ``repr`` (shortest exact form), dict keys
     are sorted, dataclasses are expanded field by field — so two results
     serialise identically iff they are value-identical.
+
+    >>> canonical_bytes({"f": 0.5, "n": [1, 2]})
+    b'{"f":0.5,"n":[1,2]}'
     """
     return json.dumps(
         _canonicalise(value), sort_keys=True, separators=(",", ":")
@@ -501,6 +530,11 @@ def run_sweep(
     order** (out-of-order completions are buffered), so aggregation is
     deterministic no matter how the pool schedules the work.  The
     returned :class:`SweepResult` holds values in the same order.
+
+    >>> spec = SweepSpec("doc", axes={"x": [1, 2, 3]})
+    >>> run_sweep(spec, lambda params, seed: params["x"] * 10,
+    ...           workers=1).values
+    [10, 20, 30]
     """
     workers = resolve_workers(workers)
     points = spec.points()

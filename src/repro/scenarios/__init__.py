@@ -17,10 +17,15 @@ from repro.scenarios.build import (
     DEFAULT_HORIZON,
     background_trace,
     build,
+    compile_trace,
     install_background,
     install_faults,
+    install_trace,
+    load_trace_jobs,
     offered_load_interarrival,
+    resolve_trace_path,
     run_scenario,
+    trace_component_mapper,
 )
 from repro.scenarios.registry import (
     get_scenario,
@@ -30,6 +35,7 @@ from repro.scenarios.registry import (
 from repro.scenarios.spec import (
     ARRIVAL_PROCESSES,
     FAULT_ACTIONS,
+    OVERSIZE_RULES,
     FaultSchedule,
     FleetSpec,
     MonitoringSpec,
@@ -39,6 +45,8 @@ from repro.scenarios.spec import (
     RandomFailures,
     ScenarioSpec,
     TopologySpec,
+    TraceJobSpec,
+    TraceSpec,
     WorkloadSpec,
     with_overrides,
 )
@@ -52,6 +60,7 @@ __all__ = [
     "ARRIVAL_PROCESSES",
     "DEFAULT_HORIZON",
     "FAULT_ACTIONS",
+    "OVERSIZE_RULES",
     "FaultSchedule",
     "FleetSpec",
     "MonitoringSpec",
@@ -61,18 +70,25 @@ __all__ = [
     "RandomFailures",
     "ScenarioSpec",
     "TopologySpec",
+    "TraceJobSpec",
+    "TraceSpec",
     "WorkloadSpec",
     "background_trace",
     "build",
+    "compile_trace",
     "get_scenario",
     "install_background",
     "install_faults",
+    "install_trace",
     "list_scenarios",
+    "load_trace_jobs",
     "offered_load_interarrival",
     "point_scenario",
     "register_scenario",
+    "resolve_trace_path",
     "run_scenario",
     "run_scenario_point",
     "scenario_sweep_spec",
+    "trace_component_mapper",
     "with_overrides",
 ]

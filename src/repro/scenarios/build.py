@@ -21,9 +21,12 @@ go through it.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+import dataclasses
+from functools import lru_cache
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from repro.cluster.builders import build_hpcqc_cluster
+from repro.cluster.builders import QUANTUM_PARTITION, build_hpcqc_cluster
 from repro.cluster.cluster import Cluster
 from repro.cluster.failures import FailureInjector
 from repro.cluster.node import Node
@@ -33,19 +36,29 @@ from repro.quantum.technology import TECHNOLOGIES
 from repro.scenarios.spec import (
     FaultSchedule,
     ScenarioSpec,
+    TraceSpec,
     WorkloadSpec,
 )
 from repro.scheduler.backfill import make_policy
-from repro.scheduler.job import JobState
+from repro.scheduler.job import Job, JobComponent, JobState
 from repro.scheduler.priority import MultifactorPriority, PriorityWeights
 from repro.sim.kernel import Kernel
-from repro.sim.rng import RandomStreams
+from repro.sim.rng import RandomStreams, derive_seed
 from repro.strategies.base import Environment
 from repro.strategies.vqpu import VirtualQPUPool
 from repro.workloads.arrivals import DiurnalArrivals
 from repro.workloads.distributions import LogUniform, PowerOfTwoNodes
 from repro.workloads.generator import submit_trace
-from repro.workloads.swf import TraceJob, synthesise_trace
+from repro.workloads.swf import (
+    TraceJob,
+    clip_trace,
+    jitter_trace,
+    loop_trace,
+    read_swf,
+    rescale_trace,
+    synthesise_trace,
+    truncate_trace,
+)
 
 
 def build(spec: ScenarioSpec, seed: Optional[int] = None) -> Environment:
@@ -211,6 +224,11 @@ def offered_load_interarrival(
 
     Offered load is node-seconds demanded per node-second of capacity:
     ``rho = nodes × runtime / (interarrival × cluster_nodes)``.
+
+    >>> offered_load_interarrival(
+    ...     1.0, cluster_nodes=32, mean_job_nodes=4, mean_job_runtime=800
+    ... )
+    100.0
     """
     if rho <= 0:
         raise ValueError("rho must be positive")
@@ -278,6 +296,175 @@ def install_background(env: Environment, workload: WorkloadSpec) -> List:
     return submit_trace(env, trace)
 
 
+# -- trace replay -------------------------------------------------------------
+
+#: Packaged sample traces (checked-in, synthetic, redistributable).
+TRACE_DATA_DIR = (
+    Path(__file__).resolve().parent.parent / "workloads" / "data"
+)
+
+
+def resolve_trace_path(path: str) -> Path:
+    """Locate a :class:`TraceSpec` SWF file.
+
+    Absolute paths are used as-is; relative paths resolve against the
+    working directory first and then the packaged sample directory
+    (``repro/workloads/data``), so presets can ship a checked-in trace
+    while user scenarios reference local files.
+    """
+    candidate = Path(path)
+    if candidate.is_absolute():
+        if candidate.is_file():
+            return candidate
+        raise ConfigurationError(f"trace file not found: {path}")
+    tried = []
+    for root in (Path.cwd(), TRACE_DATA_DIR):
+        resolved = root / candidate
+        if resolved.is_file():
+            return resolved
+        tried.append(str(resolved))
+    raise ConfigurationError(
+        f"trace file {path!r} not found; tried: {tried}"
+    )
+
+
+@lru_cache(maxsize=32)
+def _parsed_swf(
+    path: str, mtime_ns: int, size: int
+) -> Tuple[TraceJob, ...]:
+    """Parsed jobs of one SWF file, memoised per (path, stat).
+
+    Sweeps compile the same trace once per grid point; archive traces
+    run to 100k+ lines, so re-parsing would dominate small-horizon
+    sweep time.  The stat components key out edits to the file.
+    """
+    return tuple(read_swf(path))
+
+
+def load_trace_jobs(trace: TraceSpec) -> List[TraceJob]:
+    """The raw jobs a :class:`TraceSpec` names, before replay rules."""
+    if trace.path is not None:
+        resolved = resolve_trace_path(trace.path)
+        stat = resolved.stat()
+        return list(
+            _parsed_swf(str(resolved), stat.st_mtime_ns, stat.st_size)
+        )
+    return [
+        TraceJob(**dataclasses.asdict(job)) for job in trace.jobs
+    ]
+
+
+def compile_trace(
+    trace: TraceSpec,
+    horizon: float,
+    rng=None,
+) -> List[TraceJob]:
+    """Apply a :class:`TraceSpec`'s replay rules, in documented order.
+
+    Truncate to ``limit``, rescale times and durations, loop or clip to
+    the horizon, then jitter submit times (``rng`` supplies the draws;
+    required only when ``trace.jitter > 0``).  Pure given its inputs,
+    so two processes compiling the same spec agree job for job.
+    """
+    jobs = truncate_trace(load_trace_jobs(trace), trace.limit)
+    jobs = rescale_trace(jobs, trace.time_scale, trace.runtime_scale)
+    if trace.loop:
+        jobs = loop_trace(jobs, horizon)
+    else:
+        jobs = clip_trace(jobs, horizon)
+    if trace.jitter > 0:
+        if rng is None:
+            raise ConfigurationError(
+                "trace.jitter > 0 needs a random stream"
+            )
+        jobs = jitter_trace(jobs, rng, trace.jitter)
+    return jobs
+
+
+#: Quantum-partition mapping: the stable per-job hash threshold used by
+#: ``TraceSpec.qpu_fraction`` (seed-independent, so *which* jobs are
+#: hybrid never changes between replications).
+_QPU_HASH_SCALE = float(2**64)
+
+
+def _routes_to_qpu(job: TraceJob, fraction: float) -> bool:
+    if fraction <= 0.0:
+        return False
+    if fraction >= 1.0:
+        return True
+    draw = derive_seed(job.job_id, "trace:qpu-route") / _QPU_HASH_SCALE
+    return draw < fraction
+
+
+def trace_component_mapper(
+    env: Environment, trace: TraceSpec
+) -> Callable[[TraceJob], Optional[List[JobComponent]]]:
+    """The per-job resource mapping a :class:`TraceSpec` describes.
+
+    Jobs land on ``trace.partition``; jobs wider than ``max_nodes``
+    (default: the partition width) are clamped, dropped or rejected per
+    ``trace.oversize``; a ``qpu_fraction`` subset becomes single-node
+    quantum jobs demanding one ``qpu`` gres unit.
+    """
+    partition = env.cluster.partition(trace.partition)
+    cap = partition.node_count
+    if trace.max_nodes is not None:
+        cap = min(cap, trace.max_nodes)
+    if cap < 1:
+        raise ConfigurationError(
+            f"trace partition {trace.partition!r} has no nodes"
+        )
+
+    def mapper(job: TraceJob) -> Optional[List[JobComponent]]:
+        if _routes_to_qpu(job, trace.qpu_fraction):
+            return [
+                JobComponent(
+                    QUANTUM_PARTITION,
+                    1,
+                    job.requested_walltime,
+                    gres={"qpu": 1},
+                )
+            ]
+        nodes = job.nodes
+        if nodes > cap:
+            if trace.oversize == "drop":
+                return None
+            if trace.oversize == "error":
+                raise ConfigurationError(
+                    f"trace job {job.job_id} needs {nodes} nodes but "
+                    f"partition {trace.partition!r} caps at {cap} "
+                    "(oversize='error')"
+                )
+            nodes = cap
+        return [JobComponent(trace.partition, nodes, job.requested_walltime)]
+
+    return mapper
+
+
+def install_trace(
+    env: Environment, workload: WorkloadSpec, horizon: float
+) -> List[Job]:
+    """Submit the scenario's trace replay; returns the jobs.
+
+    No-op (empty list) when the workload has no trace source.  The
+    jitter stream is only consumed when ``trace.jitter > 0``, so
+    trace-free and jitter-free scenarios draw exactly what they drew
+    before trace support existed.
+    """
+    trace = workload.trace
+    if trace is None:
+        return []
+    rng = (
+        env.streams.stream("trace-jitter") if trace.jitter > 0 else None
+    )
+    jobs = compile_trace(trace, horizon, rng=rng)
+    if not jobs:
+        return []
+    return submit_trace(
+        env, jobs, components_for=trace_component_mapper(env, trace)
+    )
+
+
 # -- end-to-end scenario run -------------------------------------------------
 
 #: Fallback horizon for scenarios that specify no workload horizon.
@@ -303,6 +490,7 @@ def run_scenario(
     until = horizon
     if until is None:
         until = spec.workload.horizon or DEFAULT_HORIZON
+    trace_jobs = install_trace(env, spec.workload, until)
     env.kernel.run(until=until)
     completed = sum(
         1 for job in jobs if job.state == JobState.COMPLETED
@@ -316,6 +504,7 @@ def run_scenario(
         "queue_depth": env.scheduler.queue_depth,
         "finished_jobs": len(env.scheduler.finished_jobs),
     }
+    metrics.update(_trace_metrics(trace_jobs))
     for name in sorted(env.cluster.partitions):
         metrics[f"utilisation_{name}"] = env.cluster.node_utilisation(name)
     for index, qpu in enumerate(env.qpus):
@@ -327,6 +516,29 @@ def run_scenario(
     metrics["random_repairs"] = repairs
     metrics["node_states"] = _node_state_counts(env)
     return metrics
+
+
+def _trace_metrics(trace_jobs: List[Job]) -> Dict[str, Any]:
+    """Flat replay metrics: counts plus mean wait and bounded slowdown."""
+    from repro.metrics.stats import mean
+
+    completed = [
+        job for job in trace_jobs if job.state == JobState.COMPLETED
+    ]
+    waits = [
+        job.wait_time for job in completed if job.wait_time is not None
+    ]
+    slowdowns = [
+        slowdown
+        for slowdown in (job.slowdown() for job in completed)
+        if slowdown is not None
+    ]
+    return {
+        "trace_jobs": len(trace_jobs),
+        "trace_completed": len(completed),
+        "trace_mean_wait_s": mean(waits),
+        "trace_mean_slowdown": mean(slowdowns),
+    }
 
 
 def _node_state_counts(env: Environment) -> Dict[str, int]:

@@ -26,6 +26,7 @@ from repro.scenarios.spec import (
     RandomFailures,
     ScenarioSpec,
     TopologySpec,
+    TraceSpec,
     WorkloadSpec,
 )
 
@@ -46,7 +47,13 @@ def register_scenario(
 
 
 def get_scenario(name: str) -> ScenarioSpec:
-    """The registered preset called ``name``."""
+    """The registered preset called ``name``.
+
+    >>> get_scenario("baseline-32").topology.classical_nodes
+    32
+    >>> get_scenario("trace-replay").workload.trace.path
+    'sample-32n.swf'
+    """
     try:
         return _REGISTRY[name]
     except KeyError:
@@ -56,7 +63,11 @@ def get_scenario(name: str) -> ScenarioSpec:
 
 
 def list_scenarios() -> List[str]:
-    """Registered preset names, sorted."""
+    """Registered preset names, sorted.
+
+    >>> "baseline-32" in list_scenarios()
+    True
+    """
     return sorted(_REGISTRY)
 
 
@@ -169,6 +180,25 @@ register_scenario(
             max_nodes=64,
         ),
         policy=PolicySpec(scheduling_cycle=30.0),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="trace-replay",
+        description=(
+            "Trace-driven workload replay: the checked-in synthetic "
+            "SWF sample (64 archive-shaped jobs, offered load ~0.86) "
+            "replayed onto the 32-node baseline under EASY backfill.  "
+            "Sweepable via workload.trace.* dotted paths "
+            "(time_scale, runtime_scale, qpu_fraction, ...)."
+        ),
+        topology=TopologySpec(classical_nodes=32),
+        fleet=FleetSpec(technology="superconducting"),
+        workload=WorkloadSpec(
+            horizon=4 * 3600.0,
+            trace=TraceSpec(path="sample-32n.swf"),
+        ),
     )
 )
 

@@ -34,6 +34,9 @@ FAULT_ACTIONS = ("fail", "repair", "drain", "undrain")
 #: Known background arrival processes.
 ARRIVAL_PROCESSES = ("poisson", "diurnal")
 
+#: How a trace job larger than the target partition is handled.
+OVERSIZE_RULES = ("clamp", "drop", "error")
+
 
 @dataclass(frozen=True)
 class TopologySpec:
@@ -86,13 +89,139 @@ class FleetSpec:
 
 
 @dataclass(frozen=True)
-class WorkloadSpec:
-    """Background classical load offered to the facility.
+class TraceJobSpec:
+    """One inline trace job of a :class:`TraceSpec`.
 
-    ``background_rho`` is offered load in node-seconds demanded per
-    node-second of classical capacity; zero disables the background
-    entirely.  ``arrivals="diurnal"`` modulates the submission rate
-    with a day/night cycle (bursty campaigns).
+    Mirrors :class:`repro.workloads.swf.TraceJob` field for field, so
+    small traces can live entirely inside a scenario JSON file (no
+    side-car SWF file to ship).
+
+    >>> TraceJobSpec(job_id=1, submit_time=0.0, runtime=60.0,
+    ...              nodes=4, requested_walltime=120.0).nodes
+    4
+    """
+
+    job_id: int
+    submit_time: float
+    runtime: float
+    nodes: int
+    requested_walltime: float
+    user: str = "user0"
+
+    def validate(self) -> None:
+        if self.submit_time < 0:
+            raise ConfigurationError(
+                f"trace job {self.job_id}: submit_time must be >= 0"
+            )
+        if self.runtime < 0:
+            raise ConfigurationError(
+                f"trace job {self.job_id}: runtime must be >= 0"
+            )
+        if self.nodes < 1:
+            raise ConfigurationError(
+                f"trace job {self.job_id}: nodes must be >= 1"
+            )
+        if self.requested_walltime <= 0:
+            raise ConfigurationError(
+                f"trace job {self.job_id}: requested_walltime must be > 0"
+            )
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """A trace-file-backed workload source.
+
+    Exactly one of ``path`` (an SWF file, resolved against the working
+    directory and then the packaged sample directory
+    ``repro/workloads/data``) or ``jobs`` (inline
+    :class:`TraceJobSpec` entries) supplies the jobs.  The remaining
+    fields are *replay rules* applied at build time, in order:
+
+    1. ``limit`` truncates to the first N trace jobs;
+    2. ``time_scale`` multiplies submit times (0.5 compresses the
+       trace to double the arrival rate) and ``runtime_scale``
+       multiplies runtimes and requested walltimes;
+    3. the trace is cut at the run horizon, or — with ``loop=True`` —
+       repeated (with fresh job ids) until the horizon is filled;
+    4. ``jitter`` adds zero-mean Gaussian noise (std-dev in seconds)
+       to submit times from the scenario's own ``trace-jitter``
+       stream, so replications decorrelate deterministically.
+
+    Mapping rules: jobs land on ``partition``; jobs wider than
+    ``max_nodes`` (default: the partition size) are clamped, dropped
+    or rejected per ``oversize``; ``qpu_fraction`` routes a
+    deterministic, seed-independent subset of jobs to the quantum
+    partition as single-node ``qpu`` gres requests — turning a purely
+    classical archive trace into a hybrid HPC-QC workload.
+
+    >>> TraceSpec(path="sample-32n.swf", time_scale=0.5).validate()
+    >>> TraceSpec().validate()
+    Traceback (most recent call last):
+        ...
+    repro.errors.ConfigurationError: workload.trace needs exactly one \
+of path= or jobs=
+    """
+
+    path: Optional[str] = None
+    jobs: Tuple[TraceJobSpec, ...] = ()
+    time_scale: float = 1.0
+    runtime_scale: float = 1.0
+    partition: str = "classical"
+    max_nodes: Optional[int] = None
+    oversize: str = "clamp"
+    qpu_fraction: float = 0.0
+    limit: Optional[int] = None
+    loop: bool = False
+    jitter: float = 0.0
+
+    def validate(self) -> None:
+        if (self.path is None) == (not self.jobs):
+            raise ConfigurationError(
+                "workload.trace needs exactly one of path= or jobs="
+            )
+        for job in self.jobs:
+            job.validate()
+        if self.time_scale <= 0:
+            raise ConfigurationError("workload.trace.time_scale must be > 0")
+        if self.runtime_scale <= 0:
+            raise ConfigurationError(
+                "workload.trace.runtime_scale must be > 0"
+            )
+        if not self.partition:
+            raise ConfigurationError(
+                "workload.trace.partition needs a partition name"
+            )
+        if self.max_nodes is not None and self.max_nodes < 1:
+            raise ConfigurationError(
+                "workload.trace.max_nodes must be >= 1 when set"
+            )
+        if self.oversize not in OVERSIZE_RULES:
+            raise ConfigurationError(
+                f"workload.trace.oversize {self.oversize!r} unknown; "
+                f"known: {OVERSIZE_RULES}"
+            )
+        if not 0.0 <= self.qpu_fraction <= 1.0:
+            raise ConfigurationError(
+                "workload.trace.qpu_fraction must be in [0, 1]"
+            )
+        if self.limit is not None and self.limit < 1:
+            raise ConfigurationError(
+                "workload.trace.limit must be >= 1 when set"
+            )
+        if self.jitter < 0:
+            raise ConfigurationError("workload.trace.jitter must be >= 0")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Classical load offered to the facility.
+
+    Two sources compose: a *synthetic background* (``background_rho``
+    is offered load in node-seconds demanded per node-second of
+    classical capacity; zero disables it; ``arrivals="diurnal"``
+    modulates the submission rate with a day/night cycle) and an
+    optional *trace replay* (``trace``) driven by an SWF archive file
+    or inline jobs — see :class:`TraceSpec`.
     """
 
     background_rho: float = 0.0
@@ -104,6 +233,7 @@ class WorkloadSpec:
     arrivals: str = "poisson"
     burst_amplitude: float = 0.5
     burst_period: float = 4 * 3600.0
+    trace: Optional[TraceSpec] = None
 
     def validate(self) -> None:
         if self.background_rho < 0:
@@ -133,6 +263,12 @@ class WorkloadSpec:
             )
         if self.burst_period <= 0:
             raise ConfigurationError("workload.burst_period must be > 0")
+        # Looping needs no horizon check here: the trace loops to the
+        # *run* horizon, which always resolves to a positive value
+        # (workload.horizon, an explicit horizon= argument, or the
+        # build pipeline's default).
+        if self.trace is not None:
+            self.trace.validate()
 
 
 @dataclass(frozen=True)
@@ -276,6 +412,15 @@ class ScenarioSpec:
     to produce a live environment: topology, fleet, workload, policy,
     monitoring and fault schedule, plus the root seed.  Experiments,
     sweeps, presets and the CLI all speak this type.
+
+    Specs are values: they compare by content and round-trip
+    losslessly through plain dicts and JSON.
+
+    >>> spec = ScenarioSpec(topology=TopologySpec(classical_nodes=64))
+    >>> ScenarioSpec.from_dict(spec.to_dict()) == spec
+    True
+    >>> ScenarioSpec.from_json(spec.to_json()) == spec
+    True
     """
 
     name: str = "custom"
@@ -352,6 +497,8 @@ _NESTED: Dict[Tuple[type, str], Any] = {
     (FaultSchedule, "events"): ("tuple", NodeFault),
     (FaultSchedule, "maintenance"): ("tuple", QPUMaintenance),
     (FaultSchedule, "random_failures"): ("optional", RandomFailures),
+    (WorkloadSpec, "trace"): ("optional", TraceSpec),
+    (TraceSpec, "jobs"): ("tuple", TraceJobSpec),
 }
 
 
@@ -408,11 +555,23 @@ def with_overrides(
 ) -> ScenarioSpec:
     """A copy of ``spec`` with dotted-path fields replaced.
 
-    ``with_overrides(spec, {"topology.classical_nodes": 64,
-    "fleet.vqpus_per_qpu": 4})`` — the mechanism sweep axes use to
-    target scenario fields.  Paths must name existing scalar fields;
-    structured fields (``faults.events``) take plain dict/list values
-    as produced by :meth:`ScenarioSpec.to_dict`.
+    The mechanism sweep axes use to target scenario fields.  Paths must
+    name existing fields; structured fields (``faults.events``,
+    ``workload.trace``) take plain dict/list values as produced by
+    :meth:`ScenarioSpec.to_dict`.  The input spec is never mutated and
+    the result is validated before it is returned.
+
+    >>> spec = with_overrides(
+    ...     ScenarioSpec(),
+    ...     {"topology.classical_nodes": 64, "fleet.vqpus_per_qpu": 4},
+    ... )
+    >>> (spec.topology.classical_nodes, spec.fleet.vqpus_per_qpu)
+    (64, 4)
+    >>> with_overrides(ScenarioSpec(), {"topology.warp": 9})
+    Traceback (most recent call last):
+        ...
+    repro.errors.ConfigurationError: unknown scenario field \
+'topology.warp' (no such key 'warp')
     """
     if not overrides:
         return spec

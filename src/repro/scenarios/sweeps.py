@@ -32,6 +32,12 @@ def point_scenario(params: Mapping[str, Any]) -> ScenarioSpec:
     ``params[SCENARIO_KEY]`` holds an inline scenario dict); every other
     key except :data:`HORIZON_KEY` is a dotted-path override applied on
     top of it.
+
+    >>> spec = point_scenario(
+    ...     {"preset": "baseline-32", "topology.classical_nodes": 64}
+    ... )
+    >>> (spec.name, spec.topology.classical_nodes)
+    ('baseline-32', 64)
     """
     remaining = dict(params)
     remaining.pop(HORIZON_KEY, None)
@@ -66,9 +72,16 @@ def scenario_sweep_spec(
 ) -> SweepSpec:
     """A :class:`SweepSpec` whose axes are scenario dotted paths.
 
-    ``scenario_sweep_spec("baseline-32", {"topology.classical_nodes":
-    [16, 32, 64]})`` enumerates three perturbed facilities; run it with
-    :func:`run_scenario_point`.
+    Run the result with :func:`run_scenario_point`; trace-backed
+    presets sweep the same way (``"workload.trace.time_scale"``).
+
+    >>> spec = scenario_sweep_spec(
+    ...     "baseline-32", {"topology.classical_nodes": [16, 32, 64]}
+    ... )
+    >>> len(spec)
+    3
+    >>> spec.points()[0].params["preset"]
+    'baseline-32'
     """
     constants: Dict[str, Any] = {PRESET_KEY: preset}
     if run_horizon is not None:

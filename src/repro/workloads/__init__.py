@@ -1,6 +1,10 @@
 """Workload synthesis: distributions, arrivals, hybrid apps, traces."""
 
-from repro.workloads.arrivals import DiurnalArrivals, PoissonArrivals
+from repro.workloads.arrivals import (
+    DiurnalArrivals,
+    PoissonArrivals,
+    TraceArrivals,
+)
 from repro.workloads.distributions import (
     BoundedPareto,
     Constant,
@@ -12,7 +16,17 @@ from repro.workloads.distributions import (
 )
 from repro.workloads.generator import CampaignDriver, submit_trace
 from repro.workloads.hybrid import HybridAppConfig, HybridAppGenerator
-from repro.workloads.swf import TraceJob, read_swf, synthesise_trace, write_swf
+from repro.workloads.swf import (
+    TraceJob,
+    clip_trace,
+    jitter_trace,
+    loop_trace,
+    read_swf,
+    rescale_trace,
+    synthesise_trace,
+    truncate_trace,
+    write_swf,
+)
 
 __all__ = [
     "BoundedPareto",
@@ -26,10 +40,16 @@ __all__ = [
     "LogUniform",
     "PoissonArrivals",
     "PowerOfTwoNodes",
+    "TraceArrivals",
     "TraceJob",
     "Uniform",
+    "clip_trace",
+    "jitter_trace",
+    "loop_trace",
     "read_swf",
+    "rescale_trace",
     "submit_trace",
     "synthesise_trace",
+    "truncate_trace",
     "write_swf",
 ]

@@ -2,13 +2,17 @@
 
 Poisson arrivals are the baseline; the diurnal variant modulates the
 rate with a day/night cycle (thinning method), reproducing the burst
-structure of production traces.
+structure of production traces; :class:`TraceArrivals` replays the
+recorded submit times of an archive trace verbatim.  All three share
+one protocol — ``times(rng, horizon, start)`` yields arrival times in
+``[start, start + horizon)`` — so workload sources are interchangeable
+downstream.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Iterator
+from typing import Iterator, Optional, Sequence
 
 import numpy as np
 
@@ -82,3 +86,38 @@ class DiurnalArrivals:
                 return
             if rng.random() <= self.instantaneous_rate(now) / peak:
                 yield now
+
+
+class TraceArrivals:
+    """Deterministic arrival process replaying recorded submit times.
+
+    The times are sorted once at construction; ``times()`` offsets them
+    by ``start`` and stops at the horizon, matching the generator-based
+    processes' contract exactly — the ``rng`` argument is accepted (and
+    ignored) so trace replay drops into any code written against
+    :class:`PoissonArrivals`.
+
+    >>> arrivals = TraceArrivals([30.0, 10.0, 90.0])
+    >>> list(arrivals.times(None, horizon=60.0))
+    [10.0, 30.0]
+    """
+
+    def __init__(self, submit_times: Sequence[float]) -> None:
+        ordered = sorted(float(time) for time in submit_times)
+        if ordered and ordered[0] < 0:
+            raise ConfigurationError("trace submit times must be >= 0")
+        self.submit_times = ordered
+
+    def times(
+        self,
+        rng: Optional[np.random.Generator],
+        horizon: float,
+        start: float = 0.0,
+    ) -> Iterator[float]:
+        """Yield the recorded times, shifted by ``start``, within the
+        horizon."""
+        for time in self.submit_times:
+            shifted = start + time
+            if shifted >= start + horizon:
+                return
+            yield shifted

@@ -13,7 +13,7 @@ Two pieces every multi-tenant experiment needs:
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import Callable, Iterable, List, Optional, Sequence
 
 from repro.scheduler.job import Job, JobComponent, JobSpec
 from repro.strategies.application import HybridApplication
@@ -26,29 +26,49 @@ from repro.strategies.base import (
 from repro.workloads.swf import TraceJob
 
 
+#: Maps one trace job to its resource components; returning ``None``
+#: drops the job (e.g. an oversize job under a ``drop`` mapping rule).
+ComponentMapper = Callable[[TraceJob], Optional[List[JobComponent]]]
+
+
 def submit_trace(
     env: Environment,
     jobs: Iterable[TraceJob],
     partition: str = "classical",
+    components_for: Optional[ComponentMapper] = None,
 ) -> List[Job]:
     """Schedule the replay of ``jobs``: each is submitted at its trace
     submit time.  Returns the runtime :class:`Job` records (populated
-    as the simulation advances)."""
+    as the simulation advances).
+
+    By default every job becomes one rigid component on ``partition``
+    sized straight from the trace.  ``components_for`` overrides that
+    mapping per job — the scenario layer's trace source uses it to
+    clamp oversize jobs and to route a subset to the quantum partition
+    as ``qpu`` gres requests; returning ``None`` drops the job.
+    """
     submitted: List[Job] = []
 
-    def replay(trace_job: TraceJob):
+    def default_components(
+        trace_job: TraceJob,
+    ) -> Optional[List[JobComponent]]:
+        return [
+            JobComponent(
+                partition,
+                trace_job.nodes,
+                trace_job.requested_walltime,
+            )
+        ]
+
+    mapper = components_for or default_components
+
+    def replay(trace_job: TraceJob, components: List[JobComponent]):
         delay = trace_job.submit_time - env.kernel.now
         if delay > 0:
             yield env.kernel.timeout(delay)
         spec = JobSpec(
             name=f"trace-{trace_job.job_id}",
-            components=[
-                JobComponent(
-                    partition,
-                    trace_job.nodes,
-                    trace_job.requested_walltime,
-                )
-            ],
+            components=components,
             user=trace_job.user,
             duration=trace_job.runtime,
             tags={"source": "trace"},
@@ -56,8 +76,11 @@ def submit_trace(
         submitted.append(env.scheduler.submit(spec))
 
     for trace_job in jobs:
+        components = mapper(trace_job)
+        if components is None:
+            continue
         env.kernel.process(
-            replay(trace_job), name=f"replay:{trace_job.job_id}"
+            replay(trace_job, components), name=f"replay:{trace_job.job_id}"
         )
     return submitted
 

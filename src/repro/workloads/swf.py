@@ -6,13 +6,22 @@ fields the simulator consumes (job id, submit time, runtime, node
 count, requested walltime, user) plus a generator that synthesises
 traces with archive-like marginals — the documented substitution for
 real traces, which are not redistributable here.
+
+Replay transforms (:func:`rescale_trace`, :func:`truncate_trace`,
+:func:`clip_trace`, :func:`loop_trace`, :func:`jitter_trace`) are the
+pure half of the scenario layer's trace source
+(:class:`repro.scenarios.spec.TraceSpec`): each takes and returns a
+list of :class:`TraceJob` values, so the build pipeline composes them
+deterministically.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import io
+import re
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, TextIO, Union
+from typing import Dict, Iterable, List, Optional, Sequence, TextIO, Union
 
 import numpy as np
 
@@ -87,16 +96,51 @@ def synthesise_trace(
 # -- SWF serialisation --------------------------------------------------------
 #
 # Field layout (subset of the 18 SWF columns; unused columns are -1):
-#   1 job id, 2 submit, 4 runtime, 5 nodes, 9 requested walltime,
-#   12 user id.  Header lines start with ';'.
+#   1 job id, 2 submit, 4 runtime, 5 allocated processors (nodes for
+#   us), 8 requested processors, 9 requested walltime, 12 user id.
+#   Header/comment lines start with ';' (the archive standard) or '#'.
 
 _SWF_COLUMNS = 18
 
+_USER_PATTERN = re.compile(r"^user(\d+)$")
+
+
+def _user_id_map(jobs: Sequence[TraceJob]) -> Dict[str, int]:
+    """Numeric SWF user id per username in ``jobs``.
+
+    ``"user7"`` maps to 7; any other name gets a stable synthetic id
+    allocated in first-seen order, starting past both 1000 (clear of
+    the synthetic generator's pool) and every numeric id the trace
+    already uses, so synthetic ids never collide with real ones —
+    SWF stores numeric ids only, so arbitrary usernames cannot
+    round-trip verbatim.
+    """
+    mapping: Dict[str, int] = {}
+    for job in jobs:
+        match = _USER_PATTERN.match(job.user)
+        # Only the canonical spelling ("user7", not "user007") claims
+        # the numeric id, else two distinct names would merge.
+        if match and job.user == f"user{int(match.group(1))}":
+            mapping[job.user] = int(match.group(1))
+    next_id = max([999, *mapping.values()]) + 1
+    for job in jobs:
+        if job.user not in mapping:
+            mapping[job.user] = next_id
+            next_id += 1
+    return mapping
+
 
 def write_swf(jobs: Iterable[TraceJob], sink: Union[str, TextIO]) -> None:
-    """Write jobs to an SWF file or file-like object."""
+    """Write jobs to an SWF file or file-like object.
+
+    Times are rounded to whole seconds (the archive convention);
+    zero-duration jobs keep their 0 runtime rather than being promoted
+    to one second.
+    """
+    jobs = list(jobs)
     own = isinstance(sink, str)
     handle: TextIO = open(sink, "w") if own else sink  # noqa: SIM115
+    user_ids = _user_id_map(jobs)
     try:
         handle.write("; synthetic SWF trace generated by repro\n")
         for job in jobs:
@@ -105,8 +149,9 @@ def write_swf(jobs: Iterable[TraceJob], sink: Union[str, TextIO]) -> None:
             fields[1] = int(round(job.submit_time))
             fields[3] = int(round(job.runtime))
             fields[4] = job.nodes
+            fields[7] = job.nodes
             fields[8] = int(round(job.requested_walltime))
-            fields[11] = int(job.user.removeprefix("user") or 0)
+            fields[11] = user_ids[job.user]
             handle.write(" ".join(str(field) for field in fields) + "\n")
     finally:
         if own:
@@ -114,7 +159,15 @@ def write_swf(jobs: Iterable[TraceJob], sink: Union[str, TextIO]) -> None:
 
 
 def read_swf(source: Union[str, TextIO]) -> List[TraceJob]:
-    """Parse an SWF file (or file-like / literal text) into trace jobs."""
+    """Parse an SWF file (or file-like / literal text) into trace jobs.
+
+    Archive conventions handled: ``;`` and ``#`` comment/header lines,
+    the ``-1`` missing-field sentinel (a missing submit time clamps to
+    0, missing allocated processors fall back to the *requested*
+    processors column, a missing walltime falls back to the runtime),
+    zero-duration jobs (kept — they are real in archive traces), and
+    negative runtimes (cancelled-before-start entries, skipped).
+    """
     own = isinstance(source, str)
     if own and "\n" in source:
         handle: TextIO = io.StringIO(source)
@@ -126,8 +179,8 @@ def read_swf(source: Union[str, TextIO]) -> List[TraceJob]:
     jobs: List[TraceJob] = []
     try:
         for line_number, line in enumerate(handle, start=1):
-            text = line.strip()
-            if not text or text.startswith(";"):
+            text = line.lstrip("\ufeff").strip()
+            if not text or text.startswith((";", "#")):
                 continue
             parts = text.split()
             if len(parts) < 12:
@@ -139,7 +192,8 @@ def read_swf(source: Union[str, TextIO]) -> List[TraceJob]:
                 job_id = int(parts[0])
                 submit = float(parts[1])
                 runtime = float(parts[3])
-                nodes = int(parts[4])
+                nodes = int(float(parts[4]))
+                requested_nodes = int(float(parts[7]))
                 walltime = float(parts[8])
                 user_id = int(parts[11])
             except ValueError as error:
@@ -148,10 +202,12 @@ def read_swf(source: Union[str, TextIO]) -> List[TraceJob]:
                 ) from error
             if runtime < 0:
                 continue  # cancelled-before-start entries
+            if nodes < 1:
+                nodes = requested_nodes  # allocated missing: use request
             jobs.append(
                 TraceJob(
                     job_id=job_id,
-                    submit_time=submit,
+                    submit_time=max(submit, 0.0),
                     runtime=runtime,
                     nodes=max(nodes, 1),
                     requested_walltime=max(walltime, runtime, 1.0),
@@ -162,3 +218,130 @@ def read_swf(source: Union[str, TextIO]) -> List[TraceJob]:
         if own:
             handle.close()
     return jobs
+
+
+# -- replay transforms --------------------------------------------------------
+
+
+def rescale_trace(
+    jobs: Sequence[TraceJob],
+    time_scale: float = 1.0,
+    runtime_scale: float = 1.0,
+) -> List[TraceJob]:
+    """Rescale submit times and durations.
+
+    ``time_scale`` multiplies submit times (0.5 compresses the trace,
+    doubling the arrival rate at unchanged per-job work);
+    ``runtime_scale`` multiplies runtimes *and* requested walltimes
+    (preserving each job's overestimation factor).
+    """
+    if time_scale <= 0 or runtime_scale <= 0:
+        raise WorkloadError("trace scale factors must be > 0")
+    if time_scale == 1.0 and runtime_scale == 1.0:
+        return list(jobs)
+    return [
+        dataclasses.replace(
+            job,
+            submit_time=job.submit_time * time_scale,
+            runtime=job.runtime * runtime_scale,
+            requested_walltime=job.requested_walltime * runtime_scale,
+        )
+        for job in jobs
+    ]
+
+
+def truncate_trace(
+    jobs: Sequence[TraceJob], limit: Optional[int]
+) -> List[TraceJob]:
+    """The first ``limit`` jobs in submit order (all when ``None``)."""
+    ordered = sorted(jobs, key=lambda job: job.submit_time)
+    if limit is None:
+        return ordered
+    if limit < 1:
+        raise WorkloadError("trace limit must be >= 1")
+    return ordered[:limit]
+
+
+def clip_trace(jobs: Sequence[TraceJob], horizon: float) -> List[TraceJob]:
+    """Drop jobs submitted at or after ``horizon``."""
+    return [job for job in jobs if job.submit_time < horizon]
+
+
+def loop_trace(
+    jobs: Sequence[TraceJob],
+    horizon: float,
+    period: Optional[float] = None,
+) -> List[TraceJob]:
+    """Repeat the trace until its arrivals fill ``horizon``.
+
+    Each pass shifts submit times by ``period`` (default: the trace
+    span plus one mean interarrival, so the wrap-around gap matches the
+    trace's own rhythm; a zero-span trace — a single job or an
+    all-at-once burst — has no rhythm, so it repeats once its longest
+    job would have finished rather than every second) and renumbers
+    job ids so every replayed job stays unique.  Jobs submitted at or
+    after the horizon are dropped.
+    """
+    ordered = sorted(jobs, key=lambda job: job.submit_time)
+    if not ordered or horizon <= 0:
+        return []
+    span = ordered[-1].submit_time - ordered[0].submit_time
+    if period is None:
+        if len(ordered) > 1 and span > 0:
+            gap = span / (len(ordered) - 1)
+            period = span + max(gap, 1.0)
+        else:
+            period = max(max(job.runtime for job in ordered), 1.0)
+    if period <= 0:
+        raise WorkloadError("trace loop period must be > 0")
+    ids = [job.job_id for job in ordered]
+    id_stride = max(ids) - min(ids) + 1
+    looped: List[TraceJob] = []
+    offset = 0.0
+    generation = 0
+    while offset < horizon:
+        exhausted = True
+        for job in ordered:
+            submit = job.submit_time + offset
+            if submit >= horizon:
+                break
+            exhausted = False
+            looped.append(
+                dataclasses.replace(
+                    job,
+                    job_id=job.job_id + generation * id_stride,
+                    submit_time=submit,
+                )
+            )
+        if exhausted:
+            break
+        generation += 1
+        offset += period
+    return looped
+
+
+def jitter_trace(
+    jobs: Sequence[TraceJob], rng, sigma: float
+) -> List[TraceJob]:
+    """Perturb submit times with zero-mean Gaussian noise.
+
+    One draw per job from ``rng`` (clamped at 0 so nothing submits
+    before the simulation starts), then re-sorted by submit time —
+    deterministic given the generator's state, so replications that
+    derive distinct seeds get distinct but reproducible realisations.
+    """
+    if sigma < 0:
+        raise WorkloadError("trace jitter must be >= 0")
+    if sigma == 0:
+        return list(jobs)
+    jittered = [
+        dataclasses.replace(
+            job,
+            submit_time=max(
+                job.submit_time + float(rng.normal(0.0, sigma)), 0.0
+            ),
+        )
+        for job in jobs
+    ]
+    jittered.sort(key=lambda job: job.submit_time)
+    return jittered

@@ -13,9 +13,14 @@ from repro.scenarios import (
     RandomFailures,
     ScenarioSpec,
     TopologySpec,
+    TraceJobSpec,
+    TraceSpec,
     WorkloadSpec,
     background_trace,
     build,
+    compile_trace,
+    install_trace,
+    resolve_trace_path,
     run_scenario,
 )
 from repro.strategies.envs import environment_scenario, make_environment
@@ -207,6 +212,169 @@ class TestBackgroundTrace:
         assert [
             (j.submit_time, j.runtime, j.nodes) for j in first
         ] == [(j.submit_time, j.runtime, j.nodes) for j in second]
+
+
+def _inline_trace(**kwargs) -> TraceSpec:
+    defaults = dict(
+        jobs=(
+            TraceJobSpec(1, 0.0, 300.0, 4, 600.0),
+            TraceJobSpec(2, 60.0, 600.0, 2, 1200.0),
+            TraceJobSpec(3, 7200.0, 60.0, 1, 120.0),  # beyond horizon
+        )
+    )
+    defaults.update(kwargs)
+    return TraceSpec(**defaults)
+
+
+class TestTraceReplay:
+    def test_packaged_sample_resolves(self):
+        path = resolve_trace_path("sample-32n.swf")
+        assert path.is_file()
+
+    def test_missing_trace_file_rejected_with_candidates(self):
+        with pytest.raises(ConfigurationError, match="tried"):
+            resolve_trace_path("no-such-trace.swf")
+
+    def test_compile_clips_to_horizon(self):
+        jobs = compile_trace(_inline_trace(), horizon=3600.0)
+        assert [job.job_id for job in jobs] == [1, 2]
+
+    def test_compile_loops_to_horizon(self):
+        jobs = compile_trace(_inline_trace(loop=True), horizon=30000.0)
+        assert len(jobs) > 3
+        assert len({job.job_id for job in jobs}) == len(jobs)
+
+    def test_compile_jitter_needs_rng(self):
+        with pytest.raises(ConfigurationError):
+            compile_trace(_inline_trace(jitter=10.0), horizon=3600.0)
+
+    def test_trace_jobs_submitted_and_completed(self):
+        spec = ScenarioSpec(
+            workload=WorkloadSpec(
+                horizon=3600.0, trace=_inline_trace()
+            )
+        )
+        metrics = run_scenario(spec)
+        assert metrics["trace_jobs"] == 2
+        assert metrics["trace_completed"] == 2
+        assert metrics["trace_mean_wait_s"] >= 0.0
+        assert metrics["trace_mean_slowdown"] >= 1.0
+
+    def test_traceless_scenarios_report_zero(self):
+        metrics = run_scenario(ScenarioSpec(), horizon=60.0)
+        assert metrics["trace_jobs"] == 0
+        assert metrics["trace_completed"] == 0
+
+    def test_oversize_clamp_fits_partition(self):
+        spec = ScenarioSpec(
+            topology=TopologySpec(classical_nodes=2),
+            workload=WorkloadSpec(
+                horizon=3600.0,
+                trace=TraceSpec(
+                    jobs=(TraceJobSpec(1, 0.0, 60.0, 16, 120.0),)
+                ),
+            ),
+        )
+        metrics = run_scenario(spec)
+        assert metrics["trace_completed"] == 1
+
+    def test_oversize_drop_skips_job(self):
+        spec = ScenarioSpec(
+            topology=TopologySpec(classical_nodes=2),
+            workload=WorkloadSpec(
+                horizon=3600.0,
+                trace=TraceSpec(
+                    jobs=(
+                        TraceJobSpec(1, 0.0, 60.0, 16, 120.0),
+                        TraceJobSpec(2, 0.0, 60.0, 1, 120.0),
+                    ),
+                    oversize="drop",
+                ),
+            ),
+        )
+        metrics = run_scenario(spec)
+        assert metrics["trace_jobs"] == 1
+
+    def test_oversize_error_raises(self):
+        spec = ScenarioSpec(
+            topology=TopologySpec(classical_nodes=2),
+            workload=WorkloadSpec(
+                horizon=3600.0,
+                trace=TraceSpec(
+                    jobs=(TraceJobSpec(1, 0.0, 60.0, 16, 120.0),),
+                    oversize="error",
+                ),
+            ),
+        )
+        with pytest.raises(ConfigurationError):
+            run_scenario(spec)
+
+    def test_qpu_fraction_routes_to_quantum_partition(self):
+        spec = ScenarioSpec(
+            workload=WorkloadSpec(
+                horizon=3600.0,
+                trace=_inline_trace(qpu_fraction=1.0),
+            )
+        )
+        metrics = run_scenario(spec)
+        assert metrics["trace_completed"] == 2
+        assert metrics["utilisation_quantum"] > 0.0
+        assert metrics["utilisation_classical"] == 0.0
+
+    def test_qpu_routing_is_seed_independent(self):
+        trace = _inline_trace(qpu_fraction=0.5)
+        env_a = build(ScenarioSpec(seed=1))
+        env_b = build(ScenarioSpec(seed=99))
+        jobs_a = install_trace(
+            env_a,
+            WorkloadSpec(horizon=3600.0, trace=trace),
+            3600.0,
+        )
+        jobs_b = install_trace(
+            env_b,
+            WorkloadSpec(horizon=3600.0, trace=trace),
+            3600.0,
+        )
+        env_a.kernel.run(until=3600.0)
+        env_b.kernel.run(until=3600.0)
+        assert [
+            [c.partition for c in j.spec.components] for j in jobs_a
+        ] == [[c.partition for c in j.spec.components] for j in jobs_b]
+
+    def test_jitter_decorrelates_replications_deterministically(self):
+        trace = _inline_trace(jitter=30.0)
+        workload = WorkloadSpec(horizon=3600.0, trace=trace)
+
+        def submits(seed):
+            env = build(ScenarioSpec(seed=seed))
+            rng = env.streams.stream("trace-jitter")
+            return [
+                job.submit_time
+                for job in compile_trace(trace, 3600.0, rng=rng)
+            ]
+
+        assert submits(1) == submits(1)
+        assert submits(1) != submits(2)
+
+    def test_loop_with_explicit_horizon_only(self):
+        """A horizonless workload loops to the run_scenario horizon."""
+        spec = ScenarioSpec(
+            workload=WorkloadSpec(trace=_inline_trace(loop=True))
+        )
+        metrics = run_scenario(spec, horizon=30000.0)
+        assert metrics["trace_jobs"] > 3
+
+    def test_trace_composes_with_background(self):
+        spec = ScenarioSpec(
+            workload=WorkloadSpec(
+                background_rho=0.8,
+                horizon=3600.0,
+                trace=_inline_trace(),
+            )
+        )
+        metrics = run_scenario(spec)
+        assert metrics["background_jobs"] > 0
+        assert metrics["trace_jobs"] == 2
 
 
 class TestRunScenario:

@@ -13,13 +13,14 @@ from repro.scenarios import (
     register_scenario,
 )
 
-#: The presets ISSUE 3 promises, at minimum.
+#: The presets ISSUEs 3 and 4 promise, at minimum.
 _PROMISED = {
     "baseline-32",
     "multitenant-vqpu",
     "failure-storm",
     "bursty-campaign",
     "large-1k",
+    "trace-replay",
 }
 
 
@@ -45,6 +46,17 @@ class TestRegistry:
     def test_replace_allows_re_registration(self):
         spec = get_scenario("baseline-32")
         assert register_scenario(spec, replace=True) == spec
+
+
+class TestTraceReplayPreset:
+    def test_backed_by_packaged_sample(self):
+        from repro.scenarios import resolve_trace_path, run_scenario
+
+        spec = get_scenario("trace-replay")
+        assert spec.workload.trace is not None
+        assert resolve_trace_path(spec.workload.trace.path).is_file()
+        metrics = run_scenario(spec, horizon=1800.0)
+        assert metrics["trace_jobs"] > 0
 
 
 @pytest.mark.parametrize("name", sorted(_PROMISED | {"neutral-atom-hours"}))

@@ -14,6 +14,8 @@ from repro.scenarios import (
     RandomFailures,
     ScenarioSpec,
     TopologySpec,
+    TraceJobSpec,
+    TraceSpec,
     WorkloadSpec,
     with_overrides,
 )
@@ -196,3 +198,116 @@ class TestOverrides:
     def test_empty_overrides_return_same_spec(self):
         spec = ScenarioSpec()
         assert with_overrides(spec, {}) is spec
+
+
+def _trace_spec(**kwargs) -> TraceSpec:
+    defaults = dict(path="sample-32n.swf")
+    defaults.update(kwargs)
+    return TraceSpec(**defaults)
+
+
+class TestTraceSpec:
+    def test_file_backed_round_trip(self):
+        spec = ScenarioSpec(
+            workload=WorkloadSpec(
+                horizon=3600.0,
+                trace=_trace_spec(
+                    time_scale=0.5,
+                    runtime_scale=2.0,
+                    qpu_fraction=0.25,
+                    limit=10,
+                    loop=True,
+                    jitter=15.0,
+                ),
+            )
+        )
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    def test_inline_jobs_round_trip(self):
+        spec = ScenarioSpec(
+            workload=WorkloadSpec(
+                trace=TraceSpec(
+                    jobs=(
+                        TraceJobSpec(1, 0.0, 60.0, 2, 120.0),
+                        TraceJobSpec(2, 30.0, 0.0, 1, 60.0,
+                                     user="user3"),
+                    )
+                )
+            )
+        )
+        rebuilt = ScenarioSpec.from_json(spec.to_json())
+        assert rebuilt == spec
+        assert isinstance(rebuilt.workload.trace.jobs[0], TraceJobSpec)
+
+    def test_valid_trace_validates(self):
+        ScenarioSpec(
+            workload=WorkloadSpec(trace=_trace_spec())
+        ).validate()
+
+    @pytest.mark.parametrize(
+        "trace",
+        [
+            TraceSpec(),  # no source
+            TraceSpec(path="x.swf", jobs=(
+                TraceJobSpec(1, 0.0, 1.0, 1, 2.0),
+            )),  # both sources
+            _trace_spec(time_scale=0.0),
+            _trace_spec(runtime_scale=-1.0),
+            _trace_spec(partition=""),
+            _trace_spec(max_nodes=0),
+            _trace_spec(oversize="explode"),
+            _trace_spec(qpu_fraction=1.5),
+            _trace_spec(limit=0),
+            _trace_spec(jitter=-1.0),
+        ],
+    )
+    def test_bad_trace_rejected(self, trace):
+        spec = ScenarioSpec(workload=WorkloadSpec(trace=trace))
+        with pytest.raises(ConfigurationError):
+            spec.validate()
+
+    @pytest.mark.parametrize(
+        "job",
+        [
+            TraceJobSpec(1, -1.0, 1.0, 1, 2.0),
+            TraceJobSpec(1, 0.0, -1.0, 1, 2.0),
+            TraceJobSpec(1, 0.0, 1.0, 0, 2.0),
+            TraceJobSpec(1, 0.0, 1.0, 1, 0.0),
+        ],
+    )
+    def test_bad_inline_jobs_rejected(self, job):
+        spec = ScenarioSpec(
+            workload=WorkloadSpec(trace=TraceSpec(jobs=(job,)))
+        )
+        with pytest.raises(ConfigurationError):
+            spec.validate()
+
+    def test_loop_without_workload_horizon_is_valid(self):
+        """Looping targets the *run* horizon, which always resolves to
+        a positive value — a horizonless workload must not be
+        rejected."""
+        ScenarioSpec(
+            workload=WorkloadSpec(trace=_trace_spec(loop=True))
+        ).validate()
+
+    def test_dotted_override_targets_trace_fields(self):
+        spec = ScenarioSpec(
+            workload=WorkloadSpec(horizon=3600.0, trace=_trace_spec())
+        )
+        fast = with_overrides(
+            spec, {"workload.trace.time_scale": 0.25}
+        )
+        assert fast.workload.trace.time_scale == 0.25
+        # The original is a value; it never changes.
+        assert spec.workload.trace.time_scale == 1.0
+
+    def test_override_can_install_a_whole_trace(self):
+        spec = with_overrides(
+            ScenarioSpec(),
+            {"workload.trace": {"path": "sample-32n.swf",
+                                "limit": 5}},
+        )
+        assert spec.workload.trace == TraceSpec(
+            path="sample-32n.swf", limit=5
+        )

@@ -67,6 +67,27 @@ class TestScenarioSweep:
             parallel.values
         )
 
+    def test_trace_axis_serial_vs_parallel_byte_identical(self):
+        """The acceptance guarantee: trace-backed sweep points are
+        byte-identical serial vs parallel, and a dotted-path axis on a
+        trace-rescale field really perturbs the replay."""
+        spec = scenario_sweep_spec(
+            "trace-replay",
+            {"workload.trace.time_scale": [1.0, 0.5]},
+            run_horizon=7200.0,
+        )
+        serial = run_sweep(spec, run_scenario_point, workers=1)
+        parallel = run_sweep(spec, run_scenario_point, workers=2)
+        assert canonical_bytes(serial.values) == canonical_bytes(
+            parallel.values
+        )
+        slow, fast = serial.values
+        # Compressing arrivals (0.5) packs the same work into half the
+        # time: waits cannot get shorter.
+        assert (
+            fast["trace_mean_wait_s"] >= slow["trace_mean_wait_s"]
+        )
+
     def test_axis_actually_changes_the_facility(self):
         spec = scenario_sweep_spec(
             "baseline-32",

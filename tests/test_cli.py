@@ -152,6 +152,133 @@ class TestScenario:
             main(["scenario", "run"])
 
 
+class TestTrace:
+    def test_info_summarises_packaged_sample(self, capsys):
+        import json
+
+        assert main(["trace", "info", "sample-32n.swf"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["jobs"] == 64
+        assert data["nodes_max"] == 8
+        assert data["offered_load_32_nodes"] > 0.5
+        assert 1 <= data["busiest_hour_jobs"] <= 64
+
+    def test_info_missing_file_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["trace", "info", "no-such.swf"])
+
+    def test_replay_packaged_sample(self, capsys):
+        import json
+
+        assert (
+            main(
+                [
+                    "trace",
+                    "replay",
+                    "sample-32n.swf",
+                    "--horizon",
+                    "1800",
+                    "--limit",
+                    "10",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        data = json.loads(output[: output.rindex("}") + 1])
+        assert data["trace_jobs"] > 0
+        assert "[trace] sample-32n.swf" in output
+
+    def test_replay_scales_and_routes(self, capsys):
+        import json
+
+        assert (
+            main(
+                [
+                    "trace",
+                    "replay",
+                    "sample-32n.swf",
+                    "--time-scale",
+                    "0.5",
+                    "--qpu-fraction",
+                    "1.0",
+                    "--horizon",
+                    "1800",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        data = json.loads(output[: output.rindex("}") + 1])
+        assert data["utilisation_quantum"] > 0.0
+
+    def test_replay_preserves_preset_replay_rules(self, capsys):
+        """Flags left unset keep the preset trace's own settings."""
+        import json
+
+        from repro.scenarios import (
+            ScenarioSpec,
+            TopologySpec,
+            TraceSpec,
+            WorkloadSpec,
+            register_scenario,
+        )
+
+        from repro.scenarios import registry
+
+        register_scenario(
+            ScenarioSpec(
+                name="cli-trace-merge",
+                description="preset with its own replay rules",
+                topology=TopologySpec(classical_nodes=4),
+                workload=WorkloadSpec(
+                    horizon=3600.0,
+                    trace=TraceSpec(path="sample-32n.swf", limit=5),
+                ),
+            ),
+            replace=True,
+        )
+        try:
+            assert (
+                main(
+                    [
+                        "trace",
+                        "replay",
+                        "sample-32n.swf",
+                        "--preset",
+                        "cli-trace-merge",
+                        "--horizon",
+                        "1800",
+                    ]
+                )
+                == 0
+            )
+            output = capsys.readouterr().out
+            data = json.loads(output[: output.rindex("}") + 1])
+            # The preset's limit=5 survives because --limit was not
+            # given (the sample has 8 arrivals inside 1800 s without
+            # it).
+            assert data["trace_jobs"] == 5
+        finally:
+            registry._REGISTRY.pop("cli-trace-merge", None)
+
+    def test_replay_needs_known_preset(self):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "trace",
+                    "replay",
+                    "sample-32n.swf",
+                    "--preset",
+                    "no-such-preset",
+                ]
+            )
+
+    def test_trace_needs_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["trace"])
+
+
 class TestMisc:
     def test_no_command_shows_help(self, capsys):
         assert main([]) == 2

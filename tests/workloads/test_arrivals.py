@@ -4,7 +4,11 @@ import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.workloads.arrivals import DiurnalArrivals, PoissonArrivals
+from repro.workloads.arrivals import (
+    DiurnalArrivals,
+    PoissonArrivals,
+    TraceArrivals,
+)
 
 
 @pytest.fixture
@@ -72,3 +76,29 @@ class TestDiurnal:
         arrivals = DiurnalArrivals(5.0)
         times = list(arrivals.times(rng, horizon=500.0))
         assert all(0.0 <= t < 500.0 for t in times)
+
+
+class TestTraceArrivals:
+    def test_replays_sorted_within_horizon(self):
+        arrivals = TraceArrivals([30.0, 10.0, 90.0])
+        assert list(arrivals.times(None, horizon=60.0)) == [10.0, 30.0]
+
+    def test_rng_is_ignored(self, rng):
+        arrivals = TraceArrivals([5.0, 15.0])
+        assert list(arrivals.times(rng, 100.0)) == list(
+            arrivals.times(None, 100.0)
+        )
+
+    def test_start_offset_shifts_times(self):
+        arrivals = TraceArrivals([5.0, 15.0, 40.0])
+        assert list(arrivals.times(None, horizon=20.0, start=100.0)) == [
+            105.0,
+            115.0,
+        ]
+
+    def test_negative_times_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TraceArrivals([-1.0])
+
+    def test_empty_trace_yields_nothing(self):
+        assert list(TraceArrivals([]).times(None, 100.0)) == []

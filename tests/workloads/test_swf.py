@@ -1,15 +1,23 @@
-"""Tests for SWF trace synthesis and (de)serialisation."""
+"""Tests for SWF trace synthesis, (de)serialisation and replay
+transforms."""
 
 import io
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import WorkloadError
 from repro.workloads.swf import (
     TraceJob,
+    clip_trace,
+    jitter_trace,
+    loop_trace,
     read_swf,
+    rescale_trace,
     synthesise_trace,
+    truncate_trace,
     write_swf,
 )
 
@@ -112,3 +120,257 @@ class TestRoundTrip:
         text = "x 100 -1 10 8 -1 -1 -1 7200 -1 -1 2 -1 -1 -1 -1 -1 -1\n"
         with pytest.raises(WorkloadError):
             read_swf(text)
+
+
+class TestReadEdgeCases:
+    def test_hash_comments_and_blank_lines_skipped(self):
+        text = (
+            "# non-standard comment\n"
+            "\n"
+            "; standard SWF header\n"
+            "1 100 -1 60 4 -1 -1 4 120 -1 -1 0 -1 -1 -1 -1 -1 -1\n"
+        )
+        assert len(read_swf(text)) == 1
+
+    def test_missing_submit_time_clamps_to_zero(self):
+        text = "1 -1 -1 60 4 -1 -1 4 120 -1 -1 0 -1 -1 -1 -1 -1 -1\n"
+        assert read_swf(text)[0].submit_time == 0.0
+
+    def test_missing_allocated_nodes_fall_back_to_request(self):
+        text = "1 100 -1 60 -1 -1 -1 16 120 -1 -1 0 -1 -1 -1 -1 -1 -1\n"
+        assert read_swf(text)[0].nodes == 16
+
+    def test_both_node_fields_missing_default_to_one(self):
+        text = "1 100 -1 60 -1 -1 -1 -1 120 -1 -1 0 -1 -1 -1 -1 -1 -1\n"
+        assert read_swf(text)[0].nodes == 1
+
+    def test_zero_duration_job_kept(self):
+        text = "1 100 -1 0 4 -1 -1 4 -1 -1 -1 0 -1 -1 -1 -1 -1 -1\n"
+        jobs = read_swf(text)
+        assert len(jobs) == 1
+        assert jobs[0].runtime == 0.0
+        assert jobs[0].requested_walltime == 1.0
+
+    def test_missing_walltime_falls_back_to_runtime(self):
+        text = "1 100 -1 600 4 -1 -1 4 -1 -1 -1 0 -1 -1 -1 -1 -1 -1\n"
+        assert read_swf(text)[0].requested_walltime == 600.0
+
+    def test_missing_user_maps_to_user0(self):
+        text = "1 100 -1 60 4 -1 -1 4 120 -1 -1 -1 -1 -1 -1 -1 -1 -1\n"
+        assert read_swf(text)[0].user == "user0"
+
+
+class TestWriteEdgeCases:
+    def test_non_numeric_users_get_stable_synthetic_ids(self):
+        jobs = [
+            TraceJob(1, 0.0, 60.0, 1, 120.0, user="alice"),
+            TraceJob(2, 10.0, 60.0, 1, 120.0, user="bob"),
+            TraceJob(3, 20.0, 60.0, 1, 120.0, user="alice"),
+        ]
+        buffer = io.StringIO()
+        write_swf(jobs, buffer)
+        buffer.seek(0)
+        loaded = read_swf(buffer)
+        assert loaded[0].user == loaded[2].user
+        assert loaded[0].user != loaded[1].user
+
+    def test_zero_duration_round_trips(self):
+        buffer = io.StringIO()
+        write_swf([TraceJob(1, 5.0, 0.0, 2, 10.0)], buffer)
+        buffer.seek(0)
+        job = read_swf(buffer)[0]
+        assert job.runtime == 0.0
+        assert job.nodes == 2
+
+    def test_synthetic_ids_never_collide_with_numeric_users(self):
+        jobs = [
+            TraceJob(1, 0.0, 60.0, 1, 120.0, user="alice"),
+            TraceJob(2, 10.0, 60.0, 1, 120.0, user="user1000"),
+        ]
+        buffer = io.StringIO()
+        write_swf(jobs, buffer)
+        buffer.seek(0)
+        loaded = read_swf(buffer)
+        assert loaded[1].user == "user1000"
+        assert loaded[0].user != loaded[1].user
+
+    def test_zero_padded_user_names_stay_distinct(self):
+        jobs = [
+            TraceJob(1, 0.0, 60.0, 1, 120.0, user="user007"),
+            TraceJob(2, 10.0, 60.0, 1, 120.0, user="user7"),
+        ]
+        buffer = io.StringIO()
+        write_swf(jobs, buffer)
+        buffer.seek(0)
+        loaded = read_swf(buffer)
+        assert loaded[1].user == "user7"
+        assert loaded[0].user != loaded[1].user
+
+
+# -- hypothesis round-trip properties ----------------------------------------
+
+_trace_jobs = st.builds(
+    TraceJob,
+    job_id=st.integers(min_value=1, max_value=10**6),
+    submit_time=st.integers(min_value=0, max_value=10**7).map(float),
+    runtime=st.integers(min_value=0, max_value=10**6).map(float),
+    nodes=st.integers(min_value=1, max_value=4096),
+    requested_walltime=st.integers(min_value=1, max_value=10**6).map(
+        float
+    ),
+    user=st.integers(min_value=0, max_value=200).map(
+        lambda i: f"user{i}"
+    ),
+)
+
+
+class TestRoundTripProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(_trace_jobs, max_size=30))
+    def test_integer_traces_round_trip_losslessly(self, jobs):
+        """Whole-second jobs survive write -> read field for field
+        (modulo the walltime >= runtime floor read_swf enforces)."""
+        buffer = io.StringIO()
+        write_swf(jobs, buffer)
+        buffer.seek(0)
+        loaded = read_swf(buffer)
+        assert len(loaded) == len(jobs)
+        for original, parsed in zip(jobs, loaded):
+            assert parsed.job_id == original.job_id
+            assert parsed.submit_time == original.submit_time
+            assert parsed.runtime == original.runtime
+            assert parsed.nodes == original.nodes
+            assert parsed.requested_walltime == max(
+                original.requested_walltime, original.runtime, 1.0
+            )
+            assert parsed.user == original.user
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(_trace_jobs, max_size=30))
+    def test_double_round_trip_is_identity(self, jobs):
+        """read(write(x)) is a fixed point: a second round trip
+        reproduces the first byte for byte."""
+        first = io.StringIO()
+        write_swf(jobs, first)
+        once = read_swf(io.StringIO(first.getvalue()))
+        second = io.StringIO()
+        write_swf(once, second)
+        assert read_swf(io.StringIO(second.getvalue())) == once
+
+
+# -- replay transforms --------------------------------------------------------
+
+
+def _stub_trace():
+    return [
+        TraceJob(1, 0.0, 100.0, 2, 200.0),
+        TraceJob(2, 60.0, 50.0, 4, 100.0),
+        TraceJob(3, 120.0, 0.0, 1, 10.0),
+    ]
+
+
+class TestRescale:
+    def test_time_scale_compresses_arrivals_only(self):
+        scaled = rescale_trace(_stub_trace(), time_scale=0.5)
+        assert [j.submit_time for j in scaled] == [0.0, 30.0, 60.0]
+        assert [j.runtime for j in scaled] == [100.0, 50.0, 0.0]
+
+    def test_runtime_scale_preserves_overestimate_factor(self):
+        scaled = rescale_trace(_stub_trace(), runtime_scale=3.0)
+        assert scaled[0].runtime == 300.0
+        assert scaled[0].requested_walltime == 600.0
+
+    def test_identity_scales_copy(self):
+        jobs = _stub_trace()
+        assert rescale_trace(jobs) == jobs
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(WorkloadError):
+            rescale_trace(_stub_trace(), time_scale=0.0)
+
+
+class TestTruncateAndClip:
+    def test_truncate_keeps_first_n_in_submit_order(self):
+        jobs = list(reversed(_stub_trace()))
+        kept = truncate_trace(jobs, 2)
+        assert [j.job_id for j in kept] == [1, 2]
+
+    def test_truncate_none_keeps_all(self):
+        assert len(truncate_trace(_stub_trace(), None)) == 3
+
+    def test_truncate_zero_rejected(self):
+        with pytest.raises(WorkloadError):
+            truncate_trace(_stub_trace(), 0)
+
+    def test_clip_drops_beyond_horizon(self):
+        kept = clip_trace(_stub_trace(), 100.0)
+        assert [j.job_id for j in kept] == [1, 2]
+
+
+class TestLoop:
+    def test_loops_fill_horizon_with_unique_ids(self):
+        looped = loop_trace(_stub_trace(), horizon=500.0)
+        ids = [j.job_id for j in looped]
+        assert len(ids) == len(set(ids))
+        assert len(looped) > 3
+        assert all(j.submit_time < 500.0 for j in looped)
+        submits = [j.submit_time for j in looped]
+        assert submits == sorted(submits)
+
+    def test_single_job_trace_repeats_at_its_runtime(self):
+        looped = loop_trace([TraceJob(1, 0.0, 10.0, 1, 20.0)], 25.0)
+        assert [job.submit_time for job in looped] == [0.0, 10.0, 20.0]
+
+    def test_zero_span_burst_does_not_flood(self):
+        burst = [
+            TraceJob(i + 1, 0.0, 600.0, 1, 1200.0) for i in range(5)
+        ]
+        looped = loop_trace(burst, horizon=4 * 3600.0)
+        # One batch per longest-runtime period, not one per second.
+        assert len(looped) == 5 * 24
+
+    def test_zero_based_ids_stay_unique_across_generations(self):
+        jobs = [
+            TraceJob(7, 0.0, 10.0, 1, 20.0),
+            TraceJob(8, 30.0, 10.0, 1, 20.0),
+        ]
+        looped = loop_trace(jobs, horizon=200.0)
+        ids = [job.job_id for job in looped]
+        assert len(looped) > 2
+        assert len(ids) == len(set(ids))
+
+    def test_empty_or_zero_horizon(self):
+        assert loop_trace([], 100.0) == []
+        assert loop_trace(_stub_trace(), 0.0) == []
+
+    def test_explicit_period_respected(self):
+        looped = loop_trace(_stub_trace(), horizon=400.0, period=200.0)
+        second_pass = [j for j in looped if j.submit_time >= 200.0]
+        assert [j.submit_time for j in second_pass[:3]] == [
+            200.0,
+            260.0,
+            320.0,
+        ]
+
+
+class TestJitter:
+    def test_zero_sigma_is_identity(self):
+        jobs = _stub_trace()
+        assert jitter_trace(jobs, np.random.default_rng(0), 0.0) == jobs
+
+    def test_jitter_is_deterministic_per_seed(self):
+        jobs = _stub_trace()
+        a = jitter_trace(jobs, np.random.default_rng(7), 30.0)
+        b = jitter_trace(jobs, np.random.default_rng(7), 30.0)
+        assert a == b
+
+    def test_jitter_never_goes_negative_and_stays_sorted(self):
+        jobs = _stub_trace()
+        jittered = jitter_trace(jobs, np.random.default_rng(3), 500.0)
+        submits = [j.submit_time for j in jittered]
+        assert all(s >= 0.0 for s in submits)
+        assert submits == sorted(submits)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(WorkloadError):
+            jitter_trace(_stub_trace(), np.random.default_rng(0), -1.0)
