@@ -1,17 +1,15 @@
 #!/usr/bin/env python
-"""Routing kernels across a heterogeneous QPU fleet.
+"""Routing kernels across a heterogeneous QPU fleet, declaratively.
 
 Facilities will operate mixed fleets (the paper: technologies differ by
 orders of magnitude in time scale, and every vendor brings its own
-access path).  This example routes a bursty mixed-size kernel stream
-across two superconducting devices and one trapped-ion device under
-each routing policy of :class:`repro.quantum.fleet.QPUFleet` and
-reports makespan and per-device load.
-
-The :class:`~repro.quantum.fleet.QPUFleet` router sits *below* the
-declarative scenario surface (heterogeneous fleets in ``FleetSpec``
-are a roadmap item), so this example assembles its kernel and devices
-directly.
+access path).  This example declares the fleet once — two
+superconducting devices plus one trapped-ion device, via
+``FleetSpec.devices`` — then rebuilds the facility under each routing
+policy of :class:`repro.quantum.fleet.QPUFleet` with a dotted-path
+override on ``fleet.routing``, drives the same bursty mixed-size
+kernel stream through ``env.fleet`` and reports makespan and
+per-device load.
 
 Run with::
 
@@ -19,15 +17,31 @@ Run with::
 """
 
 from repro.metrics.report import render_table
-from repro.quantum import SUPERCONDUCTING, TRAPPED_ION, Circuit
-from repro.quantum.fleet import ROUTING_POLICIES, QPUFleet
-from repro.quantum.qpu import QPU
-from repro.sim import Kernel, RandomStreams
+from repro.quantum import Circuit
+from repro.quantum.fleet import ROUTING_POLICIES
+from repro.scenarios import (
+    DeviceSpec,
+    FleetSpec,
+    ScenarioSpec,
+    build,
+    with_overrides,
+)
 
 KERNELS = 60
 
+SCENARIO = ScenarioSpec(
+    name="routing-demo",
+    fleet=FleetSpec(
+        devices=(
+            DeviceSpec(technology="superconducting", name="sc", count=2),
+            DeviceSpec(technology="trapped_ion", name="ti"),
+        ),
+    ),
+    seed=21,
+)
 
-def workload(streams: RandomStreams):
+
+def workload(streams):
     rng = streams.stream("workload")
     stream = []
     for index in range(KERNELS):
@@ -39,32 +53,23 @@ def workload(streams: RandomStreams):
 def main() -> None:
     rows = []
     for policy in ROUTING_POLICIES:
-        kernel = Kernel()
-        streams = RandomStreams(21)
-        fleet = QPUFleet(
-            [
-                QPU(kernel, SUPERCONDUCTING, name="sc0"),
-                QPU(kernel, SUPERCONDUCTING, name="sc1"),
-                QPU(kernel, TRAPPED_ION, name="ti0"),
-            ],
-            policy=policy,
-        )
-        for circuit, shots in workload(streams):
-            fleet.run(circuit, shots)
-        kernel.run()
+        env = build(with_overrides(SCENARIO, {"fleet.routing": policy}))
+        for circuit, shots in workload(env.streams):
+            env.fleet.run(circuit, shots)
+        env.kernel.run()
         rows.append(
             [
                 policy,
-                f"{kernel.now:.1f}",
-                fleet.routed_counts["sc0"],
-                fleet.routed_counts["sc1"],
-                fleet.routed_counts["ti0"],
+                f"{env.kernel.now:.1f}",
+                env.fleet.routed_counts["sc-0"],
+                env.fleet.routed_counts["sc-1"],
+                env.fleet.routed_counts["ti-0"],
             ]
         )
 
     print(
         render_table(
-            ["policy", "makespan_s", "sc0", "sc1", "ti0"],
+            ["policy", "makespan_s", "sc-0", "sc-1", "ti-0"],
             rows,
             title=(
                 f"{KERNELS} mixed kernels across 2x superconducting + "
@@ -77,7 +82,9 @@ def main() -> None:
         "Earliest-finish-time routing balances the fast twins and "
         "keeps kernels off\nthe slow device; queue-length or "
         "round-robin routing poisons the makespan\nwith minute-scale "
-        "trapped-ion jobs."
+        "trapped-ion jobs.  The same fleet is sweepable from the\n"
+        "scenario layer: axis 'fleet.routing' over the mixed-fleet "
+        "preset."
     )
 
 

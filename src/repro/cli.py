@@ -8,9 +8,10 @@ Usage::
     repro-hpcqc run all --markdown   # EXPERIMENTS.md-style output
     repro-hpcqc sweep all --workers 4 --cache-dir .sweep-cache
     repro-hpcqc scenario list
-    repro-hpcqc scenario describe failure-storm
+    repro-hpcqc scenario describe mixed-fleet   # JSON + device table
     repro-hpcqc scenario run --preset baseline-32 --seed 7
     repro-hpcqc scenario run --json my_facility.json --horizon 7200
+    repro-hpcqc fleet policies
     repro-hpcqc trace info sample-32n.swf
     repro-hpcqc trace replay my_site.swf --time-scale 0.5 --loop
 """
@@ -143,6 +144,24 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
 
+    fleet_parser = subparsers.add_parser(
+        "fleet",
+        help=(
+            "inspect the QPU-fleet routing layer "
+            "(policies, per-preset device tables)"
+        ),
+    )
+    fleet_sub = fleet_parser.add_subparsers(dest="fleet_command")
+    fleet_sub.add_parser(
+        "policies",
+        help="list the kernel routing policies a FleetSpec can pick",
+    )
+    devices_parser = fleet_sub.add_parser(
+        "devices",
+        help="print the device table a scenario preset's fleet builds",
+    )
+    devices_parser.add_argument("name", help="preset name")
+
     trace_parser = subparsers.add_parser(
         "trace",
         help=(
@@ -253,6 +272,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
     if args.command == "scenario":
         return _scenario_command(parser, args)
+    if args.command == "fleet":
+        return _fleet_command(parser, args)
     if args.command == "trace":
         return _trace_command(parser, args)
     if args.command == "sweep":
@@ -297,6 +318,10 @@ def _scenario_command(parser, args) -> int:
         except ReproError as exc:
             parser.error(str(exc))
         print(spec.to_json())
+        # The device table goes to stderr: stdout stays pure JSON for
+        # `describe NAME | jq`-style pipelines (`fleet devices NAME`
+        # prints the same table on stdout).
+        print(_device_table(spec), file=sys.stderr)
         return 0
     if args.scenario_command == "run":
         try:
@@ -319,6 +344,45 @@ def _scenario_command(parser, args) -> int:
         )
         return 0
     parser.error("scenario needs a subcommand: list, describe or run")
+
+
+def _device_table(spec) -> str:
+    """The per-device table a scenario's fleet builds, as text."""
+    from repro.metrics.report import render_table
+    from repro.scenarios import fleet_device_rows
+
+    rows = [
+        [row["name"], row["technology"], row["qubits"], row["vqpus"]]
+        for row in fleet_device_rows(spec.fleet)
+    ]
+    return render_table(
+        ["device", "technology", "qubits", "vqpus"],
+        rows,
+        title=(
+            f"fleet: {len(rows)} device(s), "
+            f"routing={spec.fleet.routing}"
+        ),
+    )
+
+
+def _fleet_command(parser, args) -> int:
+    """The ``fleet`` verb: policies / devices."""
+    from repro.errors import ReproError
+    from repro.quantum.fleet import POLICY_DESCRIPTIONS, ROUTING_POLICIES
+    from repro.scenarios import get_scenario
+
+    if args.fleet_command == "policies":
+        for policy in ROUTING_POLICIES:
+            print(f"{policy}: {POLICY_DESCRIPTIONS[policy]}")
+        return 0
+    if args.fleet_command == "devices":
+        try:
+            spec = get_scenario(args.name)
+        except ReproError as exc:
+            parser.error(str(exc))
+        print(_device_table(spec))
+        return 0
+    parser.error("fleet needs a subcommand: policies or devices")
 
 
 def _trace_command(parser, args) -> int:

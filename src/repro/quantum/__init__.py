@@ -2,6 +2,7 @@
 
 from repro.quantum.circuit import Circuit, QuantumResult, sample_counts
 from repro.quantum.cloud import CloudQPUEndpoint
+from repro.quantum.fleet import ROUTING_POLICIES, QPUFleet
 from repro.quantum.qpu import QPU, QuantumJob
 from repro.quantum.technology import (
     ANNEALER,
@@ -22,9 +23,11 @@ __all__ = [
     "NEUTRAL_ATOM",
     "PHOTONIC",
     "QPU",
+    "QPUFleet",
     "QPUTechnology",
     "QuantumJob",
     "QuantumResult",
+    "ROUTING_POLICIES",
     "SUPERCONDUCTING",
     "TECHNOLOGIES",
     "TRAPPED_ION",

@@ -10,12 +10,16 @@ policy:
 - ``round_robin``: cycle through capable devices;
 - ``least_loaded``: capable device with the fewest queued kernels;
 - ``fastest_completion``: capable device minimising *estimated*
-  completion time (committed backlog + this kernel's execution
-  estimate, including any geometry calibration the device would pay) —
-  an EFT (earliest-finish-time) heuristic.
+  completion time (unavailability from calibration/maintenance +
+  committed backlog + this kernel's execution estimate, including any
+  geometry calibration the device would pay) — an EFT
+  (earliest-finish-time) heuristic.
 
 Routing is a dispatch decision only: the chosen device's own FIFO
 semantics, calibrations and monitors are untouched.
+
+>>> ROUTING_POLICIES
+('capability', 'round_robin', 'least_loaded', 'fastest_completion')
 """
 
 from __future__ import annotations
@@ -35,9 +39,48 @@ ROUTING_POLICIES = (
     "fastest_completion",
 )
 
+#: One-line summary per routing policy (rendered by the CLI's
+#: ``fleet policies`` verb and the docs chapter).
+POLICY_DESCRIPTIONS = {
+    "capability": (
+        "first device whose register fits the kernel, in fleet "
+        "declaration order"
+    ),
+    "round_robin": "cycle through the capable devices",
+    "least_loaded": "capable device with the fewest queued kernels",
+    "fastest_completion": (
+        "capable device minimising estimated finish time: "
+        "unavailability (calibration/maintenance) + committed backlog "
+        "+ this kernel's execution estimate (EFT)"
+    ),
+}
+
 
 class QPUFleet:
-    """A set of heterogeneous QPUs behind one submission interface."""
+    """A set of heterogeneous QPUs behind one submission interface.
+
+    The fleet mirrors the single-device ``run(circuit, shots)`` API, so
+    it can stand anywhere a :class:`~repro.quantum.qpu.QPU` is
+    expected; each kernel is dispatched to one device under the
+    configured routing policy.
+
+    >>> from repro.quantum.qpu import QPU
+    >>> from repro.quantum.circuit import Circuit
+    >>> from repro.quantum.technology import SUPERCONDUCTING, TRAPPED_ION
+    >>> from repro.sim.kernel import Kernel
+    >>> kernel = Kernel()
+    >>> fleet = QPUFleet(
+    ...     [QPU(kernel, SUPERCONDUCTING, name="sc0"),
+    ...      QPU(kernel, TRAPPED_ION, name="ti0")],
+    ...     policy="fastest_completion",
+    ... )
+    >>> fleet.select_device(Circuit(12, 80), shots=1000).name
+    'sc0'
+    >>> event = fleet.run(Circuit(12, 80), shots=1000)
+    >>> kernel.run()
+    >>> fleet.routed_counts
+    {'sc0': 1, 'ti0': 0}
+    """
 
     def __init__(self, qpus: List[QPU], policy: str = "fastest_completion"
                  ) -> None:
@@ -87,12 +130,33 @@ class QPUFleet:
             estimate += qpu.technology.geometry_calibration_duration
         return estimate
 
+    def availability_delay(self, qpu: QPU) -> float:
+        """Estimated seconds ``qpu`` is withheld from new work.
+
+        The remainder of any in-progress calibration or maintenance
+        pass, plus every booked maintenance window that opens before
+        the device would clear its committed backlog.  This is what
+        stops a device that is down for maintenance from winning
+        ``fastest_completion`` on paper while its inbox stalls.
+        """
+        delay = qpu.unavailable_for
+        backlog_clear = (
+            self.kernel.now + delay + self._committed[qpu.name]
+        )
+        for start, duration in qpu.pending_maintenance:
+            if start <= backlog_clear:
+                delay += duration
+                backlog_clear += duration
+        return delay
+
     def completion_estimate(
         self, qpu: QPU, circuit: Circuit, shots: int
     ) -> float:
-        """Backlog-aware estimated finish time for the kernel."""
-        return self._committed[qpu.name] + self.execution_estimate(
-            qpu, circuit, shots
+        """Backlog- and availability-aware estimated finish time."""
+        return (
+            self.availability_delay(qpu)
+            + self._committed[qpu.name]
+            + self.execution_estimate(qpu, circuit, shots)
         )
 
     # -- routing ---------------------------------------------------------------------

@@ -95,6 +95,8 @@ class QPU:
         #: Pending maintenance windows as (start, duration), kept sorted.
         self._maintenance: List[tuple] = []
         self.maintenance_performed = 0
+        #: End time of an in-progress calibration/maintenance pass.
+        self._unavailable_until = kernel.now
         #: 1 while executing a job, else 0.
         self.busy = TimeWeightedValue(kernel, 0.0)
         #: 1 while calibrating, else 0.
@@ -139,6 +141,17 @@ class QPU:
         """Time-averaged fraction of time spent calibrating."""
         return self.calibrating.time_average()
 
+    @property
+    def pending_maintenance(self) -> List[tuple]:
+        """Booked ``(start, duration)`` windows not yet performed."""
+        return list(self._maintenance)
+
+    @property
+    def unavailable_for(self) -> float:
+        """Remaining seconds of an in-progress calibration or
+        maintenance pass (0 when the device is serviceable now)."""
+        return max(self._unavailable_until - self.kernel.now, 0.0)
+
     def schedule_maintenance(self, start: float, duration: float) -> None:
         """Book a maintenance window beginning at ``start``.
 
@@ -182,6 +195,7 @@ class QPU:
             while window is not None:
                 _, duration = window
                 self.calibrating.set(1.0)
+                self._unavailable_until = self.kernel.now + duration
                 yield self.kernel.timeout(duration)
                 self.calibrating.set(0.0)
                 self.maintenance_performed += 1
@@ -237,6 +251,7 @@ class QPU:
     def _calibrate(self, duration: float):
         """Run one calibration pass of ``duration`` seconds."""
         self.calibrating.set(1.0)
+        self._unavailable_until = self.kernel.now + duration
         yield self.kernel.timeout(duration)
         self.calibrating.set(0.0)
         self._last_calibration = self.kernel.now

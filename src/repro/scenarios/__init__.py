@@ -17,7 +17,9 @@ from repro.scenarios.build import (
     DEFAULT_HORIZON,
     background_trace,
     build,
+    build_fleet_devices,
     compile_trace,
+    fleet_device_rows,
     install_background,
     install_faults,
     install_trace,
@@ -36,6 +38,7 @@ from repro.scenarios.spec import (
     ARRIVAL_PROCESSES,
     FAULT_ACTIONS,
     OVERSIZE_RULES,
+    DeviceSpec,
     FaultSchedule,
     FleetSpec,
     MonitoringSpec,
@@ -61,6 +64,7 @@ __all__ = [
     "DEFAULT_HORIZON",
     "FAULT_ACTIONS",
     "OVERSIZE_RULES",
+    "DeviceSpec",
     "FaultSchedule",
     "FleetSpec",
     "MonitoringSpec",
@@ -75,7 +79,9 @@ __all__ = [
     "WorkloadSpec",
     "background_trace",
     "build",
+    "build_fleet_devices",
     "compile_trace",
+    "fleet_device_rows",
     "get_scenario",
     "install_background",
     "install_faults",

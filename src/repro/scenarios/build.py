@@ -31,10 +31,12 @@ from repro.cluster.cluster import Cluster
 from repro.cluster.failures import FailureInjector
 from repro.cluster.node import Node
 from repro.errors import ConfigurationError
+from repro.quantum.fleet import QPUFleet
 from repro.quantum.qpu import QPU
 from repro.quantum.technology import TECHNOLOGIES
 from repro.scenarios.spec import (
     FaultSchedule,
+    FleetSpec,
     ScenarioSpec,
     TraceSpec,
     WorkloadSpec,
@@ -69,28 +71,11 @@ def build(spec: ScenarioSpec, seed: Optional[int] = None) -> Environment:
     scenarios fail before any simulation state exists.
     """
     spec.validate()
-    technology = TECHNOLOGIES[spec.fleet.technology]
     kernel = Kernel()
     streams = RandomStreams(spec.seed if seed is None else seed)
-    qpus: List[QPU] = [
-        QPU(
-            kernel,
-            technology,
-            name=f"{technology.name}-{index}",
-            streams=streams if spec.fleet.jitter else None,
-        )
-        for index in range(spec.fleet.qpu_count)
-    ]
-    if spec.fleet.vqpus_per_qpu > 1:
-        devices: List[object] = []
-        pools: List[VirtualQPUPool] = []
-        for qpu in qpus:
-            pool = VirtualQPUPool(qpu, spec.fleet.vqpus_per_qpu)
-            pools.append(pool)
-            devices.extend(pool.virtual_qpus)
-    else:
-        devices = list(qpus)
-        pools = []
+    qpus, devices, pools = build_fleet_devices(
+        kernel, spec.fleet, streams
+    )
 
     # One front-end node per (virtual) QPU gres unit: node allocation is
     # whole-node exclusive, so co-tenancy requires one schedulable node
@@ -130,9 +115,72 @@ def build(spec: ScenarioSpec, seed: Optional[int] = None) -> Environment:
         qpus=qpus,
         streams=streams,
         vqpu_pools=pools,
+        fleet=QPUFleet(qpus, policy=spec.fleet.routing),
     )
     install_faults(env, spec.faults)
     return env
+
+
+def fleet_device_rows(fleet: FleetSpec) -> List[Dict[str, Any]]:
+    """One row per physical device a :class:`FleetSpec` will build.
+
+    Rows carry ``name``, ``technology``, ``qubits`` and ``vqpus`` in
+    construction order; the build pipeline and the CLI's device table
+    both read fleet composition from here, so the table always shows
+    exactly the devices an environment will contain.  Names are
+    ``{prefix}-{index}`` with the prefix taken from the group's
+    ``name`` (default: the technology name) and indices counted per
+    prefix across the whole fleet — the flat single-technology
+    shorthand therefore reproduces the historical
+    ``{technology}-{index}`` names byte for byte.
+    """
+    rows: List[Dict[str, Any]] = []
+    prefix_counters: Dict[str, int] = {}
+    for group in fleet.canonical_devices():
+        technology = TECHNOLOGIES[group.technology]
+        prefix = group.name or technology.name
+        for _ in range(group.count):
+            index = prefix_counters.get(prefix, 0)
+            prefix_counters[prefix] = index + 1
+            rows.append(
+                {
+                    "name": f"{prefix}-{index}",
+                    "technology": group.technology,
+                    "qubits": technology.num_qubits,
+                    "vqpus": group.vqpus_per_qpu,
+                }
+            )
+    return rows
+
+
+def build_fleet_devices(
+    kernel: Kernel, fleet: FleetSpec, streams: RandomStreams
+) -> Tuple[List[QPU], List[object], List[VirtualQPUPool]]:
+    """Materialise a :class:`FleetSpec` into physical and gres devices.
+
+    Returns ``(qpus, gres_devices, vqpu_pools)``: the physical devices
+    in declaration order, the (possibly virtualised) device objects to
+    expose as ``qpu`` gres units, and any virtual-QPU pools created.
+    Composition and naming come from :func:`fleet_device_rows`.
+    """
+    qpus: List[QPU] = []
+    gres_devices: List[object] = []
+    pools: List[VirtualQPUPool] = []
+    for row in fleet_device_rows(fleet):
+        qpu = QPU(
+            kernel,
+            TECHNOLOGIES[row["technology"]],
+            name=row["name"],
+            streams=streams if fleet.jitter else None,
+        )
+        qpus.append(qpu)
+        if row["vqpus"] > 1:
+            pool = VirtualQPUPool(qpu, row["vqpus"])
+            pools.append(pool)
+            gres_devices.extend(pool.virtual_qpus)
+        else:
+            gres_devices.append(qpu)
+    return qpus, gres_devices, pools
 
 
 # -- fault installation ------------------------------------------------------
@@ -441,6 +489,57 @@ def trace_component_mapper(
     return mapper
 
 
+def trace_kernel_worker(
+    env: Environment, trace: TraceSpec
+) -> Optional[Callable[[TraceJob], Optional[Callable]]]:
+    """The fleet-dispatch work mapper for quantum-mapped trace jobs.
+
+    A trace job that lands on the quantum partition carries one
+    representative kernel payload
+    (:func:`repro.workloads.hybrid.trace_kernel_payload`).  At job
+    start the payload is dispatched through the environment's
+    :class:`~repro.quantum.fleet.QPUFleet` — the routing policy picks
+    the device — while the job occupies its allocation for the trace
+    runtime, exactly as a rigid replay would.  ``None`` when the
+    workload routes nothing to the fleet.
+
+    Virtualised gres units are the exception: a job holding a
+    *virtual* QPU lease dispatches through that lease instead of the
+    fleet router, so the pool's admission bound (at most ``V - 1``
+    foreign kernels ahead of any request) survives trace replay.
+    """
+    if trace.qpu_fraction <= 0 or env.fleet is None:
+        return None
+    from repro.workloads.hybrid import trace_kernel_payload
+
+    fleet = env.fleet
+    max_qubits = max(q.technology.num_qubits for q in fleet.qpus)
+
+    def work_for(job: TraceJob) -> Optional[Callable]:
+        if not _routes_to_qpu(job, trace.qpu_fraction):
+            return None
+
+        def work(ctx):
+            device = ctx.first_qpu()
+            if isinstance(device, QPU):
+                circuit, shots = trace_kernel_payload(
+                    job.job_id, max_qubits
+                )
+                fleet.run(circuit, shots, submitter=job.user)
+            else:
+                # A virtual QPU lease: stay inside its admission
+                # control, clamped to the backing device's register.
+                circuit, shots = trace_kernel_payload(
+                    job.job_id, device.technology.num_qubits
+                )
+                device.run(circuit, shots, submitter=job.user)
+            yield ctx.timeout(job.runtime)
+
+        return work
+
+    return work_for
+
+
 def install_trace(
     env: Environment, workload: WorkloadSpec, horizon: float
 ) -> List[Job]:
@@ -461,7 +560,10 @@ def install_trace(
     if not jobs:
         return []
     return submit_trace(
-        env, jobs, components_for=trace_component_mapper(env, trace)
+        env,
+        jobs,
+        components_for=trace_component_mapper(env, trace),
+        work_for=trace_kernel_worker(env, trace),
     )
 
 
@@ -510,6 +612,14 @@ def run_scenario(
     for index, qpu in enumerate(env.qpus):
         metrics[f"qpu{index}_utilisation"] = qpu.utilisation
         metrics[f"qpu{index}_maintenance"] = qpu.maintenance_performed
+    if env.fleet is not None:
+        metrics["fleet_policy"] = env.fleet.policy
+        metrics["fleet_routed_total"] = env.fleet.total_routed
+        for qpu in env.fleet.qpus:
+            routed = env.fleet.routed_counts[qpu.name]
+            metrics[f"device_{qpu.name}_routed"] = routed
+            metrics[f"device_{qpu.name}_executed"] = qpu.jobs_executed
+            metrics[f"device_{qpu.name}_utilisation"] = qpu.utilisation
     failures = sum(i.failure_count for i in env.fault_injectors)
     repairs = sum(i.repair_count for i in env.fault_injectors)
     metrics["random_failures"] = failures

@@ -18,6 +18,7 @@ from typing import Dict, List
 
 from repro.errors import ConfigurationError
 from repro.scenarios.spec import (
+    DeviceSpec,
     FaultSchedule,
     FleetSpec,
     NodeFault,
@@ -198,6 +199,41 @@ register_scenario(
         workload=WorkloadSpec(
             horizon=4 * 3600.0,
             trace=TraceSpec(path="sample-32n.swf"),
+        ),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="mixed-fleet",
+        description=(
+            "A heterogeneous facility the paper's Section 3 "
+            "anticipates: two superconducting devices, a trapped-ion "
+            "machine and a neutral-atom machine behind one quantum "
+            "partition, kernels dispatched under earliest-finish-time "
+            "routing.  Sweepable via fleet.routing and per-group "
+            "fleet.devices.N.* dotted paths; a trace replay sends a "
+            "quarter of the archive jobs to the quantum partition."
+        ),
+        topology=TopologySpec(classical_nodes=32),
+        fleet=FleetSpec(
+            devices=(
+                DeviceSpec(technology="superconducting", count=2),
+                DeviceSpec(technology="trapped_ion"),
+                DeviceSpec(technology="neutral_atom"),
+            ),
+            routing="fastest_completion",
+        ),
+        workload=WorkloadSpec(
+            horizon=4 * 3600.0,
+            trace=TraceSpec(path="sample-32n.swf", qpu_fraction=0.25),
+        ),
+        faults=FaultSchedule(
+            maintenance=(
+                QPUMaintenance(
+                    qpu="superconducting-1", start=3600.0, duration=1800.0
+                ),
+            ),
         ),
     )
 )

@@ -66,15 +66,87 @@ class TopologySpec:
 
 
 @dataclass(frozen=True)
+class DeviceSpec:
+    """One homogeneous device group of a heterogeneous fleet.
+
+    ``count`` physical devices of one ``technology``, each optionally
+    split into ``vqpus_per_qpu`` virtual QPU gres units.  Devices are
+    named ``{prefix}-{index}`` where ``prefix`` defaults to the
+    technology name and indices count per prefix across the whole
+    fleet (so two groups sharing a prefix keep unique names).
+
+    >>> DeviceSpec(technology="trapped_ion", count=2).validate()
+    >>> DeviceSpec(technology="warpdrive").validate()
+    Traceback (most recent call last):
+        ...
+    repro.errors.ConfigurationError: device technology 'warpdrive' \
+unknown; known: ['annealer', 'neutral_atom', 'photonic', \
+'superconducting', 'trapped_ion']
+    """
+
+    technology: str
+    count: int = 1
+    vqpus_per_qpu: int = 1
+    name: Optional[str] = None
+
+    def validate(self) -> None:
+        from repro.quantum.technology import TECHNOLOGIES
+
+        if self.technology not in TECHNOLOGIES:
+            raise ConfigurationError(
+                f"device technology {self.technology!r} unknown; "
+                f"known: {sorted(TECHNOLOGIES)}"
+            )
+        if self.count < 1:
+            raise ConfigurationError("device count must be >= 1")
+        if self.vqpus_per_qpu < 1:
+            raise ConfigurationError("device vqpus_per_qpu must be >= 1")
+        if self.name is not None and not self.name:
+            raise ConfigurationError(
+                "device name prefix must be non-empty when set"
+            )
+
+
+@dataclass(frozen=True)
 class FleetSpec:
-    """The QPU fleet: technology, device count and virtualisation."""
+    """The QPU fleet: devices, routing policy and virtualisation.
+
+    Two authoring forms:
+
+    - the *flat shorthand* (``technology`` × ``qpu_count`` ×
+      ``vqpus_per_qpu``) describes a homogeneous fleet and
+      canonicalises to a single :class:`DeviceSpec`;
+    - ``devices`` lists heterogeneous device groups explicitly and is
+      mutually exclusive with non-default flat fields (a contradictory
+      combination is rejected rather than silently preferring one).
+
+    ``routing`` picks the :class:`repro.quantum.fleet.QPUFleet` policy
+    kernels are dispatched under when work goes through the fleet
+    router (one of :data:`repro.quantum.fleet.ROUTING_POLICIES`).
+
+    >>> FleetSpec(devices=(DeviceSpec("superconducting", count=2),
+    ...                    DeviceSpec("neutral_atom")),
+    ...           routing="round_robin").validate()
+    >>> [d.technology for d in FleetSpec(qpu_count=3).canonical_devices()]
+    ['superconducting']
+    >>> FleetSpec(qpu_count=3,
+    ...           devices=(DeviceSpec("photonic"),)).validate()
+    Traceback (most recent call last):
+        ...
+    repro.errors.ConfigurationError: fleet.devices and the flat \
+single-technology fields are mutually exclusive; fleet.qpu_count=3 \
+contradicts devices=[...]
+    """
 
     technology: str = "superconducting"
     qpu_count: int = 1
     vqpus_per_qpu: int = 1
     jitter: bool = False
+    devices: Tuple[DeviceSpec, ...] = ()
+    routing: str = "fastest_completion"
 
     def validate(self) -> None:
+        from repro.quantum.fleet import ROUTING_POLICIES
         from repro.quantum.technology import TECHNOLOGIES
 
         if self.technology not in TECHNOLOGIES:
@@ -86,6 +158,73 @@ class FleetSpec:
             raise ConfigurationError("fleet.qpu_count must be >= 1")
         if self.vqpus_per_qpu < 1:
             raise ConfigurationError("fleet.vqpus_per_qpu must be >= 1")
+        if self.routing not in ROUTING_POLICIES:
+            raise ConfigurationError(
+                f"fleet.routing {self.routing!r} unknown; "
+                f"known: {ROUTING_POLICIES}"
+            )
+        if self.devices:
+            contradictions = [
+                f"fleet.{field_name}={getattr(self, field_name)!r}"
+                for field_name, default in _FLAT_FLEET_DEFAULTS.items()
+                if getattr(self, field_name) != default
+            ]
+            if contradictions:
+                raise ConfigurationError(
+                    "fleet.devices and the flat single-technology "
+                    "fields are mutually exclusive; "
+                    f"{', '.join(contradictions)} contradicts "
+                    "devices=[...]"
+                )
+            for device in self.devices:
+                device.validate()
+
+    def canonical_devices(self) -> Tuple[DeviceSpec, ...]:
+        """The fleet as explicit device groups.
+
+        The flat shorthand canonicalises to one :class:`DeviceSpec`,
+        so every consumer (the build pipeline, the CLI device table)
+        sees a single representation.
+
+        >>> FleetSpec(technology="neutral_atom", qpu_count=2,
+        ...           vqpus_per_qpu=4).canonical_devices()
+        (DeviceSpec(technology='neutral_atom', count=2, \
+vqpus_per_qpu=4, name=None),)
+        """
+        if self.devices:
+            return self.devices
+        return (
+            DeviceSpec(
+                technology=self.technology,
+                count=self.qpu_count,
+                vqpus_per_qpu=self.vqpus_per_qpu,
+            ),
+        )
+
+    def device_count(self) -> int:
+        """Total physical devices across all groups.
+
+        >>> FleetSpec(devices=(DeviceSpec("superconducting", count=2),
+        ...                    DeviceSpec("trapped_ion"))).device_count()
+        3
+        """
+        return sum(d.count for d in self.canonical_devices())
+
+    def is_heterogeneous(self) -> bool:
+        """Whether the fleet mixes more than one technology."""
+        return len(
+            {d.technology for d in self.canonical_devices()}
+        ) > 1
+
+
+#: The flat single-technology fields whose non-default values
+#: contradict an explicit ``devices`` list, with their defaults read
+#: straight off the dataclass so the check can never desync.
+_FLAT_FLEET_DEFAULTS = {
+    f.name: f.default
+    for f in dataclasses.fields(FleetSpec)
+    if f.name in ("technology", "qpu_count", "vqpus_per_qpu")
+}
 
 
 @dataclass(frozen=True)
@@ -494,6 +633,7 @@ _NESTED: Dict[Tuple[type, str], Any] = {
     (ScenarioSpec, "policy"): PolicySpec,
     (ScenarioSpec, "monitoring"): MonitoringSpec,
     (ScenarioSpec, "faults"): FaultSchedule,
+    (FleetSpec, "devices"): ("tuple", DeviceSpec),
     (FaultSchedule, "events"): ("tuple", NodeFault),
     (FaultSchedule, "maintenance"): ("tuple", QPUMaintenance),
     (FaultSchedule, "random_failures"): ("optional", RandomFailures),
@@ -558,8 +698,11 @@ def with_overrides(
     The mechanism sweep axes use to target scenario fields.  Paths must
     name existing fields; structured fields (``faults.events``,
     ``workload.trace``) take plain dict/list values as produced by
-    :meth:`ScenarioSpec.to_dict`.  The input spec is never mutated and
-    the result is validated before it is returned.
+    :meth:`ScenarioSpec.to_dict`.  Numeric path segments index into
+    list-valued fields, so a sweep axis can target one device group of
+    a heterogeneous fleet (``"fleet.devices.0.count"``).  The input
+    spec is never mutated and the result is validated before it is
+    returned.
 
     >>> spec = with_overrides(
     ...     ScenarioSpec(),
@@ -567,6 +710,19 @@ def with_overrides(
     ... )
     >>> (spec.topology.classical_nodes, spec.fleet.vqpus_per_qpu)
     (64, 4)
+    >>> mixed = ScenarioSpec(fleet=FleetSpec(
+    ...     devices=(DeviceSpec("superconducting"),
+    ...              DeviceSpec("trapped_ion"))))
+    >>> with_overrides(
+    ...     mixed, {"fleet.devices.0.count": 3}
+    ... ).fleet.devices[0].count
+    3
+    >>> with_overrides(mixed, {"fleet.devices.7.count": 3})
+    Traceback (most recent call last):
+        ...
+    repro.errors.ConfigurationError: unknown scenario field \
+'fleet.devices.7' in override 'fleet.devices.7.count' \
+(index out of range)
     >>> with_overrides(ScenarioSpec(), {"topology.warp": 9})
     Traceback (most recent call last):
         ...
@@ -580,17 +736,44 @@ def with_overrides(
         parts = path.split(".")
         cursor: Any = data
         for index, part in enumerate(parts[:-1]):
+            bad = ".".join(parts[: index + 1])
+            if isinstance(cursor, list):
+                if not part.isdigit():
+                    raise ConfigurationError(
+                        f"unknown scenario field {bad!r} in override "
+                        f"{path!r} (expected a list index, got "
+                        f"{part!r})"
+                    )
+                if int(part) >= len(cursor):
+                    raise ConfigurationError(
+                        f"unknown scenario field {bad!r} in override "
+                        f"{path!r} (index out of range)"
+                    )
+                cursor = cursor[int(part)]
+                continue
             if not isinstance(cursor, dict) or part not in cursor:
-                bad = ".".join(parts[: index + 1])
                 raise ConfigurationError(
                     f"unknown scenario field {bad!r} in override {path!r}"
                 )
             cursor = cursor[part]
         leaf = parts[-1]
-        if not isinstance(cursor, dict) or leaf not in cursor:
+        if isinstance(cursor, list):
+            if not leaf.isdigit():
+                raise ConfigurationError(
+                    f"unknown scenario field {path!r} "
+                    f"(expected a list index, got {leaf!r})"
+                )
+            if int(leaf) >= len(cursor):
+                raise ConfigurationError(
+                    f"unknown scenario field {path!r} "
+                    "(index out of range)"
+                )
+            cursor[int(leaf)] = value
+        elif not isinstance(cursor, dict) or leaf not in cursor:
             raise ConfigurationError(
                 f"unknown scenario field {path!r} "
                 f"(no such key {leaf!r})"
             )
-        cursor[leaf] = value
+        else:
+            cursor[leaf] = value
     return ScenarioSpec.from_dict(data).validate()

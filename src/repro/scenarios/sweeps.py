@@ -72,8 +72,11 @@ def scenario_sweep_spec(
 ) -> SweepSpec:
     """A :class:`SweepSpec` whose axes are scenario dotted paths.
 
-    Run the result with :func:`run_scenario_point`; trace-backed
-    presets sweep the same way (``"workload.trace.time_scale"``).
+    Run the result with :func:`run_scenario_point`; trace-backed and
+    fleet-backed presets sweep the same way
+    (``"workload.trace.time_scale"``, ``"fleet.routing"``, or a
+    numeric segment into one device group:
+    ``"fleet.devices.0.count"``).
 
     >>> spec = scenario_sweep_spec(
     ...     "baseline-32", {"topology.classical_nodes": [16, 32, 64]}
@@ -82,6 +85,12 @@ def scenario_sweep_spec(
     3
     >>> spec.points()[0].params["preset"]
     'baseline-32'
+    >>> routing = scenario_sweep_spec(
+    ...     "mixed-fleet",
+    ...     {"fleet.routing": ["capability", "fastest_completion"]},
+    ... )
+    >>> [p.params["fleet.routing"] for p in routing.points()]
+    ['capability', 'fastest_completion']
     """
     constants: Dict[str, Any] = {PRESET_KEY: preset}
     if run_horizon is not None:

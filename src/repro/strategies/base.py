@@ -23,7 +23,9 @@ from typing import Any, Dict, List, Optional
 
 from repro.cluster.cluster import Cluster
 from repro.errors import ConfigurationError
+from repro.quantum.fleet import QPUFleet
 from repro.quantum.qpu import QPU
+from repro.quantum.technology import QPUTechnology
 from repro.scheduler.scheduler import BatchScheduler
 from repro.sim.events import Event
 from repro.sim.kernel import Kernel
@@ -46,6 +48,9 @@ class Environment:
     #: Stochastic failure injectors installed by the scenario's fault
     #: schedule (empty unless the scenario requests random churn).
     fault_injectors: List[Any] = field(default_factory=list)
+    #: Router over the physical devices (the scenario build pipeline
+    #: always installs one; hand-built environments may leave it None).
+    fleet: Optional[QPUFleet] = None
 
     @property
     def now(self) -> float:
@@ -55,6 +60,62 @@ class Environment:
         if not self.qpus:
             raise ConfigurationError("environment has no QPU")
         return self.qpus[0]
+
+    def technologies(self) -> List[QPUTechnology]:
+        """Distinct device technologies, in fleet declaration order."""
+        if not self.qpus:
+            raise ConfigurationError("environment has no QPU")
+        seen: List[QPUTechnology] = []
+        for qpu in self.qpus:
+            if qpu.technology not in seen:
+                seen.append(qpu.technology)
+        return seen
+
+    def planning_technology(
+        self, app: "HybridApplication"
+    ) -> QPUTechnology:
+        """The technology walltime estimates should provision for.
+
+        A homogeneous fleet answers with its (single) device
+        technology — exactly the historical ``primary_qpu``
+        behaviour.  A heterogeneous fleet answers with the *slowest*
+        technology capable of the app's widest circuit, so a derived
+        walltime is sufficient on any device that can execute the
+        kernels.
+
+        Note the planning/execution split: strategies execute quantum
+        phases on whichever ``qpu`` gres unit the batch scheduler
+        allocates (fleet-routed dispatch covers direct ``fleet.run``
+        clients and hybrid trace payloads).  On a mixed fleet whose
+        registers differ, a job can therefore still land on a device
+        too small for its circuits and fail at submission —
+        capability-constrained gres placement is a roadmap item; until
+        then size strategy-campaign circuits to the *smallest* fleet
+        register (``HybridAppGenerator(max_qubits=...)``).
+        """
+        technologies = self.technologies()
+        if len(technologies) == 1:
+            return technologies[0]
+        width = max(
+            (
+                phase.circuit.num_qubits
+                for phase in app.phases
+                if phase.is_quantum and phase.circuit is not None
+            ),
+            default=0,
+        )
+        capable = [
+            technology
+            for technology in technologies
+            if technology.num_qubits >= width
+        ]
+        if not capable:
+            raise ConfigurationError(
+                f"no fleet technology has {width} qubits for "
+                f"{app.name!r} (largest: "
+                f"{max(t.num_qubits for t in technologies)})"
+            )
+        return max(capable, key=app.ideal_makespan)
 
 
 class HeldIntegrator:

@@ -62,7 +62,7 @@ class CoScheduleStrategy(IntegrationStrategy):
     def _walltime_for(self, env: Environment, app: HybridApplication) -> float:
         if self.walltime is not None:
             return self.walltime
-        technology = env.primary_qpu().technology
+        technology = env.planning_technology(app)
         return app.ideal_makespan(technology) * self.walltime_safety
 
     def launch(self, env: Environment, app: HybridApplication) -> StrategyRun:

@@ -69,7 +69,7 @@ class ElasticQPUStrategy(IntegrationStrategy):
     def _walltime_for(self, env: Environment, app: HybridApplication) -> float:
         if self.walltime is not None:
             return self.walltime
-        technology = env.primary_qpu().technology
+        technology = env.planning_technology(app)
         overheads = app.quantum_phase_count * self.attach_overhead
         return (
             app.ideal_makespan(technology) + overheads

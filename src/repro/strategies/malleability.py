@@ -80,7 +80,7 @@ class MalleableStrategy(IntegrationStrategy):
     def _walltime_for(self, env: Environment, app: HybridApplication) -> float:
         if self.walltime is not None:
             return self.walltime
-        technology = env.primary_qpu().technology
+        technology = env.planning_technology(app)
         resizes = 2.0 * app.quantum_phase_count * self.reconfiguration_cost
         return (
             app.ideal_makespan(technology) + resizes

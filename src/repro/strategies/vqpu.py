@@ -137,7 +137,7 @@ class VQPUStrategy(CoScheduleStrategy):
     def _walltime_for(self, env, app) -> float:
         if self.walltime is not None:
             return self.walltime
-        technology = env.primary_qpu().technology
+        technology = env.planning_technology(app)
         base = app.ideal_makespan(technology) * self.walltime_safety
         pool_size = max(
             (pool.size for pool in env.vqpu_pools), default=1

@@ -239,7 +239,7 @@ class WorkflowStrategy(IntegrationStrategy):
         self, env: Environment, app: HybridApplication, record
     ) -> Workflow:
         """One step per phase, chained linearly."""
-        technology = env.primary_qpu().technology
+        technology = env.planning_technology(app)
         steps: List[WorkflowStep] = []
         previous: Optional[str] = None
         for index, phase in enumerate(app.phases):

@@ -15,7 +15,11 @@ from repro.workloads.distributions import (
     Uniform,
 )
 from repro.workloads.generator import CampaignDriver, submit_trace
-from repro.workloads.hybrid import HybridAppConfig, HybridAppGenerator
+from repro.workloads.hybrid import (
+    HybridAppConfig,
+    HybridAppGenerator,
+    trace_kernel_payload,
+)
 from repro.workloads.swf import (
     TraceJob,
     clip_trace,
@@ -50,6 +54,7 @@ __all__ = [
     "rescale_trace",
     "submit_trace",
     "synthesise_trace",
+    "trace_kernel_payload",
     "truncate_trace",
     "write_swf",
 ]

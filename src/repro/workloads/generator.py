@@ -30,12 +30,19 @@ from repro.workloads.swf import TraceJob
 #: drops the job (e.g. an oversize job under a ``drop`` mapping rule).
 ComponentMapper = Callable[[TraceJob], Optional[List[JobComponent]]]
 
+#: Maps one trace job to an in-job work generator function; returning
+#: ``None`` keeps the default rigid occupy-for-runtime behaviour.  The
+#: scenario layer's trace source uses this to make quantum-mapped jobs
+#: dispatch their kernel payload through the facility's QPU fleet.
+WorkMapper = Callable[[TraceJob], Optional[Callable]]
+
 
 def submit_trace(
     env: Environment,
     jobs: Iterable[TraceJob],
     partition: str = "classical",
     components_for: Optional[ComponentMapper] = None,
+    work_for: Optional[WorkMapper] = None,
 ) -> List[Job]:
     """Schedule the replay of ``jobs``: each is submitted at its trace
     submit time.  Returns the runtime :class:`Job` records (populated
@@ -46,6 +53,9 @@ def submit_trace(
     mapping per job — the scenario layer's trace source uses it to
     clamp oversize jobs and to route a subset to the quantum partition
     as ``qpu`` gres requests; returning ``None`` drops the job.
+    ``work_for`` optionally supplies an in-job work generator for a
+    job (e.g. fleet-routed kernel dispatch); jobs it declines stay
+    rigid with the trace runtime as their duration.
     """
     submitted: List[Job] = []
 
@@ -66,11 +76,13 @@ def submit_trace(
         delay = trace_job.submit_time - env.kernel.now
         if delay > 0:
             yield env.kernel.timeout(delay)
+        work = work_for(trace_job) if work_for is not None else None
         spec = JobSpec(
             name=f"trace-{trace_job.job_id}",
             components=components,
             user=trace_job.user,
-            duration=trace_job.runtime,
+            duration=None if work is not None else trace_job.runtime,
+            work=work,
             tags={"source": "trace"},
         )
         submitted.append(env.scheduler.submit(spec))

@@ -10,12 +10,13 @@ reproducibility.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Any, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.quantum.circuit import Circuit
+from repro.sim.rng import derive_seed
 from repro.strategies.application import (
     HybridApplication,
     Phase,
@@ -68,17 +69,30 @@ class HybridAppConfig:
 
 
 class HybridAppGenerator:
-    """Draws random applications from a :class:`HybridAppConfig`."""
+    """Draws random applications from a :class:`HybridAppConfig`.
+
+    Circuit widths clamp to the execution target when it is known:
+    either a fixed device's register (``max_qubits``) or a
+    heterogeneous :class:`~repro.quantum.fleet.QPUFleet` (``fleet``),
+    where a kernel only needs to fit *some* device — the fleet router
+    picks which one at dispatch time — so the clamp is the fleet's
+    largest register.
+    """
 
     def __init__(
         self,
         rng: np.random.Generator,
         config: Optional[HybridAppConfig] = None,
         max_qubits: Optional[int] = None,
+        fleet: Optional[Any] = None,
     ) -> None:
         self.rng = rng
         self.config = config or HybridAppConfig()
-        #: Clamp circuit widths to the target device, when known.
+        if max_qubits is None and fleet is not None:
+            max_qubits = max(
+                qpu.technology.num_qubits for qpu in fleet.qpus
+            )
+        #: Clamp circuit widths to the execution target, when known.
         self.max_qubits = max_qubits
         self._counter = 0
 
@@ -121,3 +135,45 @@ class HybridAppGenerator:
         if count < 0:
             raise ConfigurationError("count must be >= 0")
         return [self.next_app() for _ in range(count)]
+
+
+#: Bounds of the representative trace-job kernel payloads (width is
+#: additionally clamped to the fleet's largest register).
+_PAYLOAD_QUBITS = (4, 24)
+_PAYLOAD_DEPTH = (20, 200)
+_PAYLOAD_SHOTS = (500, 2000)
+
+
+def trace_kernel_payload(
+    job_id: int, max_qubits: int
+) -> Tuple[Circuit, int]:
+    """The representative kernel a hybrid trace job dispatches.
+
+    When a replayed archive trace routes a job to the quantum
+    partition (``TraceSpec.qpu_fraction``), the job carries one
+    quantum kernel as its payload, dispatched through the facility's
+    :class:`~repro.quantum.fleet.QPUFleet` router rather than pinned
+    to a fixed device.  The payload's shape is derived by hashing the
+    trace job id — seed-independent, exactly like the routing decision
+    itself, so replications agree on every job's kernel.
+
+    >>> circuit, shots = trace_kernel_payload(7, max_qubits=127)
+    >>> (circuit, shots) == trace_kernel_payload(7, max_qubits=127)
+    True
+    >>> circuit.num_qubits <= 24 and 500 <= shots <= 2000
+    True
+    """
+    rng = np.random.default_rng(derive_seed(job_id, "trace:kernel"))
+    low, high = _PAYLOAD_QUBITS
+    qubits = min(int(rng.integers(low, high + 1)), max_qubits)
+    depth = int(rng.integers(_PAYLOAD_DEPTH[0], _PAYLOAD_DEPTH[1] + 1))
+    shots = int(rng.integers(_PAYLOAD_SHOTS[0], _PAYLOAD_SHOTS[1] + 1))
+    return (
+        Circuit(
+            num_qubits=max(qubits, 1),
+            depth=depth,
+            two_qubit_fraction=0.3,
+            name=f"trace-kernel-{job_id}",
+        ),
+        shots,
+    )

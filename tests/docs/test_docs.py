@@ -43,15 +43,50 @@ def test_docs_suite_exists():
     assert {
         "README.md",
         "architecture.md",
+        "fleet.md",
         "scenarios.md",
         "sweeps.md",
     } <= names
 
 
-def test_readme_links_the_three_doc_pages():
+def test_readme_links_the_doc_pages():
     readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
-    for page in ("architecture.md", "scenarios.md", "sweeps.md"):
+    for page in (
+        "architecture.md",
+        "fleet.md",
+        "scenarios.md",
+        "sweeps.md",
+    ):
         assert f"docs/{page}" in readme, f"README must link docs/{page}"
+
+
+def test_every_doc_page_is_reachable_from_readme():
+    """No orphan pages: every ``docs/*.md`` file must be reachable by
+    following relative markdown links from README.md.  Catches the
+    classic failure mode where a new chapter ships but nothing links
+    to it."""
+    reachable = set()
+    frontier = [REPO_ROOT / "README.md"]
+    while frontier:
+        page = frontier.pop()
+        if page in reachable or not page.is_file():
+            continue
+        reachable.add(page)
+        text = _strip_fences(page.read_text(encoding="utf-8"))
+        for target in _LINK_PATTERN.findall(text):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            file_part = target.partition("#")[0]
+            if file_part.endswith(".md"):
+                frontier.append((page.parent / file_part).resolve())
+    orphans = sorted(
+        path.name
+        for path in (REPO_ROOT / "docs").glob("*.md")
+        if path.resolve() not in reachable
+    )
+    assert not orphans, (
+        f"docs pages unreachable from README.md: {orphans}"
+    )
 
 
 @pytest.mark.parametrize(

@@ -122,6 +122,105 @@ class TestFastestCompletion:
         assert fleet._committed["sc0"] == 0.0
 
 
+class TestAvailabilityAwareRouting:
+    """Calibration and maintenance must steer ``fastest_completion``:
+    a drained/calibrating device cannot keep winning on paper while
+    its inbox stalls."""
+
+    def _twin_fleet(self, kernel):
+        devices = [
+            QPU(kernel, SUPERCONDUCTING, name="sc0"),
+            QPU(kernel, SUPERCONDUCTING, name="sc1"),
+        ]
+        return devices, QPUFleet(devices, policy="fastest_completion")
+
+    def test_booked_maintenance_window_steers_away(self, kernel):
+        devices, fleet = self._twin_fleet(kernel)
+        # Ties break by name, so sc0 would win without the window.
+        devices[0].schedule_maintenance(start=0.0, duration=600.0)
+        chosen = fleet.select_device(Circuit(10, 10), 100)
+        assert chosen.name == "sc1"
+        assert fleet.availability_delay(devices[0]) == 600.0
+        assert fleet.availability_delay(devices[1]) == 0.0
+
+    def test_window_beyond_backlog_is_ignored(self, kernel):
+        devices, fleet = self._twin_fleet(kernel)
+        # A window opening far after the backlog clears does not delay
+        # a kernel dispatched now.
+        devices[0].schedule_maintenance(start=9e6, duration=600.0)
+        assert fleet.availability_delay(devices[0]) == 0.0
+        assert fleet.select_device(Circuit(10, 10), 100).name == "sc0"
+
+    def test_in_progress_maintenance_counts_its_remainder(self, kernel):
+        devices, fleet = self._twin_fleet(kernel)
+        devices[0].schedule_maintenance(start=5.0, duration=600.0)
+
+        def client():
+            # Arrive after the window opens: the device performs the
+            # overdue maintenance before serving this kernel.
+            yield kernel.timeout(10.0)
+            devices[0].run(Circuit(4, 10), 100)
+
+        kernel.process(client())
+        kernel.run(until=100.0)  # inside the pass (t=10 .. t=610)
+        delay = fleet.availability_delay(devices[0])
+        assert delay == pytest.approx(510.0)
+        assert delay == pytest.approx(devices[0].unavailable_for)
+        assert fleet.select_device(Circuit(10, 10), 100).name == "sc1"
+
+    def test_maintained_device_stops_winning_end_to_end(self, kernel):
+        """With the window booked, every kernel submitted during it
+        lands on the healthy twin."""
+        devices, fleet = self._twin_fleet(kernel)
+        devices[0].schedule_maintenance(start=0.0, duration=3600.0)
+
+        routed = []
+
+        def client():
+            for _ in range(5):
+                fleet.run(Circuit(10, 10), 100)
+                routed.append(dict(fleet.routed_counts))
+                yield kernel.timeout(60.0)
+
+        kernel.process(client())
+        kernel.run(until=600.0)
+        assert fleet.routed_counts["sc0"] == 0
+        assert fleet.routed_counts["sc1"] == 5
+
+    def test_scenario_maintenance_reaches_routing(self):
+        """The FaultSchedule path: a QPUMaintenance window declared in
+        a scenario steers the built environment's fleet."""
+        from repro.scenarios import (
+            DeviceSpec,
+            FaultSchedule,
+            FleetSpec,
+            QPUMaintenance,
+            ScenarioSpec,
+            build,
+        )
+
+        env = build(
+            ScenarioSpec(
+                fleet=FleetSpec(
+                    devices=(
+                        DeviceSpec("superconducting", count=2),
+                    )
+                ),
+                faults=FaultSchedule(
+                    maintenance=(
+                        QPUMaintenance(
+                            qpu="superconducting-0",
+                            start=0.0,
+                            duration=1800.0,
+                        ),
+                    )
+                ),
+            )
+        )
+        chosen = env.fleet.select_device(Circuit(10, 10), 100)
+        assert chosen.name == "superconducting-1"
+
+
 class TestEndToEnd:
     def test_mixed_workload_all_complete(self, kernel, fleet_devices):
         fleet = QPUFleet(fleet_devices, policy="fastest_completion")

@@ -59,7 +59,9 @@ class TestTraceReplayPreset:
         assert metrics["trace_jobs"] > 0
 
 
-@pytest.mark.parametrize("name", sorted(_PROMISED | {"neutral-atom-hours"}))
+@pytest.mark.parametrize(
+    "name", sorted(_PROMISED | {"neutral-atom-hours", "mixed-fleet"})
+)
 class TestPresetRoundTrip:
     def test_dict_and_json_round_trip(self, name):
         spec = get_scenario(name)

@@ -44,6 +44,98 @@ class TestEnvironmentWiring:
         assert draw_a != draw_b
 
 
+class TestPlanningTechnology:
+    """Fleet-aware walltime planning on the Environment."""
+
+    def _hetero_env(self):
+        from repro.scenarios import (
+            DeviceSpec,
+            FleetSpec,
+            ScenarioSpec,
+            build,
+        )
+
+        return build(
+            ScenarioSpec(
+                fleet=FleetSpec(
+                    devices=(
+                        DeviceSpec("superconducting"),
+                        DeviceSpec("trapped_ion"),
+                    )
+                )
+            )
+        )
+
+    @staticmethod
+    def _app(qubits: int) -> HybridApplication:
+        return HybridApplication(
+            phases=[classical(60.0), quantum(Circuit(qubits, 50), 1000)],
+            classical_nodes=4,
+            name=f"plan-{qubits}",
+        )
+
+    def test_homogeneous_env_matches_primary_qpu(self):
+        env = make_environment(technology=TRAPPED_ION)
+        app = self._app(10)
+        assert env.planning_technology(app) is env.primary_qpu().technology
+
+    def test_heterogeneous_env_plans_for_the_slowest_capable(self):
+        env = self._hetero_env()
+        app = self._app(10)  # fits both; trapped ion is far slower
+        assert env.planning_technology(app).name == "trapped_ion"
+
+    def test_wide_circuit_excludes_small_registers(self):
+        env = self._hetero_env()
+        app = self._app(100)  # beyond trapped ion's 32 qubits
+        assert env.planning_technology(app).name == "superconducting"
+
+    def test_impossible_width_rejected(self):
+        from repro.errors import ConfigurationError
+
+        env = self._hetero_env()
+        with pytest.raises(ConfigurationError, match="qubits"):
+            env.planning_technology(self._app(500))
+
+    def test_technologies_deduplicates_in_order(self):
+        from repro.scenarios import (
+            DeviceSpec,
+            FleetSpec,
+            ScenarioSpec,
+            build,
+        )
+
+        env = build(
+            ScenarioSpec(
+                fleet=FleetSpec(
+                    devices=(
+                        DeviceSpec("trapped_ion", count=2),
+                        DeviceSpec("superconducting"),
+                        DeviceSpec("trapped_ion", name="extra"),
+                    )
+                )
+            )
+        )
+        assert [t.name for t in env.technologies()] == [
+            "trapped_ion",
+            "superconducting",
+        ]
+
+    def test_strategy_walltime_provisions_for_slow_device(self):
+        """A co-schedule launch into a mixed fleet requests a walltime
+        sized for the slowest capable technology, not whichever device
+        happens to be first."""
+        from repro.strategies.coschedule import CoScheduleStrategy
+
+        env = self._hetero_env()
+        app = self._app(10)
+        run = CoScheduleStrategy()
+        walltime = run._walltime_for(env, app)
+        assert walltime == pytest.approx(
+            app.ideal_makespan(TRAPPED_ION) * run.walltime_safety
+        )
+        assert walltime > app.ideal_makespan(SUPERCONDUCTING)
+
+
 class TestExecutePhasesDriver:
     """Drive execute_phases directly through a minimal job context."""
 

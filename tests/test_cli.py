@@ -91,17 +91,57 @@ class TestScenario:
         ):
             assert name in output
 
-    def test_describe_prints_json(self, capsys):
+    def test_describe_prints_pure_json_with_table_on_stderr(
+        self, capsys
+    ):
         import json
 
         assert main(["scenario", "describe", "failure-storm"]) == 0
-        data = json.loads(capsys.readouterr().out)
+        captured = capsys.readouterr()
+        data = json.loads(captured.out)  # stdout must stay parseable
         assert data["name"] == "failure-storm"
         assert data["faults"]["events"]
+        assert "superconducting-0" in captured.err
+        assert "routing=fastest_completion" in captured.err
+
+    def test_describe_mixed_fleet_lists_every_device(self, capsys):
+        assert main(["scenario", "describe", "mixed-fleet"]) == 0
+        table = capsys.readouterr().err
+        for device in (
+            "superconducting-0",
+            "superconducting-1",
+            "trapped_ion-0",
+            "neutral_atom-0",
+        ):
+            assert device in table
 
     def test_describe_unknown_rejected(self):
         with pytest.raises(SystemExit):
             main(["scenario", "describe", "no-such-preset"])
+
+
+class TestFleet:
+    def test_policies_lists_all_routing_policies(self, capsys):
+        from repro.quantum.fleet import ROUTING_POLICIES
+
+        assert main(["fleet", "policies"]) == 0
+        output = capsys.readouterr().out
+        for policy in ROUTING_POLICIES:
+            assert policy in output
+
+    def test_devices_renders_preset_fleet(self, capsys):
+        assert main(["fleet", "devices", "large-1k"]) == 0
+        output = capsys.readouterr().out
+        assert "superconducting-3" in output
+        assert "vqpus" in output
+
+    def test_devices_unknown_preset_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fleet", "devices", "no-such-preset"])
+
+    def test_fleet_without_subcommand_errors(self):
+        with pytest.raises(SystemExit):
+            main(["fleet"])
 
     def test_run_preset(self, capsys):
         assert (

@@ -70,6 +70,58 @@ class TestHybridAppGenerator:
         names = [app.name for app in generator.apps(20)]
         assert len(set(names)) == 20
 
+    def test_fleet_clamps_to_largest_register(self, rng):
+        from repro.quantum.fleet import QPUFleet
+        from repro.quantum.qpu import QPU
+        from repro.quantum.technology import TRAPPED_ION
+        from repro.sim.kernel import Kernel
+
+        kernel = Kernel()
+        fleet = QPUFleet(
+            [
+                QPU(kernel, TRAPPED_ION, name="ti0"),  # 32 qubits
+                QPU(kernel, SUPERCONDUCTING, name="sc0"),  # 127
+            ]
+        )
+        generator = HybridAppGenerator(rng, fleet=fleet)
+        assert generator.max_qubits == 127
+
+    def test_explicit_max_qubits_beats_fleet(self, rng):
+        from repro.quantum.fleet import QPUFleet
+        from repro.quantum.qpu import QPU
+        from repro.sim.kernel import Kernel
+
+        kernel = Kernel()
+        fleet = QPUFleet([QPU(kernel, SUPERCONDUCTING, name="sc0")])
+        generator = HybridAppGenerator(rng, max_qubits=5, fleet=fleet)
+        assert generator.max_qubits == 5
+
+
+class TestTraceKernelPayload:
+    def test_deterministic_and_seed_independent(self):
+        from repro.workloads.hybrid import trace_kernel_payload
+
+        first = trace_kernel_payload(42, max_qubits=127)
+        second = trace_kernel_payload(42, max_qubits=127)
+        assert first == second
+
+    def test_distinct_jobs_get_distinct_payloads(self):
+        from repro.workloads.hybrid import trace_kernel_payload
+
+        payloads = {
+            trace_kernel_payload(job_id, max_qubits=127)
+            for job_id in range(20)
+        }
+        assert len(payloads) > 1
+
+    def test_width_clamped_to_fleet_register(self):
+        from repro.workloads.hybrid import trace_kernel_payload
+
+        for job_id in range(30):
+            circuit, shots = trace_kernel_payload(job_id, max_qubits=6)
+            assert 1 <= circuit.num_qubits <= 6
+            assert shots >= 1
+
 
 class TestSubmitTrace:
     def test_jobs_submitted_at_trace_times(self):
