@@ -7,6 +7,8 @@ Usage::
     repro-hpcqc run all --seed 7     # everything
     repro-hpcqc run all --markdown   # EXPERIMENTS.md-style output
     repro-hpcqc sweep all --workers 4 --cache-dir .sweep-cache
+    repro-hpcqc sweep E4 --retries 2 --timeout 300 --on-error collect
+    repro-hpcqc sweep E4 --cache-dir .sweep-cache --resume
     repro-hpcqc scenario list
     repro-hpcqc scenario describe mixed-fleet   # JSON + device table
     repro-hpcqc scenario run --preset baseline-32 --seed 7
@@ -99,6 +101,56 @@ def _build_parser() -> argparse.ArgumentParser:
         "--markdown",
         action="store_true",
         help="render results as markdown instead of plain tables",
+    )
+    sweep_parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help=(
+            "extra attempts a failing grid point gets before its "
+            "failure is terminal (default 0)"
+        ),
+    )
+    sweep_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help=(
+            "per-point wall-clock timeout in seconds; a hung point's "
+            "worker is killed and the point retried or recorded as "
+            "timed_out (default: no timeout)"
+        ),
+    )
+    sweep_parser.add_argument(
+        "--on-error",
+        choices=["raise", "collect"],
+        default="raise",
+        help=(
+            "'raise' aborts on the first terminal point failure; "
+            "'collect' records it, keeps sweeping, prints a failure "
+            "summary and exits non-zero (default: raise)"
+        ),
+    )
+    sweep_parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "resume from the run journal next to the cache: skip "
+            "points already completed or permanently failed in a "
+            "previous (possibly killed) run; requires --cache-dir or "
+            "$REPRO_SWEEP_CACHE_DIR"
+        ),
+    )
+    sweep_parser.add_argument(
+        "--chaos",
+        default=None,
+        metavar="JSON",
+        help=(
+            "deterministic fault injection for exercising the "
+            "recovery paths, as a ChaosSpec JSON object, e.g. "
+            "'{\"seed\": 7, \"raise_rate\": 0.25}' (see "
+            "docs/resilience.md)"
+        ),
     )
 
     scenario_parser = subparsers.add_parser(
@@ -278,16 +330,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _trace_command(parser, args)
     if args.command == "sweep":
         workers = resolve_workers(args.workers)
+        run_kwargs = _sweep_run_kwargs(parser, args, workers)
         return _run_experiments(
             parser,
             args,
             registry=SWEEP_EXPERIMENTS,
             unknown_message="not sweep-capable",
             registry_label="sweepable",
-            run_kwargs={
-                "workers": workers,
-                "cache_dir": args.cache_dir,
-            },
+            run_kwargs=run_kwargs,
             footer=lambda experiment_id, elapsed: (
                 f"[sweep] {experiment_id}: {elapsed:.2f}s "
                 f"(workers={workers}, "
@@ -296,6 +346,45 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
     parser.print_help()
     return 2
+
+
+def _sweep_run_kwargs(parser, args, workers: int) -> dict:
+    """Fold the sweep verb's fault-tolerance flags into run kwargs."""
+    import os
+
+    from repro.errors import ReproError
+    from repro.experiments.resilience import ChaosSpec, FailurePolicy
+    from repro.experiments.sweep import CACHE_ENV_VAR
+
+    if args.retries < 0:
+        parser.error("--retries must be >= 0")
+    cache_dir = args.cache_dir or os.environ.get(CACHE_ENV_VAR)
+    if args.resume and not cache_dir:
+        parser.error(
+            "--resume needs the run journal kept next to the result "
+            "cache: pass --cache-dir (or set $REPRO_SWEEP_CACHE_DIR)"
+        )
+    try:
+        policy = FailurePolicy(
+            max_attempts=args.retries + 1,
+            timeout_seconds=args.timeout,
+            on_error=args.on_error,
+        )
+    except (ReproError, ValueError, TypeError) as exc:
+        parser.error(str(exc))
+    chaos = None
+    if args.chaos:
+        try:
+            chaos = ChaosSpec.from_dict(json.loads(args.chaos))
+        except (ReproError, ValueError, TypeError) as exc:
+            parser.error(f"--chaos: {exc}")
+    return {
+        "workers": workers,
+        "cache_dir": cache_dir,
+        "policy": policy,
+        "chaos": chaos,
+        "resume": args.resume,
+    }
 
 
 def _scenario_command(parser, args) -> int:
@@ -504,12 +593,26 @@ def _run_experiments(
             f"{unknown_message}: {unknown}; "
             f"{registry_label}: {sorted(registry)}"
         )
+    from repro.errors import ReproError
+
     any_failed = False
     for experiment_id in requested:
         start = time.perf_counter()
-        result = registry[experiment_id](
-            seed=args.seed, **(run_kwargs or {})
-        )
+        try:
+            result = registry[experiment_id](
+                seed=args.seed, **(run_kwargs or {})
+            )
+        except ReproError as exc:
+            # e.g. a sweep point exhausting its FailurePolicy under
+            # on_error="raise": report, keep a non-zero exit, move on.
+            print(
+                f"error: {experiment_id}: {exc} "
+                "(use --on-error collect for a failure summary "
+                "instead of an abort)",
+                file=sys.stderr,
+            )
+            any_failed = True
+            continue
         elapsed = time.perf_counter() - start
         output = (
             result.render_markdown() if args.markdown else result.render()

@@ -50,3 +50,29 @@ class WorkloadError(ReproError):
 
 class ConfigurationError(ReproError):
     """An experiment or component was configured with invalid values."""
+
+
+class SweepError(ReproError):
+    """The sweep execution engine could not complete a campaign."""
+
+
+class PointFailedError(SweepError):
+    """A sweep point exhausted its failure policy (``on_error="raise"``).
+
+    Carries the point's terminal :class:`PointOutcome` (when available)
+    as :attr:`outcome`, so callers can inspect status, attempt count
+    and the recorded error text without parsing the message.
+    """
+
+    def __init__(self, message: str, outcome=None) -> None:
+        super().__init__(message)
+        self.outcome = outcome
+
+
+class ChaosError(ReproError):
+    """A deterministic fault injected by the chaos harness.
+
+    Raised (never caught) by :class:`repro.experiments.resilience.
+    ChaosSpec` inside a worker, so recovery paths are exercised by a
+    recognisable, picklable exception type.
+    """

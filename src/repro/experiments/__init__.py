@@ -17,6 +17,12 @@ from repro.experiments.harness import (
     ResultTable,
     assert_all_claims,
 )
+from repro.experiments.resilience import (
+    ChaosSpec,
+    FailurePolicy,
+    PointOutcome,
+    RunJournal,
+)
 from repro.experiments.sweep import (
     SweepCache,
     SweepPoint,
@@ -49,10 +55,14 @@ SWEEP_EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
 }
 
 __all__ = [
+    "ChaosSpec",
     "ClaimCheck",
     "EXPERIMENTS",
     "ExperimentResult",
+    "FailurePolicy",
+    "PointOutcome",
     "ResultTable",
+    "RunJournal",
     "SWEEP_EXPERIMENTS",
     "SweepCache",
     "SweepPoint",

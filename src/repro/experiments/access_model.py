@@ -19,7 +19,11 @@ from __future__ import annotations
 
 from typing import Any, Dict, Optional
 
-from repro.experiments.harness import ExperimentResult
+from repro.experiments.harness import (
+    ExperimentResult,
+    attach_sweep_failures,
+)
+from repro.experiments.resilience import ChaosSpec, FailurePolicy
 from repro.experiments.sweep import SweepSpec, run_sweep, sweep_cache
 from repro.metrics.stats import mean
 from repro.quantum.circuit import Circuit
@@ -192,6 +196,9 @@ def run(
     user_counts: tuple = (1, 4, 16),
     workers: Optional[int] = None,
     cache_dir: Optional[str] = None,
+    policy: Optional[FailurePolicy] = None,
+    chaos: Optional[ChaosSpec] = None,
+    resume: bool = False,
 ) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="E7",
@@ -221,8 +228,12 @@ def run(
         else:
             batch_by_users[users] = metrics
             # Point order is users-major, cloud before batch: the pair
-            # is complete when the batch half arrives.
-            cloud = cloud_by_users[users]
+            # is complete when the batch half arrives.  Under
+            # on_error="collect" the cloud half may have failed, in
+            # which case the failure table stands in for this row.
+            cloud = cloud_by_users.get(users)
+            if cloud is None:
+                return
             rows.append(
                 [
                     users,
@@ -233,7 +244,7 @@ def run(
                 ]
             )
 
-    run_sweep(
+    sweep_result = run_sweep(
         sweep_spec(
             seed=seed,
             kernels_per_user=kernels_per_user,
@@ -245,7 +256,13 @@ def run(
         workers=workers,
         cache=sweep_cache(cache_dir),
         on_result=aggregate,
+        policy=policy,
+        chaos=chaos,
+        journal=cache_dir or None,
+        resume=resume,
     )
+    if attach_sweep_failures(result, sweep_result):
+        return result
     result.add_table(
         "Per-kernel access overhead (seconds; kernel exec ~3 s)",
         [

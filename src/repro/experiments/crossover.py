@@ -26,7 +26,11 @@ from repro.experiments.common import (
     run_campaign,
     standard_hybrid_app,
 )
-from repro.experiments.harness import ExperimentResult
+from repro.experiments.harness import (
+    ExperimentResult,
+    attach_sweep_failures,
+)
+from repro.experiments.resilience import ChaosSpec, FailurePolicy
 from repro.experiments.sweep import SweepSpec, run_sweep, sweep_cache
 from repro.metrics.stats import mean
 from repro.quantum.technology import (
@@ -160,6 +164,9 @@ def run(
     warmup: float = 3600.0,
     workers: Optional[int] = None,
     cache_dir: Optional[str] = None,
+    policy: Optional[FailurePolicy] = None,
+    chaos: Optional[ChaosSpec] = None,
+    resume: bool = False,
 ) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="E6",
@@ -193,7 +200,7 @@ def run(
             ]
         )
 
-    run_sweep(
+    sweep_result = run_sweep(
         sweep_spec(
             seed=seed,
             horizon=horizon,
@@ -204,7 +211,13 @@ def run(
         workers=workers,
         cache=sweep_cache(cache_dir),
         on_result=aggregate,
+        policy=policy,
+        chaos=chaos,
+        journal=cache_dir or None,
+        resume=resume,
     )
+    if attach_sweep_failures(result, sweep_result):
+        return result
     result.add_table(
         "Crossover sweep (mean tenant turnaround / wasted classical "
         "node-seconds)",

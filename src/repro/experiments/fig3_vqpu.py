@@ -32,7 +32,11 @@ from repro.experiments.common import (
     run_campaign,
     standard_hybrid_app,
 )
-from repro.experiments.harness import ExperimentResult
+from repro.experiments.harness import (
+    ExperimentResult,
+    attach_sweep_failures,
+)
+from repro.experiments.resilience import ChaosSpec, FailurePolicy
 from repro.experiments.sweep import SweepSpec, run_sweep, sweep_cache
 from repro.metrics.stats import mean
 from repro.quantum.technology import SUPERCONDUCTING
@@ -141,6 +145,9 @@ def run(
     vqpu_counts: tuple = (1, 2, 4, 8),
     workers: Optional[int] = None,
     cache_dir: Optional[str] = None,
+    policy: Optional[FailurePolicy] = None,
+    chaos: Optional[ChaosSpec] = None,
+    resume: bool = False,
 ) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="E4",
@@ -185,7 +192,7 @@ def run(
             ]
         )
 
-    run_sweep(
+    sweep_result = run_sweep(
         sweep_spec(
             seed=seed,
             tenants=tenants,
@@ -196,7 +203,13 @@ def run(
         workers=workers,
         cache=sweep_cache(cache_dir),
         on_result=aggregate,
+        policy=policy,
+        chaos=chaos,
+        journal=cache_dir or None,
+        resume=resume,
     )
+    if attach_sweep_failures(result, sweep_result):
+        return result
     # The slack term of the delay-bound check uses the kernel time of
     # the last classical-dominated cell (largest V), as measured.
     kernel_time = kernel_times[-1]

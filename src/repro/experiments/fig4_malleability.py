@@ -26,7 +26,11 @@ from repro.experiments.common import (
     run_campaign,
     standard_hybrid_app,
 )
-from repro.experiments.harness import ExperimentResult
+from repro.experiments.harness import (
+    ExperimentResult,
+    attach_sweep_failures,
+)
+from repro.experiments.resilience import ChaosSpec, FailurePolicy
 from repro.experiments.sweep import SweepSpec, run_sweep, sweep_cache
 from repro.metrics.stats import mean
 from repro.quantum.technology import NEUTRAL_ATOM, SUPERCONDUCTING
@@ -141,6 +145,9 @@ def run(
     warmup: float = 3600.0,
     workers: Optional[int] = None,
     cache_dir: Optional[str] = None,
+    policy: Optional[FailurePolicy] = None,
+    chaos: Optional[ChaosSpec] = None,
+    resume: bool = False,
 ) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="E5",
@@ -193,7 +200,7 @@ def run(
                 ]
             )
 
-    run_sweep(
+    sweep_result = run_sweep(
         sweep_spec(
             seed=seed,
             iterations=iterations,
@@ -206,7 +213,13 @@ def run(
         workers=workers,
         cache=sweep_cache(cache_dir),
         on_result=aggregate,
+        policy=policy,
+        chaos=chaos,
+        journal=cache_dir or None,
+        resume=resume,
     )
+    if attach_sweep_failures(result, sweep_result):
+        return result
 
     # -- Scenario 1: saturated classical partition, short phases ---------------
     result.add_table(

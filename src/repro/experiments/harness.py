@@ -121,6 +121,37 @@ class ExperimentResult:
         return "\n".join(parts)
 
 
+def attach_sweep_failures(result: ExperimentResult, sweep) -> bool:
+    """Fold a sweep's failed points into an experiment result.
+
+    When the sweep ran with ``on_error="collect"`` and some points
+    failed, the experiment's grid is incomplete: claim checks cannot be
+    evaluated.  This attaches a failure-summary table plus a failing
+    :class:`ClaimCheck` (so ``all_passed`` is ``False`` and the CLI
+    exits non-zero) and returns ``True``; with no failures it returns
+    ``False`` and the experiment proceeds normally.
+    """
+    from repro.experiments.resilience import FAILURE_HEADERS, failure_rows
+
+    failures = sweep.failures()
+    if not failures:
+        return False
+    result.add_table(
+        f"sweep failures ({len(failures)} of {len(sweep.points)} points)",
+        list(FAILURE_HEADERS),
+        failure_rows(failures),
+    )
+    result.check(
+        "all sweep points completed",
+        False,
+        detail=(
+            f"{len(failures)} of {len(sweep.points)} point(s) failed; "
+            "claim checks skipped on the incomplete grid"
+        ),
+    )
+    return True
+
+
 def assert_all_claims(result: ExperimentResult) -> None:
     """Raise ``AssertionError`` listing any failed claims (test helper)."""
     failed = result.failed_checks()

@@ -1,0 +1,431 @@
+"""Fault-tolerant campaign execution: policies, outcomes, journal, chaos.
+
+The sweep engine fans millions-of-points campaigns across worker
+processes; this module holds the fault-tolerance vocabulary it speaks:
+
+- :class:`FailurePolicy` — per-point retry budget with bounded
+  backoff, per-point wall-clock timeout, and graceful degradation
+  (``on_error="collect"``) instead of aborting the whole campaign.
+- :class:`PointOutcome` — the structured record every point ends with
+  (ok / failed / timed_out / crashed, attempt count, error text,
+  traceback, per-attempt seconds), collected in
+  :class:`~repro.experiments.sweep.SweepResult.outcomes`.
+- :class:`RunJournal` — a durable JSONL journal of terminal outcomes
+  written next to the :class:`~repro.experiments.sweep.SweepCache`, so
+  a SIGKILL'd campaign resumes skipping both completed *and*
+  permanently-failed points.
+- :class:`ChaosSpec` — a deterministic, seedable fault injector
+  (raise / hang / die at chosen points and attempts) that exercises
+  every recovery path in tests without flaky timing.
+
+None of this perturbs per-point seed derivation: a retried attempt
+re-runs the *same* ``(params, seed)``, so every point that completes is
+byte-identical to a serial, chaos-free run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ChaosError, ConfigurationError
+from repro.sim.rng import derive_seed
+
+#: Terminal point statuses (the only values ``PointOutcome.status``
+#: takes).
+STATUS_OK = "ok"
+STATUS_FAILED = "failed"
+STATUS_TIMED_OUT = "timed_out"
+STATUS_CRASHED = "crashed"
+STATUSES = (STATUS_OK, STATUS_FAILED, STATUS_TIMED_OUT, STATUS_CRASHED)
+
+#: Chaos actions an attempt can be assigned.
+CHAOS_OK = "ok"
+CHAOS_RAISE = "raise"
+CHAOS_HANG = "hang"
+CHAOS_DIE = "die"
+CHAOS_ACTIONS = (CHAOS_OK, CHAOS_RAISE, CHAOS_HANG, CHAOS_DIE)
+
+#: Exit code a chaos-killed worker dies with (visible in core logs).
+CHAOS_EXIT_CODE = 113
+
+
+@dataclass(frozen=True)
+class FailurePolicy:
+    """How one sweep point may fail, retry, and degrade.
+
+    Parameters
+    ----------
+    max_attempts:
+        Executions a point gets before its failure becomes terminal
+        (raising runner or timeout both consume an attempt).
+    timeout_seconds:
+        Per-point wall-clock budget per attempt.  Exceeding it kills
+        the worker pool (a hung worker cannot be cancelled), rebuilds
+        it, and either retries the point or records ``timed_out``.
+    on_error:
+        ``"raise"`` (default) aborts the sweep on the first terminal
+        failure — the historical behaviour.  ``"collect"`` records a
+        :class:`PointOutcome` for the failed point (its value is
+        ``None``) and keeps going.
+    backoff_seconds:
+        Delay before the second attempt; doubles each retry
+        (``backoff_multiplier``) up to ``max_backoff_seconds``.
+    max_crashes:
+        Times a point may take a worker down with it (pool marked
+        broken) before it is terminally ``crashed`` instead of being
+        resubmitted forever.
+
+    >>> FailurePolicy(max_attempts=3).backoff_for(1)
+    0.0
+    >>> FailurePolicy(backoff_seconds=1.0, max_backoff_seconds=3.0).backoff_for(3)
+    3.0
+    """
+
+    max_attempts: int = 1
+    timeout_seconds: Optional[float] = None
+    on_error: str = "raise"
+    backoff_seconds: float = 0.0
+    backoff_multiplier: float = 2.0
+    max_backoff_seconds: float = 30.0
+    max_crashes: int = 3
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.timeout_seconds is not None and self.timeout_seconds <= 0:
+            raise ConfigurationError(
+                f"timeout_seconds must be > 0, got {self.timeout_seconds}"
+            )
+        if self.on_error not in ("raise", "collect"):
+            raise ConfigurationError(
+                f"on_error must be 'raise' or 'collect', got "
+                f"{self.on_error!r}"
+            )
+        if self.backoff_seconds < 0 or self.max_backoff_seconds < 0:
+            raise ConfigurationError("backoff seconds must be >= 0")
+        if self.backoff_multiplier < 1.0:
+            raise ConfigurationError("backoff_multiplier must be >= 1")
+        if self.max_crashes < 1:
+            raise ConfigurationError(
+                f"max_crashes must be >= 1, got {self.max_crashes}"
+            )
+
+    @property
+    def collects(self) -> bool:
+        return self.on_error == "collect"
+
+    def backoff_for(self, failures: int) -> float:
+        """Bounded delay before the attempt following ``failures``."""
+        if self.backoff_seconds <= 0.0 or failures < 1:
+            return 0.0
+        delay = self.backoff_seconds * (
+            self.backoff_multiplier ** (failures - 1)
+        )
+        return min(delay, self.max_backoff_seconds)
+
+
+@dataclass
+class PointOutcome:
+    """The terminal record of one sweep point's execution.
+
+    ``attempts`` counts every execution that *started* (including ones
+    that crashed their worker); ``attempt_seconds`` is index-aligned
+    with them.  ``error``/``traceback`` describe the last failure (both
+    ``None`` when ``status == "ok"``).  ``cached`` marks a value served
+    from the :class:`~repro.experiments.sweep.SweepCache` without
+    executing; ``resumed`` marks an outcome replayed from a
+    :class:`RunJournal` instead of re-executed.
+    """
+
+    index: int
+    key: str
+    status: str
+    attempts: int = 1
+    error: Optional[str] = None
+    traceback: Optional[str] = None
+    attempt_seconds: List[float] = field(default_factory=list)
+    cached: bool = False
+    resumed: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+    def describe(self) -> str:
+        """One-line human summary (used by failure tables and errors)."""
+        text = f"point {self.index} [{self.key}]: {self.status} " \
+               f"after {self.attempts} attempt(s)"
+        if self.error:
+            text += f" — {self.error}"
+        return text
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_json_dict(cls, data: Mapping[str, Any]) -> "PointOutcome":
+        fields = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in fields})
+
+
+# -- durable run journal -----------------------------------------------------
+
+
+class RunJournal:
+    """Append-only JSONL journal of terminal point outcomes.
+
+    One line per terminal outcome, flushed and fsync'd as it happens,
+    so the journal survives a SIGKILL mid-campaign.  The file name
+    binds the journal to ``(experiment id, runner, code version)`` —
+    resuming after a code change starts a fresh journal rather than
+    replaying stale outcomes.
+
+    Resume contract (enforced by ``run_sweep``): a journaled ``ok``
+    point is served from the sweep cache without re-executing; a
+    journaled permanent failure is replayed as its recorded outcome
+    (under ``on_error="collect"``) without re-executing.
+    """
+
+    def __init__(self, path: os.PathLike) -> None:
+        self.path = Path(path)
+        self._handle = None
+
+    @classmethod
+    def for_sweep(
+        cls,
+        directory: os.PathLike,
+        experiment_id: str,
+        runner_name: str,
+        code_version: str,
+    ) -> "RunJournal":
+        """The journal file for one (spec, runner, code) identity."""
+        digest = hashlib.sha256(
+            f"{experiment_id}\n{runner_name}\n{code_version}".encode("utf-8")
+        ).hexdigest()[:12]
+        slug = "".join(
+            ch if (ch.isalnum() or ch in "-_") else "-"
+            for ch in experiment_id
+        )
+        return cls(Path(directory) / f"{slug}-{digest}.journal.jsonl")
+
+    def load(self) -> Dict[str, PointOutcome]:
+        """Point key -> last terminal outcome (tolerates a torn tail).
+
+        A process killed mid-``record`` leaves a truncated final line;
+        it is skipped, not fatal — exactly the crash the journal is
+        for.
+        """
+        outcomes: Dict[str, PointOutcome] = {}
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        data = json.loads(line)
+                        outcome = PointOutcome.from_json_dict(data)
+                    except (ValueError, TypeError):
+                        continue
+                    if outcome.status in STATUSES:
+                        outcomes[outcome.key] = outcome
+        except OSError:
+            return {}
+        return outcomes
+
+    def record(self, outcome: PointOutcome) -> None:
+        """Durably append one terminal outcome (flush + fsync)."""
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "a", encoding="utf-8")
+        line = json.dumps(outcome.to_json_dict(), sort_keys=True)
+        self._handle.write(line + "\n")
+        self._handle.flush()
+        try:
+            os.fsync(self._handle.fileno())
+        except OSError:  # pragma: no cover - exotic filesystems
+            pass
+
+    def reset(self) -> None:
+        """Truncate the journal (a fresh, non-resuming run)."""
+        self.close()
+        try:
+            self.path.unlink()
+        except OSError:
+            pass
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+# -- deterministic chaos harness ---------------------------------------------
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """Deterministic, seedable fault injection for sweep executions.
+
+    Two composable modes:
+
+    - **Plan mode** — ``plan`` maps a point *index* to the action of
+      each of its attempts, in order (attempts beyond the plan run
+      clean).  ``ChaosSpec(plan={3: ("die", "ok")})`` kills the worker
+      running point 3 on its first attempt and lets the retry through.
+    - **Rate mode** — ``seed`` plus ``raise_rate`` / ``hang_rate`` /
+      ``die_rate`` draw an action per ``(point, attempt)`` from a
+      counter-based hash of the chaos seed: the same spec injects the
+      same faults at the same coordinates in every process, at any
+      worker count.  Rates only apply to the first
+      ``attempts_affected`` attempts, so a sweep with enough retries
+      deterministically completes.
+
+    Actions: ``"raise"`` raises :class:`~repro.errors.ChaosError`,
+    ``"hang"`` sleeps ``hang_seconds`` (long past any sane timeout),
+    ``"die"`` hard-exits the worker process (``os._exit``), breaking
+    the pool.  Injection happens *before* the point runner is invoked,
+    so chaos never perturbs the runner's RNG — completed values stay
+    byte-identical with and without chaos.
+
+    >>> chaos = ChaosSpec(plan={2: ("raise",)})
+    >>> [chaos.action_for(i, 1) for i in range(4)]
+    ['ok', 'ok', 'raise', 'ok']
+    >>> chaos.action_for(2, 2)
+    'ok'
+    >>> rated = ChaosSpec(seed=7, raise_rate=0.5)
+    >>> rated.action_for(0, 1) == rated.action_for(0, 1)
+    True
+    >>> rated.action_for(0, 2)  # beyond attempts_affected: clean
+    'ok'
+    """
+
+    plan: Mapping[int, Sequence[str]] = field(default_factory=dict)
+    seed: int = 0
+    raise_rate: float = 0.0
+    hang_rate: float = 0.0
+    die_rate: float = 0.0
+    attempts_affected: int = 1
+    hang_seconds: float = 3600.0
+
+    def __post_init__(self) -> None:
+        normalised: Dict[int, Tuple[str, ...]] = {}
+        for index, actions in dict(self.plan).items():
+            actions = tuple(actions)
+            for action in actions:
+                if action not in CHAOS_ACTIONS:
+                    raise ConfigurationError(
+                        f"unknown chaos action {action!r} "
+                        f"(expected one of {CHAOS_ACTIONS})"
+                    )
+            normalised[int(index)] = actions
+        object.__setattr__(self, "plan", normalised)
+        total = self.raise_rate + self.hang_rate + self.die_rate
+        if not 0.0 <= total <= 1.0:
+            raise ConfigurationError(
+                "chaos rates must be >= 0 and sum to <= 1, got "
+                f"raise={self.raise_rate} hang={self.hang_rate} "
+                f"die={self.die_rate}"
+            )
+        if self.attempts_affected < 0:
+            raise ConfigurationError("attempts_affected must be >= 0")
+        if self.hang_seconds <= 0:
+            raise ConfigurationError("hang_seconds must be > 0")
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ChaosSpec":
+        """Build from a JSON-style mapping (plan keys may be strings)."""
+        fields = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - fields
+        if unknown:
+            raise ConfigurationError(
+                f"unknown ChaosSpec fields: {sorted(unknown)}"
+            )
+        return cls(**dict(data))
+
+    def action_for(self, point_index: int, attempt: int) -> str:
+        """The action for attempt ``attempt`` (1-based) of one point."""
+        actions = self.plan.get(point_index)
+        if actions is not None:
+            if attempt <= len(actions):
+                return actions[attempt - 1]
+            return CHAOS_OK
+        if attempt > self.attempts_affected:
+            return CHAOS_OK
+        total = self.raise_rate + self.hang_rate + self.die_rate
+        if total <= 0.0:
+            return CHAOS_OK
+        draw = derive_seed(self.seed, f"chaos:{point_index}:{attempt}")
+        u = (draw % (2**53)) / float(2**53)
+        if u < self.die_rate:
+            return CHAOS_DIE
+        if u < self.die_rate + self.hang_rate:
+            return CHAOS_HANG
+        if u < total:
+            return CHAOS_RAISE
+        return CHAOS_OK
+
+    def needs_isolation(self) -> bool:
+        """Whether any injected fault must run in a worker process.
+
+        ``die`` would kill the orchestrating process and ``hang``
+        would block it forever; both force pool execution even at
+        ``workers=1``.
+        """
+        if self.die_rate > 0.0 or self.hang_rate > 0.0:
+            return True
+        return any(
+            action in (CHAOS_DIE, CHAOS_HANG)
+            for actions in self.plan.values()
+            for action in actions
+        )
+
+    def inject(self, point_index: int, attempt: int) -> None:
+        """Apply this spec's action for one attempt (worker-side)."""
+        action = self.action_for(point_index, attempt)
+        if action == CHAOS_RAISE:
+            raise ChaosError(
+                f"chaos: injected failure at point {point_index} "
+                f"attempt {attempt}"
+            )
+        if action == CHAOS_HANG:
+            time.sleep(self.hang_seconds)
+            raise ChaosError(
+                f"chaos: hang elapsed at point {point_index} "
+                f"attempt {attempt}"
+            )
+        if action == CHAOS_DIE:
+            os._exit(CHAOS_EXIT_CODE)
+
+
+# -- reporting helpers -------------------------------------------------------
+
+#: Column headers for :func:`failure_rows` tables.
+FAILURE_HEADERS = ("point", "key", "status", "attempts", "error")
+
+
+def failure_rows(outcomes: Sequence[PointOutcome]) -> List[List[Any]]:
+    """Table rows (one per non-ok outcome) for failure summaries."""
+    rows = []
+    for outcome in outcomes:
+        if outcome.ok:
+            continue
+        rows.append(
+            [
+                outcome.index,
+                outcome.key,
+                outcome.status,
+                outcome.attempts,
+                (outcome.error or "")[:120],
+            ]
+        )
+    return rows

@@ -16,10 +16,20 @@ simulation campaigns.  This module turns those grids into declarative
 - **Opt-in on-disk cache** — results are memoised under a key of
   (experiment id, runner, params, seed, code version), so re-running a
   benchmark suite only simulates new points.
+- **Fault tolerance** — a :class:`~repro.experiments.resilience.
+  FailurePolicy` gives each point a retry budget, bounded backoff, a
+  per-point wall-clock timeout and graceful degradation
+  (``on_error="collect"``); worker crashes are detected, the pool is
+  rebuilt and orphaned points resubmitted; a durable
+  :class:`~repro.experiments.resilience.RunJournal` lets a SIGKILL'd
+  campaign resume skipping completed *and* permanently-failed points.
 
 Results are *byte-identical* between serial and parallel execution and
 between cold and warm cache (see :func:`canonical_bytes`, which the
-determinism suite uses to assert exactly that).
+determinism suite uses to assert exactly that).  Retries never perturb
+per-point seed derivation — a retried attempt re-runs the same
+``(params, seed)`` — so the guarantee extends to every point that
+completes under any failure policy or chaos injection.
 """
 
 from __future__ import annotations
@@ -32,7 +42,10 @@ import pickle
 import subprocess
 import tempfile
 import time
+import traceback as traceback_module
+from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import (
@@ -44,12 +57,23 @@ from typing import (
     Optional,
     Sequence,
     Tuple,
+    Union,
 )
 
 import multiprocessing
 
 from repro._version import __version__
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, PointFailedError, SweepError
+from repro.experiments.resilience import (
+    STATUS_CRASHED,
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_TIMED_OUT,
+    ChaosSpec,
+    FailurePolicy,
+    PointOutcome,
+    RunJournal,
+)
 from repro.metrics.stats import RunningStats
 from repro.sim.rng import derive_seed
 
@@ -404,21 +428,38 @@ class SweepCache:
     def load(
         self, spec: SweepSpec, runner_name: str, point: SweepPoint
     ) -> Tuple[bool, Any]:
-        """``(hit, value)``; unreadable/corrupt entries count as misses."""
+        """``(hit, value)``; unreadable/corrupt entries count as misses.
+
+        A corrupted or truncated entry (a worker OOM-killed mid-write,
+        a torn disk) is quarantined — renamed to ``<entry>.corrupt`` —
+        so it cannot shadow the slot forever, and the point
+        re-simulates.
+        """
         path = self._path(spec, runner_name, point)
         try:
             with open(path, "rb") as handle:
                 return True, pickle.load(handle)
+        except FileNotFoundError:
+            return False, None
         except (
             OSError,
             pickle.PickleError,
             EOFError,
+            ValueError,
             AttributeError,
             ImportError,
         ):
-            # Unreadable, corrupt, or referencing renamed/moved code:
-            # treat as a miss and re-simulate.
+            # Corrupt, truncated, or referencing renamed/moved code:
+            # quarantine the bad file and re-simulate.
+            self._quarantine(path)
             return False, None
+
+    @staticmethod
+    def _quarantine(path: Path) -> None:
+        try:
+            os.replace(path, path.with_suffix(path.suffix + ".corrupt"))
+        except OSError:  # pragma: no cover - lost a rename race
+            pass
 
     def store(
         self,
@@ -453,7 +494,8 @@ class SweepResult:
 
     spec: SweepSpec
     points: List[SweepPoint]
-    #: Per-point runner return values, index-aligned with ``points``.
+    #: Per-point runner return values, index-aligned with ``points``
+    #: (``None`` for points that failed under ``on_error="collect"``).
     values: List[Any]
     workers: int
     cache_hits: int = 0
@@ -461,6 +503,8 @@ class SweepResult:
     wall_seconds: float = 0.0
     #: Per-point simulation seconds (0.0 for cache hits).
     point_seconds: List[float] = field(default_factory=list)
+    #: Per-point terminal outcomes, index-aligned with ``points``.
+    outcomes: List[PointOutcome] = field(default_factory=list)
 
     def value_map(self) -> Dict[str, Any]:
         """Point key -> value (for non-positional lookups)."""
@@ -468,6 +512,26 @@ class SweepResult:
             point.key(): value
             for point, value in zip(self.points, self.values)
         }
+
+    @property
+    def ok_count(self) -> int:
+        """Points that completed with a value (executed or cached)."""
+        if not self.outcomes:
+            return len(self.points)
+        return sum(1 for outcome in self.outcomes if outcome.ok)
+
+    @property
+    def failure_count(self) -> int:
+        return len(self.points) - self.ok_count
+
+    def failures(self) -> List[PointOutcome]:
+        """Terminal non-ok outcomes, in point order."""
+        return [o for o in self.outcomes if not o.ok]
+
+    def raise_if_failed(self) -> None:
+        """Raise :class:`PointFailedError` for the first failed point."""
+        for outcome in self.failures():
+            raise PointFailedError(outcome.describe(), outcome=outcome)
 
     def timing_stats(self) -> RunningStats:
         """Summary statistics over the simulated points' wall times."""
@@ -484,12 +548,107 @@ def _runner_name(runner: PointRunner) -> str:
     return f"{module}:{qualname}"
 
 
-def _execute_point(
-    runner: PointRunner, params: Dict[str, Any], seed: int
-) -> Tuple[Any, float]:
+def _execute_point_attempt(
+    runner: PointRunner,
+    params: Dict[str, Any],
+    seed: int,
+    chaos: Optional[ChaosSpec],
+    point_index: int,
+    attempt: int,
+) -> Tuple[Any, ...]:
+    """One attempt of one point; never raises (worker-side).
+
+    Returns ``("ok", value, elapsed)`` or ``("err", error_text,
+    traceback_text, exception, elapsed)``.  Runner exceptions are
+    *returned*, not raised: an exception that failed to pickle across
+    the pool boundary would otherwise surface as an opaque transfer
+    error.  Chaos is injected before the runner runs, so injection can
+    never perturb the runner's RNG draws.
+    """
     start = time.perf_counter()
-    value = runner(params, seed)
-    return value, time.perf_counter() - start
+    try:
+        if chaos is not None:
+            chaos.inject(point_index, attempt)
+        value = runner(params, seed)
+        return ("ok", value, time.perf_counter() - start)
+    except Exception as exc:
+        elapsed = time.perf_counter() - start
+        return (
+            "err",
+            f"{type(exc).__name__}: {exc}",
+            traceback_module.format_exc(),
+            exc,
+            elapsed,
+        )
+
+
+class _PointState:
+    """Mutable per-point bookkeeping while a point is being executed."""
+
+    __slots__ = (
+        "point",
+        "attempt_seconds",
+        "failures",
+        "crashes",
+        "last_status",
+        "last_error",
+        "last_traceback",
+        "last_exception",
+    )
+
+    def __init__(self, point: SweepPoint) -> None:
+        self.point = point
+        self.attempt_seconds: List[float] = []
+        self.failures = 0
+        self.crashes = 0
+        self.last_status = STATUS_FAILED
+        self.last_error: Optional[str] = None
+        self.last_traceback: Optional[str] = None
+        self.last_exception: Optional[BaseException] = None
+
+    @property
+    def next_attempt(self) -> int:
+        return len(self.attempt_seconds) + 1
+
+    def outcome(self, status: str) -> PointOutcome:
+        return PointOutcome(
+            index=self.point.index,
+            key=self.point.key(),
+            status=status,
+            attempts=len(self.attempt_seconds),
+            error=None if status == STATUS_OK else self.last_error,
+            traceback=None if status == STATUS_OK else self.last_traceback,
+            attempt_seconds=list(self.attempt_seconds),
+        )
+
+
+def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+    """Hard-stop a pool: cancel queued work, kill and reap workers.
+
+    Used when the orchestrator must reclaim workers it cannot wait for
+    — hung points past their timeout, a broken pool, or an abort
+    (``KeyboardInterrupt`` / a raising ``on_result`` callback) — so no
+    orphaned processes outlive the sweep.
+    """
+    # Snapshot the workers first: ``shutdown`` drops the pool's
+    # ``_processes`` reference, and a hung worker left unkilled keeps
+    # the executor's management thread (and interpreter exit) blocked
+    # forever.
+    processes = list((getattr(pool, "_processes", None) or {}).values())
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:  # pragma: no cover - shutdown of a broken pool
+        pass
+    for process in processes:
+        try:
+            process.kill()
+        except Exception:  # pragma: no cover - already dead
+            pass
+    for process in processes:
+        try:
+            process.join(timeout=5.0)
+        except Exception:  # pragma: no cover - already reaped
+            pass
 
 
 def resolve_workers(workers: Optional[int]) -> int:
@@ -523,13 +682,32 @@ def run_sweep(
     workers: Optional[int] = None,
     cache: Optional[SweepCache] = None,
     on_result: Optional[Callable[[SweepPoint, Any], None]] = None,
+    policy: Optional[FailurePolicy] = None,
+    chaos: Optional[ChaosSpec] = None,
+    journal: Union[RunJournal, os.PathLike, str, None] = None,
+    resume: bool = True,
+    on_outcome: Optional[Callable[[SweepPoint, PointOutcome], None]] = None,
 ) -> SweepResult:
     """Execute every point of ``spec`` through ``runner``.
 
-    ``on_result(point, value)`` streams completed points **in point
-    order** (out-of-order completions are buffered), so aggregation is
-    deterministic no matter how the pool schedules the work.  The
-    returned :class:`SweepResult` holds values in the same order.
+    ``on_result(point, value)`` streams points that completed with a
+    value **in point order** (out-of-order completions are buffered),
+    so aggregation is deterministic no matter how the pool schedules
+    the work; ``on_outcome(point, outcome)`` streams *every* terminal
+    outcome, failures included, in the same order.  The returned
+    :class:`SweepResult` holds values and outcomes in point order.
+
+    ``policy`` governs retries, per-point timeouts and degradation
+    (the default policy reproduces the historical behaviour: one
+    attempt, no timeout, first failure raises).  ``journal`` — a
+    :class:`~repro.experiments.resilience.RunJournal` or a directory
+    to put one in — durably records terminal outcomes as they happen;
+    with ``resume=True`` a re-run skips journaled points (completed
+    ones come back from the cache, permanent failures are replayed as
+    outcomes).  ``chaos`` injects deterministic faults for testing
+    recovery paths.  A point needing process isolation (a timeout is
+    set, or chaos may hang/kill) executes through a worker pool even
+    at ``workers=1`` — results are byte-identical either way.
 
     >>> spec = SweepSpec("doc", axes={"x": [1, 2, 3]})
     >>> run_sweep(spec, lambda params, seed: params["x"] * 10,
@@ -537,12 +715,21 @@ def run_sweep(
     [10, 20, 30]
     """
     workers = resolve_workers(workers)
+    policy = policy or FailurePolicy()
     points = spec.points()
     runner_name = _runner_name(runner)
+    if journal is not None and not isinstance(journal, RunJournal):
+        journal = RunJournal.for_sweep(
+            Path(journal),
+            spec.experiment_id,
+            runner_name,
+            cache.code_version if cache else _default_code_version(),
+        )
     start = time.perf_counter()
     values: List[Any] = [None] * len(points)
     seconds: List[float] = [0.0] * len(points)
     completed = [False] * len(points)
+    outcomes: List[Optional[PointOutcome]] = [None] * len(points)
     delivered = 0
     hits = 0
 
@@ -550,59 +737,109 @@ def run_sweep(
         """Stream the completed contiguous prefix, in point order."""
         nonlocal delivered
         while delivered < len(points) and completed[delivered]:
-            if on_result is not None:
+            outcome = outcomes[delivered]
+            if on_outcome is not None:
+                on_outcome(points[delivered], outcome)
+            if on_result is not None and (outcome is None or outcome.ok):
                 on_result(points[delivered], values[delivered])
             delivered += 1
 
-    #: Points still to simulate after consulting the cache.
-    to_run: List[SweepPoint] = []
-    for point in points:
-        if cache is not None:
-            hit, value = cache.load(spec, runner_name, point)
-            if hit:
-                values[point.index] = value
-                completed[point.index] = True
-                hits += 1
-                continue
-        to_run.append(point)
-
-    def finish(point: SweepPoint, value: Any, elapsed: float) -> None:
+    def finish(
+        point: SweepPoint, value: Any, outcome: PointOutcome
+    ) -> None:
         values[point.index] = value
-        seconds[point.index] = elapsed
+        if outcome.attempt_seconds:
+            seconds[point.index] = outcome.attempt_seconds[-1]
         completed[point.index] = True
+        outcomes[point.index] = outcome
         if cache is not None:
             cache.store(spec, runner_name, point, value)
+        if journal is not None and not outcome.resumed:
+            journal.record(outcome)
 
-    flush()
-    if workers == 1 or len(to_run) <= 1:
-        for point in to_run:
-            # The runner gets a copy so an in-process mutation can
-            # never corrupt the point's identity (cache key, reports) —
-            # pool workers get a pickled copy for free.
-            value, elapsed = _execute_point(
-                runner, dict(point.params), point.seed
+    def fail_terminal(
+        point: SweepPoint,
+        outcome: PointOutcome,
+        exception: Optional[BaseException] = None,
+    ) -> None:
+        """Record a permanent failure; collect it or abort the sweep."""
+        outcomes[point.index] = outcome
+        if journal is not None and not outcome.resumed:
+            journal.record(outcome)
+        if policy.collects:
+            values[point.index] = None
+            completed[point.index] = True
+            return
+        if exception is not None:
+            raise exception
+        raise PointFailedError(outcome.describe(), outcome=outcome)
+
+    journaled: Dict[str, PointOutcome] = {}
+    if isinstance(journal, RunJournal):
+        if resume:
+            journaled = journal.load()
+        else:
+            journal.reset()
+
+    #: Points still to simulate after cache and journal consultation.
+    to_run: List[SweepPoint] = []
+    try:
+        for point in points:
+            if cache is not None:
+                hit, value = cache.load(spec, runner_name, point)
+                if hit:
+                    values[point.index] = value
+                    completed[point.index] = True
+                    hits += 1
+                    prior = journaled.get(point.key())
+                    outcomes[point.index] = PointOutcome(
+                        index=point.index,
+                        key=point.key(),
+                        status=STATUS_OK,
+                        attempts=prior.attempts if prior else 0,
+                        attempt_seconds=(
+                            list(prior.attempt_seconds) if prior else []
+                        ),
+                        cached=True,
+                        resumed=prior is not None,
+                    )
+                    continue
+            prior = journaled.get(point.key())
+            if prior is not None and prior.status != STATUS_OK:
+                # Journaled permanent failure: replay the outcome
+                # instead of burning attempts on a known-bad point.
+                resumed = dataclasses.replace(
+                    prior, index=point.index, resumed=True
+                )
+                fail_terminal(point, resumed)
+                continue
+            # A journaled ok whose cache entry is gone (no cache, or
+            # quarantined) falls through and re-executes.
+            to_run.append(point)
+
+        flush()
+        isolate = policy.timeout_seconds is not None or (
+            chaos is not None and chaos.needs_isolation()
+        )
+        if (workers == 1 or len(to_run) <= 1) and not isolate:
+            _run_serial(
+                to_run, runner, policy, chaos, finish, fail_terminal, flush
             )
-            finish(point, value, elapsed)
-            flush()
-    else:
-        with ProcessPoolExecutor(
-            max_workers=min(workers, len(to_run)), mp_context=_mp_context()
-        ) as pool:
-            futures = {
-                pool.submit(
-                    _execute_point, runner, point.params, point.seed
-                ): point
-                for point in to_run
-            }
-            pending = set(futures)
-            while pending:
-                done, pending = wait(pending, return_when=FIRST_COMPLETED)
-                for future in done:
-                    point = futures[future]
-                    value, elapsed = future.result()
-                    finish(point, value, elapsed)
-                flush()
-    flush()
+        elif to_run:
+            _run_pool(
+                to_run,
+                runner,
+                workers,
+                policy,
+                chaos,
+                finish,
+                fail_terminal,
+                flush,
+            )
+        flush()
+    finally:
+        if isinstance(journal, RunJournal):
+            journal.close()
 
     return SweepResult(
         spec=spec,
@@ -613,7 +850,339 @@ def run_sweep(
         cache_misses=len(to_run),
         wall_seconds=time.perf_counter() - start,
         point_seconds=seconds,
+        outcomes=outcomes,
     )
+
+
+def _run_serial(
+    to_run: List[SweepPoint],
+    runner: PointRunner,
+    policy: FailurePolicy,
+    chaos: Optional[ChaosSpec],
+    finish: Callable[[SweepPoint, Any, PointOutcome], None],
+    fail_terminal: Callable[..., None],
+    flush: Callable[[], None],
+) -> None:
+    """In-process execution with retries (no timeout/hang/die chaos)."""
+    for point in to_run:
+        state = _PointState(point)
+        while True:
+            # The runner gets a copy so an in-process mutation can
+            # never corrupt the point's identity (cache key, reports) —
+            # pool workers get a pickled copy for free.
+            result = _execute_point_attempt(
+                runner,
+                dict(point.params),
+                point.seed,
+                chaos,
+                point.index,
+                state.next_attempt,
+            )
+            if result[0] == "ok":
+                _, value, elapsed = result
+                state.attempt_seconds.append(elapsed)
+                finish(point, value, state.outcome(STATUS_OK))
+                break
+            _, text, trace, exception, elapsed = result
+            state.attempt_seconds.append(elapsed)
+            state.failures += 1
+            state.last_error = text
+            state.last_traceback = trace
+            state.last_exception = exception
+            if state.failures >= policy.max_attempts:
+                fail_terminal(
+                    point, state.outcome(STATUS_FAILED), exception
+                )
+                break
+            delay = policy.backoff_for(state.failures)
+            if delay > 0.0:
+                time.sleep(delay)
+        flush()
+
+
+def _run_pool(
+    to_run: List[SweepPoint],
+    runner: PointRunner,
+    workers: int,
+    policy: FailurePolicy,
+    chaos: Optional[ChaosSpec],
+    finish: Callable[[SweepPoint, Any, PointOutcome], None],
+    fail_terminal: Callable[..., None],
+    flush: Callable[[], None],
+) -> None:
+    """Pool execution with retries, timeouts and crash recovery.
+
+    In-flight submissions are bounded by the worker count.  When the
+    pool breaks, the culprit cannot be told apart from innocent
+    co-residents, so *nobody* is charged: every in-flight point
+    becomes a **suspect** and re-runs exclusively (one in-flight at a
+    time).  A pool break during a solo run is unambiguous — that point
+    is charged one crash against ``policy.max_crashes`` and becomes
+    terminally ``crashed`` once the budget is spent, instead of
+    killing workers forever; innocents clear themselves with one clean
+    solo run and full parallelism resumes.  On *any* abort —
+    ``KeyboardInterrupt``, a raising ``on_result`` callback, a
+    terminal failure under ``on_error="raise"`` — queued futures are
+    cancelled and workers terminated, never orphaned.
+    """
+    max_pool = max(1, min(workers, len(to_run)))
+    pool = ProcessPoolExecutor(
+        max_workers=max_pool, mp_context=_mp_context()
+    )
+    states = {point.index: _PointState(point) for point in to_run}
+    ready: deque = deque(point.index for point in to_run)
+    #: Suspects awaiting an exclusive (solo) run for crash attribution.
+    solo: deque = deque()
+    #: (eligible_monotonic, index) pairs sleeping out a backoff.
+    waiting: List[Tuple[float, int]] = []
+    #: future -> (index, deadline_monotonic, submit_perf, is_solo)
+    inflight: Dict[Any, Tuple[int, float, float, bool]] = {}
+    #: Backstop against a pathologically break-happy environment.
+    rebuilds = 0
+    max_rebuilds = 4 + 2 * policy.max_crashes * len(to_run)
+
+    def rebuild_pool() -> None:
+        nonlocal pool, rebuilds
+        rebuilds += 1
+        if rebuilds > max_rebuilds:
+            raise SweepError(
+                f"worker pool broke {rebuilds} times; giving up "
+                "(crash budgets should have made this unreachable)"
+            )
+        _terminate_pool(pool)
+        pool = ProcessPoolExecutor(
+            max_workers=max_pool, mp_context=_mp_context()
+        )
+
+    def schedule(index: int, eligible: float) -> None:
+        if eligible <= time.monotonic():
+            ready.append(index)
+        else:
+            waiting.append((eligible, index))
+
+    def charge_crash(index: int, elapsed: float, now: float) -> None:
+        state = states[index]
+        state.attempt_seconds.append(elapsed)
+        state.crashes += 1
+        state.last_error = (
+            "worker process died while executing this point "
+            f"(crash {state.crashes}/{policy.max_crashes})"
+        )
+        state.last_traceback = None
+        state.last_exception = None
+        if state.crashes >= policy.max_crashes:
+            fail_terminal(state.point, state.outcome(STATUS_CRASHED))
+        else:
+            # Retry exclusively: a repeat killer must not take the
+            # whole pool down again on the way to its crash budget.
+            solo.append(index)
+
+    def handle_broken_future(
+        index: int, is_solo: bool, elapsed: float, now: float
+    ) -> None:
+        if is_solo:
+            charge_crash(index, elapsed, now)
+        else:
+            # Ambiguous attribution: re-run exclusively, uncharged.
+            solo.append(index)
+
+    def record_failure(
+        index: int,
+        text: str,
+        trace: Optional[str],
+        exception: Optional[BaseException],
+        elapsed: float,
+        now: float,
+        status: str = STATUS_FAILED,
+    ) -> None:
+        state = states[index]
+        state.attempt_seconds.append(elapsed)
+        state.failures += 1
+        state.last_status = status
+        state.last_error = text
+        state.last_traceback = trace
+        state.last_exception = exception
+        if state.failures >= policy.max_attempts:
+            fail_terminal(state.point, state.outcome(status), exception)
+        else:
+            schedule(index, now + policy.backoff_for(state.failures))
+
+    def process_completion(future: Any, now: float) -> bool:
+        """Handle one done future; returns True if the pool broke."""
+        index, _, submitted, is_solo = inflight.pop(future)
+        try:
+            result = future.result()
+        except BrokenProcessPool:
+            handle_broken_future(
+                index, is_solo, time.perf_counter() - submitted, now
+            )
+            return True
+        except Exception as exc:
+            # The attempt itself cannot raise; this is a transfer
+            # failure (e.g. an unpicklable runner return value).
+            record_failure(
+                index,
+                f"{type(exc).__name__}: {exc}",
+                traceback_module.format_exc(),
+                exc,
+                time.perf_counter() - submitted,
+                now,
+            )
+            return False
+        state = states[index]
+        if result[0] == "ok":
+            _, value, elapsed = result
+            state.attempt_seconds.append(elapsed)
+            finish(state.point, value, state.outcome(STATUS_OK))
+        else:
+            _, text, trace, exception, elapsed = result
+            record_failure(index, text, trace, exception, elapsed, now)
+        return False
+
+    def handle_pool_break(now: float) -> None:
+        """Quarantine every in-flight point, rebuild the pool."""
+        for future in list(inflight):
+            if future.done():
+                process_completion(future, now)
+            else:  # pragma: no cover - executor failed them already
+                index, _, submitted, is_solo = inflight.pop(future)
+                handle_broken_future(
+                    index, is_solo, time.perf_counter() - submitted, now
+                )
+        rebuild_pool()
+
+    def expire_timeouts(now: float) -> None:
+        """Reclaim workers hung past the per-point deadline."""
+        expired = [
+            (future, index)
+            for future, (index, deadline, _, _) in inflight.items()
+            if not future.done() and now >= deadline
+        ]
+        if not expired:
+            return
+        # Harvest any finished results first, then kill the pool: a
+        # hung task cannot be cancelled, only its worker can.
+        for future in [f for f in list(inflight) if f.done()]:
+            process_completion(future, now)
+        expired_set = {future for future, _ in expired}
+        innocents = [
+            index
+            for future, (index, _, _, _) in inflight.items()
+            if future not in expired_set
+        ]
+        for future, index in expired:
+            if future not in inflight:
+                continue
+            inflight.pop(future)
+            record_failure(
+                index,
+                (
+                    "point exceeded its "
+                    f"{policy.timeout_seconds}s wall-clock timeout"
+                ),
+                None,
+                None,
+                float(policy.timeout_seconds or 0.0),
+                now,
+                status=STATUS_TIMED_OUT,
+            )
+        inflight.clear()
+        rebuild_pool()
+        # Interrupted bystanders are resubmitted uncharged: our
+        # teardown, not their failure.
+        for index in innocents:
+            schedule(index, now)
+
+    def submit_ready(now: float) -> None:
+        while True:
+            # Suspect quarantine drains first, one exclusive run at a
+            # time; normal submission resumes once it is empty.
+            if solo:
+                if inflight:
+                    return
+                index = solo[0]
+                is_solo = True
+            elif ready and len(inflight) < max_pool:
+                index = ready.popleft()
+                is_solo = False
+            else:
+                return
+            state = states[index]
+            try:
+                future = pool.submit(
+                    _execute_point_attempt,
+                    runner,
+                    state.point.params,
+                    state.point.seed,
+                    chaos,
+                    index,
+                    state.next_attempt,
+                )
+            except (BrokenProcessPool, RuntimeError):
+                if not is_solo:
+                    ready.appendleft(index)
+                handle_pool_break(now)
+                continue
+            if is_solo:
+                solo.popleft()
+            deadline = (
+                now + policy.timeout_seconds
+                if policy.timeout_seconds is not None
+                else float("inf")
+            )
+            inflight[future] = (
+                index, deadline, time.perf_counter(), is_solo
+            )
+
+    try:
+        while ready or solo or waiting or inflight:
+            now = time.monotonic()
+            if waiting:
+                still = []
+                for eligible, index in waiting:
+                    if eligible <= now:
+                        ready.append(index)
+                    else:
+                        still.append((eligible, index))
+                waiting[:] = still
+            submit_ready(now)
+            if not inflight:
+                if waiting:
+                    time.sleep(
+                        max(0.0, min(t for t, _ in waiting) - now)
+                    )
+                continue
+            bounds = [
+                deadline
+                for _, deadline, _, _ in inflight.values()
+                if deadline != float("inf")
+            ]
+            bounds.extend(eligible for eligible, _ in waiting)
+            wait_timeout = (
+                max(0.01, min(bounds) - now) if bounds else None
+            )
+            done, _ = wait(
+                set(inflight),
+                timeout=wait_timeout,
+                return_when=FIRST_COMPLETED,
+            )
+            now = time.monotonic()
+            broke = False
+            for future in done:
+                if future in inflight:
+                    broke = process_completion(future, now) or broke
+            if broke:
+                handle_pool_break(now)
+            else:
+                expire_timeouts(now)
+            flush()
+    except BaseException:
+        # Abort path (KeyboardInterrupt, raising callbacks, terminal
+        # failure under on_error="raise"): never leave orphans.
+        _terminate_pool(pool)
+        raise
+    else:
+        pool.shutdown(wait=True, cancel_futures=True)
 
 
 def sweep_cache(cache_dir: Optional[os.PathLike]) -> Optional[SweepCache]:

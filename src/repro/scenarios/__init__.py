@@ -56,6 +56,7 @@ from repro.scenarios.spec import (
 from repro.scenarios.sweeps import (
     point_scenario,
     run_scenario_point,
+    run_scenario_sweep,
     scenario_sweep_spec,
 )
 
@@ -94,6 +95,7 @@ __all__ = [
     "resolve_trace_path",
     "run_scenario",
     "run_scenario_point",
+    "run_scenario_sweep",
     "scenario_sweep_spec",
     "trace_component_mapper",
     "with_overrides",

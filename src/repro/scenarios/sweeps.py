@@ -12,9 +12,16 @@ vs parallel because the scenario is a pure function of (params, seed).
 
 from __future__ import annotations
 
-from typing import Any, Dict, Mapping, Optional, Sequence
+import os
+from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Union
 
-from repro.experiments.sweep import SweepSpec
+from repro.experiments.resilience import ChaosSpec, FailurePolicy, RunJournal
+from repro.experiments.sweep import (
+    SweepCache,
+    SweepResult,
+    SweepSpec,
+    run_sweep,
+)
 from repro.scenarios.build import run_scenario
 from repro.scenarios.registry import get_scenario
 from repro.scenarios.spec import ScenarioSpec, with_overrides
@@ -101,4 +108,46 @@ def scenario_sweep_spec(
         constants=constants,
         base_seed=base_seed,
         replications=replications,
+    )
+
+
+def run_scenario_sweep(
+    spec: SweepSpec,
+    workers: Optional[int] = None,
+    cache: Optional[SweepCache] = None,
+    policy: Optional[FailurePolicy] = None,
+    chaos: Optional[ChaosSpec] = None,
+    journal: Union[RunJournal, os.PathLike, str, None] = None,
+    resume: bool = True,
+    on_result: Optional[Callable[..., None]] = None,
+) -> SweepResult:
+    """Execute a scenario grid with full per-point outcome reporting.
+
+    The fault-tolerance layer rides along: give the sweep a
+    :class:`~repro.experiments.resilience.FailurePolicy` and a raising
+    or crashing scenario point degrades into a structured
+    :class:`~repro.experiments.resilience.PointOutcome` in
+    ``result.outcomes`` instead of aborting the campaign; a ``journal``
+    (typically the cache directory) makes the campaign resumable after
+    a hard kill.
+
+    >>> sweep = scenario_sweep_spec(
+    ...     "baseline-32", {"topology.classical_nodes": [16, 32]},
+    ...     run_horizon=600.0)
+    >>> result = run_scenario_sweep(sweep, workers=1)
+    >>> [outcome.status for outcome in result.outcomes]
+    ['ok', 'ok']
+    >>> result.ok_count
+    2
+    """
+    return run_sweep(
+        spec,
+        run_scenario_point,
+        workers=workers,
+        cache=cache,
+        on_result=on_result,
+        policy=policy,
+        chaos=chaos,
+        journal=journal,
+        resume=resume,
     )

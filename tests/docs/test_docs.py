@@ -44,6 +44,7 @@ def test_docs_suite_exists():
         "README.md",
         "architecture.md",
         "fleet.md",
+        "resilience.md",
         "scenarios.md",
         "sweeps.md",
     } <= names
@@ -54,6 +55,7 @@ def test_readme_links_the_doc_pages():
     for page in (
         "architecture.md",
         "fleet.md",
+        "resilience.md",
         "scenarios.md",
         "sweeps.md",
     ):

@@ -373,6 +373,32 @@ class TestCacheKeying:
         assert result.cache_hits == 0
         assert result.cache_misses == len(spec)
 
+    def test_corrupt_entry_is_quarantined_not_left_in_place(self, tmp_path):
+        spec = _small_spec()
+        cache = SweepCache(tmp_path)
+        run_sweep(spec, _record_seed, cache=cache)
+        entries = sorted(tmp_path.glob("*.pkl"))
+        for entry in entries:
+            entry.write_bytes(b"not a pickle")
+        run_sweep(spec, _record_seed, cache=cache)
+        # The bad files moved aside (named for the slot they poisoned)
+        # and the re-simulated values repopulated every slot.
+        corpses = sorted(tmp_path.glob("*.pkl.corrupt"))
+        assert [c.name for c in corpses] == [
+            e.name + ".corrupt" for e in entries
+        ]
+        third = run_sweep(spec, _record_seed, cache=cache)
+        assert third.cache_hits == len(spec)
+
+    def test_truncated_entry_counts_as_miss(self, tmp_path):
+        spec = _small_spec()
+        cache = SweepCache(tmp_path)
+        run_sweep(spec, _record_seed, cache=cache)
+        for entry in tmp_path.glob("*.pkl"):
+            entry.write_bytes(entry.read_bytes()[:3])  # torn write
+        result = run_sweep(spec, _record_seed, cache=cache)
+        assert result.cache_hits == 0
+
 
 class TestWorkersResolution:
     def test_explicit_wins(self):

@@ -77,6 +77,83 @@ class TestSweep:
         with pytest.raises(SystemExit):
             main(["sweep", "E1"])
 
+    def test_sweep_retries_absorb_first_attempt_chaos(self, capsys):
+        # Every point's first attempt raises; --retries 1 recovers all
+        # of them, so the run is indistinguishable from a clean one.
+        assert (
+            main(
+                [
+                    "sweep",
+                    "E7",
+                    "--retries",
+                    "1",
+                    "--chaos",
+                    '{"seed": 7, "raise_rate": 1.0}',
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "[PASS]" in output
+        assert "sweep failures" not in output
+
+    def test_sweep_collect_prints_failure_table_and_fails(self, capsys):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "E7",
+                    "--on-error",
+                    "collect",
+                    "--chaos",
+                    '{"plan": {"0": ["raise"]}}',
+                ]
+            )
+            == 1
+        )
+        output = capsys.readouterr().out
+        assert "sweep failures (1 of 6 points)" in output
+        assert "ChaosError" in output
+        assert "[FAIL] all sweep points completed" in output
+
+    def test_sweep_raise_mode_reports_and_exits_nonzero(self, capsys):
+        assert (
+            main(
+                ["sweep", "E7", "--chaos", '{"plan": {"0": ["raise"]}}']
+            )
+            == 1
+        )
+        err = capsys.readouterr().err
+        assert "error: E7:" in err
+        assert "--on-error collect" in err
+
+    def test_sweep_resume_requires_cache_dir(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "E7", "--resume"])
+        assert excinfo.value.code == 2
+        assert "--cache-dir" in capsys.readouterr().err
+
+    def test_sweep_rejects_negative_retries(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "E7", "--retries", "-1"])
+        assert excinfo.value.code == 2
+
+    def test_sweep_rejects_malformed_chaos(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "E7", "--chaos", '{"rais_rate": 1.0}'])
+        assert excinfo.value.code == 2
+        assert "--chaos" in capsys.readouterr().err
+
+    def test_sweep_resume_skips_journaled_points(self, capsys, tmp_path):
+        cache_dir = tmp_path / "cache"
+        args = ["sweep", "E7", "--cache-dir", str(cache_dir)]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert list(cache_dir.glob("*.journal.jsonl"))
+        assert main(args + ["--resume"]) == 0
+        output = capsys.readouterr().out
+        assert "[PASS]" in output
+
 
 class TestScenario:
     def test_list_shows_presets(self, capsys):
