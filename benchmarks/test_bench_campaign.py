@@ -1,0 +1,120 @@
+"""Campaign-engine benchmark: orchestration overhead and E3 end to end.
+
+Two measurements bound what the campaign layer costs on top of the
+work it schedules:
+
+1. overhead — a 24-stage layered DAG of near-free stages runs fresh
+   (journal + pickle + dispatch per stage) and then again under
+   ``resume`` (pure replay).  The per-stage orchestration cost and the
+   replay cost are recorded; the replay must re-execute zero stages
+   and reproduce the fresh digest byte for byte.
+2. e3 pipeline — the packaged ``e3-workflow`` campaign regenerates the
+   paper's Fig 2 signal (workflow execution keeps the QPU busy only
+   while circuits run; co-scheduling holds it idle through classical
+   phases) through the full DAG: sweep stage, aggregation, strategy
+   comparison and report.
+
+Both walls land in ``BENCH_<rev>.json``.
+"""
+
+from repro.campaigns import CampaignEngine, CampaignSpec, StageSpec, STEPS
+
+LAYERS = 4
+WIDTH = 6
+
+#: Executions observed by the bench step (serial backend: in-process).
+_EXECUTIONS = []
+
+
+@STEPS.register("bench.node")
+def _bench_node(ctx):
+    _EXECUTIONS.append(ctx.stage)
+    return ctx.param("x", 0) + sum(
+        ctx.upstream[name] for name in sorted(ctx.upstream)
+    )
+
+
+def _layered_spec():
+    """LAYERS x WIDTH grid; each stage depends on the previous layer."""
+    stages = []
+    for layer in range(LAYERS):
+        for slot in range(WIDTH):
+            after = (
+                tuple(f"n{layer - 1}-{s}" for s in range(WIDTH))
+                if layer
+                else ()
+            )
+            stages.append(
+                StageSpec(
+                    name=f"n{layer}-{slot}",
+                    step="bench.node",
+                    params={"x": layer * WIDTH + slot},
+                    after=after,
+                )
+            )
+    return CampaignSpec(name="bench-dag", seed=1, stages=tuple(stages))
+
+
+def test_bench_campaign_overhead(run_once, bench_record, tmp_path):
+    spec = _layered_spec()
+    stage_count = LAYERS * WIDTH
+
+    def fresh_then_resume():
+        engine = CampaignEngine(spec, tmp_path, code_version="bench")
+        fresh = engine.run()
+        executed = len(_EXECUTIONS)
+        replay = CampaignEngine(
+            spec, tmp_path, code_version="bench"
+        ).run(resume=True)
+        return fresh, replay, executed
+
+    fresh, replay, executed = run_once(fresh_then_resume)
+
+    # Every stage ran exactly once; the resume re-executed none of
+    # them and reproduced the result byte for byte.
+    assert fresh.ok and replay.ok
+    assert executed == stage_count
+    assert len(_EXECUTIONS) == stage_count
+    assert sorted(replay.resumed_stages()) == sorted(
+        stage.name for stage in spec.stages
+    )
+    assert replay.canonical_digest() == fresh.canonical_digest()
+
+    bench_record(
+        stages=stage_count,
+        fresh_seconds=round(fresh.wall_seconds, 6),
+        replay_seconds=round(replay.wall_seconds, 6),
+        per_stage_overhead_seconds=round(
+            fresh.wall_seconds / stage_count, 6
+        ),
+    )
+
+
+def test_bench_campaign_e3_pipeline(run_once, bench_record, tmp_path):
+    engine = CampaignEngine(
+        "e3-workflow", tmp_path, code_version="bench"
+    )
+    result = run_once(engine.run)
+
+    assert result.ok
+    compare = result.values["compare"]
+    # The Fig 2 signal survives the DAG: workflow execution releases
+    # the QPU between circuits, co-scheduling pins it for the whole
+    # campaign.
+    assert (
+        compare["workflow"]["qpu_efficiency"]
+        > 10 * compare["coschedule"]["qpu_efficiency"]
+    )
+    aggregate = result.values["aggregate"]
+    assert aggregate["rows"] >= 3
+
+    bench_record(
+        wall_seconds=round(result.wall_seconds, 6),
+        stages=len(result.order),
+        workflow_qpu_efficiency=round(
+            compare["workflow"]["qpu_efficiency"], 6
+        ),
+        coschedule_qpu_efficiency=round(
+            compare["coschedule"]["qpu_efficiency"], 6
+        ),
+    )

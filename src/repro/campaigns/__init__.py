@@ -1,0 +1,83 @@
+"""Resilient campaign orchestration: declarative DAGs of stages.
+
+The PR-2 sweep engine executes one parameter grid; real reproduction
+pipelines chain many — sweeps feeding aggregations feeding reports,
+with independent branches that should not die together.  This package
+runs such pipelines as declarative, journaled, resumable DAGs:
+
+- :mod:`~repro.campaigns.spec` — :class:`CampaignSpec` /
+  :class:`StageSpec`, loadable from TOML/JSON (checked-in specs ship
+  in ``repro/campaigns/data``);
+- :mod:`~repro.campaigns.dag` — deterministic topological order and
+  downstream-cone computation;
+- :mod:`~repro.campaigns.steps` — the :data:`STEPS` registry mapping
+  step names (``scenario.sweep``, ``strategy.compare``, …) to code;
+- :mod:`~repro.campaigns.journal` — the fsync'd stage journal resume
+  reads;
+- :mod:`~repro.campaigns.backends` — serial and local-pool execution
+  with byte-identical values;
+- :mod:`~repro.campaigns.engine` — :class:`CampaignEngine`, tying the
+  above to per-stage retries, timeouts, cone-skipping and chaos.
+"""
+
+from repro.campaigns.backends import (
+    BACKENDS,
+    ExecutionBackend,
+    LocalPoolBackend,
+    SerialBackend,
+    create_backend,
+)
+from repro.campaigns.dag import CampaignDAG
+from repro.campaigns.engine import (
+    CampaignEngine,
+    CampaignResult,
+    result_digest,
+    run_campaign_spec,
+    stage_seed,
+)
+from repro.campaigns.journal import (
+    STATUS_SKIPPED,
+    CampaignJournal,
+    StageOutcome,
+    campaign_digest,
+)
+from repro.campaigns.spec import (
+    CampaignSpec,
+    StageSpec,
+    list_campaigns,
+    load_campaign,
+)
+from repro.campaigns.steps import (
+    STEPS,
+    StageContext,
+    StepRegistry,
+    register_step,
+    resolve_step,
+)
+
+__all__ = [
+    "BACKENDS",
+    "CampaignDAG",
+    "CampaignEngine",
+    "CampaignJournal",
+    "CampaignResult",
+    "CampaignSpec",
+    "ExecutionBackend",
+    "LocalPoolBackend",
+    "STATUS_SKIPPED",
+    "STEPS",
+    "SerialBackend",
+    "StageContext",
+    "StageOutcome",
+    "StageSpec",
+    "StepRegistry",
+    "campaign_digest",
+    "create_backend",
+    "list_campaigns",
+    "load_campaign",
+    "register_step",
+    "resolve_step",
+    "result_digest",
+    "run_campaign_spec",
+    "stage_seed",
+]

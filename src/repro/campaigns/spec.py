@@ -1,0 +1,306 @@
+"""Declarative campaign specs: named stages with dependencies.
+
+A campaign is a small DAG of *stages*; each stage names a registered
+step (see :mod:`repro.campaigns.steps`), carries its parameters, lists
+the stages it depends on, and may override the per-stage failure
+policy.  Specs round-trip through plain dicts, JSON, and TOML — a
+checked-in ``.toml`` file is the unit of reproduction: one file, one
+pipeline, one command (``repro-hpcqc campaign run <spec>``).
+
+TOML shape::
+
+    name = "e3-workflow"
+    description = "E3 coscheduling pipeline"
+    seed = 7
+
+    [[stages]]
+    name = "grid"
+    step = "scenario.sweep"
+    after = []
+    retries = 2
+    [stages.params]
+    preset = "baseline-32"
+
+Packaged specs live in ``repro/campaigns/data`` and are addressable by
+bare name (:func:`load_campaign` tries the filesystem first, then the
+package), so ``campaign run e3-workflow`` works from any directory.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import tomllib
+from dataclasses import dataclass, field
+from importlib import resources
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.campaigns.dag import CampaignDAG
+from repro.errors import ConfigurationError
+from repro.experiments.resilience import FailurePolicy
+
+#: Suffix packaged campaign specs carry.
+SPEC_SUFFIX = ".toml"
+
+
+@dataclass(frozen=True)
+class StageSpec:
+    """One named stage of a campaign.
+
+    Parameters
+    ----------
+    name:
+        Stage identity — the journal key, the dependency handle, and
+        the seed-derivation label, so renaming a stage deliberately
+        invalidates its journaled outcome.
+    step:
+        A step registered in the
+        :data:`~repro.campaigns.steps.StepRegistry` (e.g.
+        ``"scenario.sweep"``).
+    params:
+        Keyword-style payload handed to the step through its
+        :class:`~repro.campaigns.steps.StageContext`.
+    after:
+        Names of stages whose outputs this stage consumes.
+    retries:
+        Extra attempts after the first (``retries=2`` → up to 3
+        executions), matching common CI vocabulary rather than the
+        engine-internal ``max_attempts``.
+    timeout_seconds:
+        Per-attempt wall-clock budget; a stage that exceeds it is
+        killed (pool backends) or abandoned and counted as a failed
+        attempt.
+    on_error:
+        ``"raise"`` (default) fails the campaign when this stage's
+        policy is exhausted; ``"collect"`` marks the stage failed,
+        skips only its downstream cone, and lets independent branches
+        keep running.
+    backoff_seconds:
+        Base retry delay (doubled per retry, jittered per stage key).
+
+    >>> stage = StageSpec(name="grid", step="scenario.sweep",
+    ...                   retries=2, on_error="collect")
+    >>> stage.policy().max_attempts
+    3
+    >>> stage.policy().collects
+    True
+    """
+
+    name: str
+    step: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+    after: Tuple[str, ...] = ()
+    retries: int = 0
+    timeout_seconds: Optional[float] = None
+    on_error: str = "raise"
+    backoff_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ConfigurationError(
+                f"stage name must be a non-empty string, got {self.name!r}"
+            )
+        if any(ch in self.name for ch in "/\\\n"):
+            raise ConfigurationError(
+                f"stage name {self.name!r} must not contain path "
+                "separators or newlines (it names journal records and "
+                "result files)"
+            )
+        if not self.step:
+            raise ConfigurationError(
+                f"stage {self.name!r} does not name a step"
+            )
+        if self.retries < 0:
+            raise ConfigurationError(
+                f"stage {self.name!r}: retries must be >= 0, "
+                f"got {self.retries}"
+            )
+        object.__setattr__(self, "params", dict(self.params))
+        object.__setattr__(
+            self, "after", tuple(str(dep) for dep in self.after)
+        )
+        # Validate the policy-shaped fields eagerly, at spec-build time.
+        self.policy()
+
+    def policy(self) -> FailurePolicy:
+        """This stage's fields as a sweep-engine failure policy."""
+        return FailurePolicy(
+            max_attempts=self.retries + 1,
+            timeout_seconds=self.timeout_seconds,
+            on_error=self.on_error,
+            backoff_seconds=self.backoff_seconds,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = dataclasses.asdict(self)
+        data["after"] = list(self.after)
+        data["params"] = dict(self.params)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "StageSpec":
+        fields = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - fields
+        if unknown:
+            raise ConfigurationError(
+                f"unknown StageSpec fields: {sorted(unknown)}"
+            )
+        payload = dict(data)
+        if "after" in payload:
+            payload["after"] = tuple(payload["after"])
+        return cls(**payload)
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A named DAG of stages plus the campaign-wide seed.
+
+    ``seed`` roots every stage's derived seed
+    (:func:`~repro.campaigns.engine.stage_seed`); two campaigns that
+    differ only in seed produce independent replications of the same
+    pipeline.
+
+    >>> spec = CampaignSpec(name="demo", stages=(
+    ...     StageSpec(name="a", step="report.render"),
+    ...     StageSpec(name="b", step="report.render", after=("a",)),
+    ... ))
+    >>> spec.dag().order
+    ['a', 'b']
+    >>> CampaignSpec.from_json(spec.to_json()) == spec
+    True
+    """
+
+    name: str
+    stages: Tuple[StageSpec, ...]
+    description: str = ""
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ConfigurationError(
+                f"campaign name must be a non-empty string, "
+                f"got {self.name!r}"
+            )
+        stages = tuple(
+            stage
+            if isinstance(stage, StageSpec)
+            else StageSpec.from_dict(stage)
+            for stage in self.stages
+        )
+        if not stages:
+            raise ConfigurationError(
+                f"campaign {self.name!r} declares no stages"
+            )
+        object.__setattr__(self, "stages", stages)
+        # Validate dependencies/cycles eagerly so a bad spec fails at
+        # load time, not mid-run.
+        self.dag()
+
+    def dag(self) -> CampaignDAG:
+        return CampaignDAG(self.stages)
+
+    def stage(self, name: str) -> StageSpec:
+        for stage in self.stages:
+            if stage.name == name:
+                return stage
+        raise ConfigurationError(
+            f"campaign {self.name!r} has no stage {name!r}"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "seed": self.seed,
+            "stages": [stage.to_dict() for stage in self.stages],
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CampaignSpec":
+        known = {"name", "description", "seed", "stages"}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown CampaignSpec fields: {sorted(unknown)}"
+            )
+        stages = tuple(
+            StageSpec.from_dict(stage) for stage in data.get("stages", ())
+        )
+        return cls(
+            name=data.get("name", ""),
+            description=data.get("description", ""),
+            seed=int(data.get("seed", 0)),
+            stages=stages,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignSpec":
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def from_toml(cls, text: str) -> "CampaignSpec":
+        try:
+            data = tomllib.loads(text)
+        except tomllib.TOMLDecodeError as exc:
+            raise ConfigurationError(
+                f"campaign spec is not valid TOML: {exc}"
+            ) from exc
+        return cls.from_dict(data)
+
+
+def _packaged_specs() -> Dict[str, Any]:
+    """Name -> traversable for every packaged campaign spec."""
+    specs: Dict[str, Any] = {}
+    root = resources.files("repro.campaigns") / "data"
+    try:
+        entries = list(root.iterdir())
+    except (FileNotFoundError, NotADirectoryError):
+        return specs
+    for entry in entries:
+        if entry.name.endswith(SPEC_SUFFIX):
+            specs[entry.name[: -len(SPEC_SUFFIX)]] = entry
+    return specs
+
+
+def list_campaigns() -> List[str]:
+    """Names of the campaign specs shipped with the package.
+
+    >>> "e3-workflow" in list_campaigns()
+    True
+    """
+    return sorted(_packaged_specs())
+
+
+def load_campaign(source: Any) -> CampaignSpec:
+    """Load a spec from a path, a packaged name, or a mapping.
+
+    Resolution order for strings: an existing file path first (TOML
+    unless the suffix is ``.json``), then a packaged spec name from
+    :func:`list_campaigns`.
+
+    >>> load_campaign("e3-workflow").name
+    'e3-workflow'
+    """
+    if isinstance(source, CampaignSpec):
+        return source
+    if isinstance(source, Mapping):
+        return CampaignSpec.from_dict(source)
+    path = Path(source)
+    if path.exists():
+        text = path.read_text(encoding="utf-8")
+        if path.suffix == ".json":
+            return CampaignSpec.from_json(text)
+        return CampaignSpec.from_toml(text)
+    packaged = _packaged_specs().get(str(source))
+    if packaged is not None:
+        return CampaignSpec.from_toml(
+            packaged.read_text(encoding="utf-8")
+        )
+    raise ConfigurationError(
+        f"no campaign spec at path {source!r} and no packaged campaign "
+        f"of that name (packaged: {list_campaigns()})"
+    )

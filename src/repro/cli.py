@@ -196,6 +196,101 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
 
+    campaign_parser = subparsers.add_parser(
+        "campaign",
+        help=(
+            "run declarative multi-stage campaign DAGs with per-stage "
+            "retries, durable resume and pluggable backends"
+        ),
+    )
+    campaign_sub = campaign_parser.add_subparsers(dest="campaign_command")
+    campaign_sub.add_parser(
+        "list", help="list the campaign specs shipped with the package"
+    )
+    campaign_describe = campaign_sub.add_parser(
+        "describe",
+        help="print one campaign spec as JSON plus its stage order",
+    )
+    campaign_describe.add_argument(
+        "spec", help="spec path (.toml/.json) or packaged campaign name"
+    )
+    for verb, help_text in (
+        ("run", "execute a campaign from scratch (truncates its journal)"),
+        ("resume", "continue a campaign from its stage journal"),
+    ):
+        campaign_exec = campaign_sub.add_parser(verb, help=help_text)
+        campaign_exec.add_argument(
+            "spec",
+            help="spec path (.toml/.json) or packaged campaign name",
+        )
+        campaign_exec.add_argument(
+            "--state-dir",
+            required=True,
+            help=(
+                "directory for the campaign's durable state (stage "
+                "journal, per-stage results, sweep caches); reuse it "
+                "to resume"
+            ),
+        )
+        campaign_exec.add_argument(
+            "--backend",
+            default="serial",
+            help=(
+                "execution backend: 'serial' (default) or 'process' "
+                "(independent DAG branches in a worker pool); values "
+                "are byte-identical either way"
+            ),
+        )
+        campaign_exec.add_argument(
+            "--workers",
+            type=int,
+            default=None,
+            help="worker budget for pool backends and sweep stages",
+        )
+        campaign_exec.add_argument(
+            "--seed",
+            type=int,
+            default=None,
+            help="override the spec's campaign seed",
+        )
+        campaign_exec.add_argument(
+            "--chaos",
+            default=None,
+            metavar="JSON",
+            help=(
+                "stage-granular fault injection as a ChaosSpec JSON "
+                "object, e.g. '{\"stage_plan\": {\"grid\": [\"die\"]}}' "
+                "(see docs/campaigns.md)"
+            ),
+        )
+        campaign_exec.add_argument(
+            "--json",
+            dest="json_output",
+            action="store_true",
+            help="print the canonical campaign result as JSON",
+        )
+    campaign_status = campaign_sub.add_parser(
+        "status",
+        help=(
+            "print journal-derived per-stage progress without "
+            "executing anything"
+        ),
+    )
+    campaign_status.add_argument(
+        "spec", help="spec path (.toml/.json) or packaged campaign name"
+    )
+    campaign_status.add_argument(
+        "--state-dir",
+        required=True,
+        help="the campaign's durable state directory",
+    )
+    campaign_status.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="override the spec's campaign seed",
+    )
+
     fleet_parser = subparsers.add_parser(
         "fleet",
         help=(
@@ -324,6 +419,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
     if args.command == "scenario":
         return _scenario_command(parser, args)
+    if args.command == "campaign":
+        return _campaign_command(parser, args)
     if args.command == "fleet":
         return _fleet_command(parser, args)
     if args.command == "trace":
@@ -433,6 +530,107 @@ def _scenario_command(parser, args) -> int:
         )
         return 0
     parser.error("scenario needs a subcommand: list, describe or run")
+
+
+def _campaign_command(parser, args) -> int:
+    """The ``campaign`` verb: list / describe / run / resume / status."""
+    import dataclasses
+
+    from repro.errors import CampaignError, ReproError
+    from repro.campaigns import (
+        CampaignEngine,
+        list_campaigns,
+        load_campaign,
+    )
+
+    if args.campaign_command == "list":
+        for name in list_campaigns():
+            spec = load_campaign(name)
+            print(f"{name}: {spec.description or len(spec.stages)}")
+        return 0
+    if args.campaign_command == "describe":
+        try:
+            spec = load_campaign(args.spec)
+        except ReproError as exc:
+            parser.error(str(exc))
+        print(spec.to_json(indent=2))
+        order = spec.dag().order
+        print(f"[campaign] stage order: {' -> '.join(order)}", file=sys.stderr)
+        return 0
+    if args.campaign_command in ("run", "resume"):
+        try:
+            spec = load_campaign(args.spec)
+            if args.seed is not None:
+                spec = dataclasses.replace(spec, seed=args.seed)
+            chaos = None
+            if args.chaos:
+                from repro.experiments.resilience import ChaosSpec
+
+                chaos = ChaosSpec.from_dict(json.loads(args.chaos))
+            engine = CampaignEngine(
+                spec,
+                args.state_dir,
+                backend=args.backend,
+                workers=args.workers,
+                chaos=chaos,
+            )
+        except (ReproError, ValueError, TypeError) as exc:
+            parser.error(str(exc))
+        resume = args.campaign_command == "resume"
+        try:
+            result = engine.run(resume=resume)
+        except CampaignError as exc:
+            print(f"error: campaign failed: {exc}", file=sys.stderr)
+            return 1
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        if args.json_output:
+            print(json.dumps(result.canonical(), indent=2, sort_keys=True))
+        else:
+            from repro.metrics.report import render_table
+
+            rows = [
+                [
+                    name,
+                    result.outcomes[name].status,
+                    result.outcomes[name].attempts,
+                    "yes" if result.outcomes[name].resumed else "",
+                    (result.outcomes[name].error or "")[:60],
+                ]
+                for name in result.order
+            ]
+            print(
+                render_table(
+                    ["stage", "status", "attempts", "resumed", "error"],
+                    rows,
+                    title=f"campaign {spec.name!r} [{result.backend}]",
+                )
+            )
+        counts = result.counts()
+        print(
+            f"[campaign] {spec.name}: "
+            + ", ".join(
+                f"{status}={count}" for status, count in sorted(counts.items())
+            )
+            + f" in {result.wall_seconds:.2f}s "
+            + f"(digest {result.canonical_digest()[:16]})"
+        )
+        return 0 if result.ok else 1
+    if args.campaign_command == "status":
+        try:
+            spec = load_campaign(args.spec)
+            if args.seed is not None:
+                spec = dataclasses.replace(spec, seed=args.seed)
+            engine = CampaignEngine(spec, args.state_dir)
+        except ReproError as exc:
+            parser.error(str(exc))
+        print(json.dumps(engine.status(), indent=2, sort_keys=True))
+        return 0
+    parser.error(
+        "campaign needs a subcommand: list, describe, run, resume or "
+        "status"
+    )
 
 
 def _device_table(spec) -> str:

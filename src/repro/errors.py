@@ -76,3 +76,29 @@ class ChaosError(ReproError):
     ChaosSpec` inside a worker, so recovery paths are exercised by a
     recognisable, picklable exception type.
     """
+
+
+class JournalLockedError(ReproError):
+    """Another live process holds the journal's exclusive lock.
+
+    Two writers appending to the same journal file would silently
+    interleave records and corrupt resume state; the journal refuses to
+    open instead.  A lock held by a process that was SIGKILL'd is
+    released by the kernel automatically, so crashed campaigns never
+    need manual lock cleanup.
+    """
+
+
+class CampaignError(ReproError):
+    """A campaign DAG could not run to completion.
+
+    Raised when a stage exhausts its failure policy under
+    ``on_error="raise"``, or when the campaign engine itself hits an
+    unrecoverable condition.  Carries the terminal
+    :class:`~repro.campaigns.journal.StageOutcome` (when available) as
+    :attr:`outcome`.
+    """
+
+    def __init__(self, message: str, outcome=None) -> None:
+        super().__init__(message)
+        self.outcome = outcome

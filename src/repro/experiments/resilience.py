@@ -29,13 +29,20 @@ import dataclasses
 import hashlib
 import json
 import os
+import tempfile
 import time
+import weakref
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.errors import ChaosError, ConfigurationError
+from repro.errors import ChaosError, ConfigurationError, JournalLockedError
 from repro.sim.rng import derive_seed
+
+try:  # POSIX: advisory locks die with their holder (SIGKILL-safe).
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
 
 #: Terminal point statuses (the only values ``PointOutcome.status``
 #: takes).
@@ -95,6 +102,7 @@ class FailurePolicy:
     backoff_multiplier: float = 2.0
     max_backoff_seconds: float = 30.0
     max_crashes: int = 3
+    backoff_jitter: float = 0.25
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -118,19 +126,49 @@ class FailurePolicy:
             raise ConfigurationError(
                 f"max_crashes must be >= 1, got {self.max_crashes}"
             )
+        if not 0.0 <= self.backoff_jitter <= 1.0:
+            raise ConfigurationError(
+                f"backoff_jitter must be in [0, 1], got "
+                f"{self.backoff_jitter}"
+            )
 
     @property
     def collects(self) -> bool:
         return self.on_error == "collect"
 
-    def backoff_for(self, failures: int) -> float:
-        """Bounded delay before the attempt following ``failures``."""
+    def backoff_for(self, failures: int, key: Optional[str] = None) -> float:
+        """Bounded delay before the attempt following ``failures``.
+
+        With a ``key`` (the point's or stage's identity), the delay is
+        spread by deterministic per-key jitter — a factor in
+        ``[1 - backoff_jitter, 1]`` drawn from a counter-based hash of
+        ``(key, failures)`` — so a pool of points that all failed at
+        once does not retry in lockstep and re-thunder the same herd.
+        The jitter is a pure function of the key, never of wall time
+        or worker identity, so serial and parallel runs sleep the same
+        schedule and byte-identity of results is untouched.
+
+        >>> policy = FailurePolicy(backoff_seconds=1.0,
+        ...                        max_backoff_seconds=3.0)
+        >>> policy.backoff_for(3)
+        3.0
+        >>> a = policy.backoff_for(3, key="point-a")
+        >>> a == policy.backoff_for(3, key="point-a")  # deterministic
+        True
+        >>> 0.0 < a <= 3.0
+        True
+        """
         if self.backoff_seconds <= 0.0 or failures < 1:
             return 0.0
         delay = self.backoff_seconds * (
             self.backoff_multiplier ** (failures - 1)
         )
-        return min(delay, self.max_backoff_seconds)
+        delay = min(delay, self.max_backoff_seconds)
+        if key is None or self.backoff_jitter <= 0.0:
+            return delay
+        draw = derive_seed(0, f"backoff:{key}:{failures}")
+        u = (draw % (2**53)) / float(2**53)
+        return delay * (1.0 - self.backoff_jitter * u)
 
 
 @dataclass
@@ -177,10 +215,257 @@ class PointOutcome:
         return cls(**{k: v for k, v in data.items() if k in fields})
 
 
-# -- durable run journal -----------------------------------------------------
+# -- durable journals --------------------------------------------------------
+
+#: Journals holding live locks, so forked children can drop their
+#: inherited handles (a flock is shared across fork; see
+#: ``JsonlJournal._drop_inherited_handles``).
+_LIVE_JOURNALS: "weakref.WeakSet" = None  # initialised lazily
 
 
-class RunJournal:
+def _register_fork_guard(journal: "JsonlJournal") -> None:
+    global _LIVE_JOURNALS
+    if _LIVE_JOURNALS is None:
+        _LIVE_JOURNALS = weakref.WeakSet()
+        if hasattr(os, "register_at_fork"):
+            os.register_at_fork(
+                after_in_child=lambda: [
+                    entry._drop_inherited_handles()
+                    for entry in list(_LIVE_JOURNALS or ())
+                ]
+            )
+    _LIVE_JOURNALS.add(journal)
+
+
+class JsonlJournal:
+    """Durable append-only JSONL journal with locking and compaction.
+
+    The shared machinery behind :class:`RunJournal` (point granularity)
+    and :class:`repro.campaigns.journal.CampaignJournal` (stage
+    granularity):
+
+    - every record is flushed and fsync'd as it is appended, so the
+      journal survives a SIGKILL mid-campaign (a torn final line is
+      skipped on load, not fatal);
+    - an exclusive lockfile (``<journal>.lock``, ``flock``-based) is
+      taken before the first write — a second live process pointed at
+      the same journal raises
+      :class:`~repro.errors.JournalLockedError` instead of silently
+      interleaving records; the kernel releases the lock when its
+      holder dies, so crashed runs never leave stale locks;
+    - :meth:`close` compacts the file — rewrites it atomically keeping
+      only the latest record per key — so a journal that is resumed
+      over and over cannot grow without bound.
+
+    Subclasses define the record type via :meth:`_encode_record`,
+    :meth:`_decode_record` and :meth:`_record_key`.
+    """
+
+    def __init__(self, path: os.PathLike) -> None:
+        self.path = Path(path)
+        self._handle = None
+        self._lock_handle = None
+        self._wrote = False
+
+    # -- record-type hooks ---------------------------------------------------
+
+    def _encode_record(self, record: Any) -> Dict[str, Any]:
+        raise NotImplementedError
+
+    def _decode_record(self, data: Mapping[str, Any]) -> Optional[Any]:
+        """Record for one parsed line, or ``None`` to skip it."""
+        raise NotImplementedError
+
+    def _record_key(self, record: Any) -> str:
+        """The identity later records supersede (compaction/load key)."""
+        raise NotImplementedError
+
+    # -- locking -------------------------------------------------------------
+
+    @property
+    def lock_path(self) -> Path:
+        return self.path.with_name(self.path.name + ".lock")
+
+    def _drop_inherited_handles(self) -> None:
+        """Forked-child half of the lock contract (see :func:`acquire`).
+
+        A ``flock`` belongs to the open file *description*, which fork
+        shares between parent and child: a pool worker that outlives a
+        SIGKILL'd orchestrator would keep the journal locked forever.
+        Closing the child's inherited handles (without touching the
+        parent's) guarantees the lock dies exactly when its owning
+        process does.
+        """
+        for attribute in ("_lock_handle", "_handle"):
+            handle = getattr(self, attribute)
+            if handle is not None:
+                try:
+                    handle.close()
+                except OSError:  # pragma: no cover
+                    pass
+                setattr(self, attribute, None)
+
+    def acquire(self) -> None:
+        """Take the exclusive writer lock (idempotent).
+
+        Raises :class:`~repro.errors.JournalLockedError` when another
+        *live* process holds it.  On platforms without ``fcntl`` the
+        guard degrades to no locking.
+        """
+        if self._lock_handle is not None or fcntl is None:
+            return
+        _register_fork_guard(self)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        handle = open(self.lock_path, "a+")
+        try:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            pid = "unknown"
+            try:
+                handle.seek(0)
+                pid = handle.read(32).strip() or "unknown"
+            except OSError:  # pragma: no cover - unreadable lock file
+                pass
+            handle.close()
+            raise JournalLockedError(
+                f"journal {self.path} is locked by another live process "
+                f"(pid {pid}); two concurrent writers would interleave "
+                "records — wait for it or point this run at a different "
+                "journal directory"
+            ) from None
+        handle.truncate(0)
+        handle.write(f"{os.getpid()}\n")
+        handle.flush()
+        self._lock_handle = handle
+
+    def _release_lock(self) -> None:
+        if self._lock_handle is not None:
+            try:
+                self._lock_handle.close()
+            except OSError:  # pragma: no cover
+                pass
+            self._lock_handle = None
+
+    # -- journal operations --------------------------------------------------
+
+    def load(self) -> Dict[str, Any]:
+        """Record key -> last record (tolerates a torn tail).
+
+        A process killed mid-``record`` leaves a truncated final line;
+        it is skipped, not fatal — exactly the crash the journal is
+        for.
+        """
+        records: Dict[str, Any] = {}
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = self._decode_record(json.loads(line))
+                    except (ValueError, TypeError):
+                        continue
+                    if record is not None:
+                        records[self._record_key(record)] = record
+        except OSError:
+            return {}
+        return records
+
+    def record(self, record: Any) -> None:
+        """Durably append one record (lock + flush + fsync)."""
+        if self._handle is None:
+            self.acquire()
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "a", encoding="utf-8")
+        line = json.dumps(self._encode_record(record), sort_keys=True)
+        self._handle.write(line + "\n")
+        self._handle.flush()
+        self._wrote = True
+        try:
+            os.fsync(self._handle.fileno())
+        except OSError:  # pragma: no cover - exotic filesystems
+            pass
+
+    def compact(self) -> int:
+        """Atomically rewrite keeping the latest record per key.
+
+        Returns the number of superseded lines dropped.  Without
+        compaction the journal grows without bound across resumes —
+        every re-executed point appends a fresh terminal line on top
+        of its journaled history.  The rewrite goes through a temp
+        file + fsync + ``os.replace``, so a crash mid-compaction
+        leaves either the old or the new journal, never a torn one.
+        """
+        self._close_handle()
+        if not self.path.exists():
+            return 0
+        records = self.load()
+        lines = [
+            json.dumps(self._encode_record(record), sort_keys=True)
+            for record in records.values()
+        ]
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                before = sum(1 for line in handle if line.strip())
+        except OSError:
+            before = len(lines)
+        if before <= len(lines):
+            return 0
+        handle = tempfile.NamedTemporaryFile(
+            "w",
+            dir=self.path.parent,
+            suffix=".tmp",
+            delete=False,
+            encoding="utf-8",
+        )
+        try:
+            with handle:
+                handle.write("\n".join(lines) + ("\n" if lines else ""))
+                handle.flush()
+                try:
+                    os.fsync(handle.fileno())
+                except OSError:  # pragma: no cover
+                    pass
+            os.replace(handle.name, self.path)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+        return before - len(lines)
+
+    def reset(self) -> None:
+        """Truncate the journal (a fresh, non-resuming run).
+
+        Keeps the writer lock if held: a reset is the prologue of a
+        fresh run that is about to write.
+        """
+        self._close_handle()
+        try:
+            self.path.unlink()
+        except OSError:
+            pass
+
+    def _close_handle(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def close(self) -> None:
+        """Compact (when this run wrote anything), close, unlock."""
+        if self._wrote:
+            try:
+                self.compact()
+            except OSError:  # pragma: no cover - compaction is advisory
+                pass
+            self._wrote = False
+        self._close_handle()
+        self._release_lock()
+
+
+class RunJournal(JsonlJournal):
     """Append-only JSONL journal of terminal point outcomes.
 
     One line per terminal outcome, flushed and fsync'd as it happens,
@@ -193,11 +478,12 @@ class RunJournal:
     point is served from the sweep cache without re-executing; a
     journaled permanent failure is replayed as its recorded outcome
     (under ``on_error="collect"``) without re-executing.
-    """
 
-    def __init__(self, path: os.PathLike) -> None:
-        self.path = Path(path)
-        self._handle = None
+    Locking and compaction come from :class:`JsonlJournal`: a second
+    concurrent writer raises
+    :class:`~repro.errors.JournalLockedError`, and :meth:`close`
+    compacts superseded outcomes away.
+    """
 
     @classmethod
     def for_sweep(
@@ -217,56 +503,17 @@ class RunJournal:
         )
         return cls(Path(directory) / f"{slug}-{digest}.journal.jsonl")
 
-    def load(self) -> Dict[str, PointOutcome]:
-        """Point key -> last terminal outcome (tolerates a torn tail).
+    def _encode_record(self, record: PointOutcome) -> Dict[str, Any]:
+        return record.to_json_dict()
 
-        A process killed mid-``record`` leaves a truncated final line;
-        it is skipped, not fatal — exactly the crash the journal is
-        for.
-        """
-        outcomes: Dict[str, PointOutcome] = {}
-        try:
-            with open(self.path, "r", encoding="utf-8") as handle:
-                for line in handle:
-                    line = line.strip()
-                    if not line:
-                        continue
-                    try:
-                        data = json.loads(line)
-                        outcome = PointOutcome.from_json_dict(data)
-                    except (ValueError, TypeError):
-                        continue
-                    if outcome.status in STATUSES:
-                        outcomes[outcome.key] = outcome
-        except OSError:
-            return {}
-        return outcomes
+    def _decode_record(
+        self, data: Mapping[str, Any]
+    ) -> Optional[PointOutcome]:
+        outcome = PointOutcome.from_json_dict(data)
+        return outcome if outcome.status in STATUSES else None
 
-    def record(self, outcome: PointOutcome) -> None:
-        """Durably append one terminal outcome (flush + fsync)."""
-        if self._handle is None:
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            self._handle = open(self.path, "a", encoding="utf-8")
-        line = json.dumps(outcome.to_json_dict(), sort_keys=True)
-        self._handle.write(line + "\n")
-        self._handle.flush()
-        try:
-            os.fsync(self._handle.fileno())
-        except OSError:  # pragma: no cover - exotic filesystems
-            pass
-
-    def reset(self) -> None:
-        """Truncate the journal (a fresh, non-resuming run)."""
-        self.close()
-        try:
-            self.path.unlink()
-        except OSError:
-            pass
-
-    def close(self) -> None:
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
+    def _record_key(self, record: PointOutcome) -> str:
+        return record.key
 
 
 # -- deterministic chaos harness ---------------------------------------------
@@ -289,6 +536,13 @@ class ChaosSpec:
       worker count.  Rates only apply to the first
       ``attempts_affected`` attempts, so a sweep with enough retries
       deterministically completes.
+    - **Stage mode** — ``stage_plan`` maps a campaign *stage name* to
+      the actions of its attempts, and ``stage_rates=True`` applies
+      the rate draws at stage boundaries too (keyed by stage name).
+      Stage chaos is injected by the campaign engine in the
+      *orchestrating* process, right at the stage boundary — so a
+      stage-level ``die`` is a whole-campaign SIGKILL, the exact crash
+      ``campaign --resume`` recovers from.
 
     Actions: ``"raise"`` raises :class:`~repro.errors.ChaosError`,
     ``"hang"`` sleeps ``hang_seconds`` (long past any sane timeout),
@@ -307,6 +561,11 @@ class ChaosSpec:
     True
     >>> rated.action_for(0, 2)  # beyond attempts_affected: clean
     'ok'
+    >>> staged = ChaosSpec(stage_plan={"grid": ("raise", "ok")})
+    >>> (staged.action_for_stage("grid", 1),
+    ...  staged.action_for_stage("grid", 2),
+    ...  staged.action_for_stage("report", 1))
+    ('raise', 'ok', 'ok')
     """
 
     plan: Mapping[int, Sequence[str]] = field(default_factory=dict)
@@ -316,6 +575,8 @@ class ChaosSpec:
     die_rate: float = 0.0
     attempts_affected: int = 1
     hang_seconds: float = 3600.0
+    stage_plan: Mapping[str, Sequence[str]] = field(default_factory=dict)
+    stage_rates: bool = False
 
     def __post_init__(self) -> None:
         normalised: Dict[int, Tuple[str, ...]] = {}
@@ -329,6 +590,17 @@ class ChaosSpec:
                     )
             normalised[int(index)] = actions
         object.__setattr__(self, "plan", normalised)
+        staged: Dict[str, Tuple[str, ...]] = {}
+        for stage, actions in dict(self.stage_plan).items():
+            actions = tuple(actions)
+            for action in actions:
+                if action not in CHAOS_ACTIONS:
+                    raise ConfigurationError(
+                        f"unknown chaos action {action!r} for stage "
+                        f"{stage!r} (expected one of {CHAOS_ACTIONS})"
+                    )
+            staged[str(stage)] = actions
+        object.__setattr__(self, "stage_plan", staged)
         total = self.raise_rate + self.hang_rate + self.die_rate
         if not 0.0 <= total <= 1.0:
             raise ConfigurationError(
@@ -352,19 +624,14 @@ class ChaosSpec:
             )
         return cls(**dict(data))
 
-    def action_for(self, point_index: int, attempt: int) -> str:
-        """The action for attempt ``attempt`` (1-based) of one point."""
-        actions = self.plan.get(point_index)
-        if actions is not None:
-            if attempt <= len(actions):
-                return actions[attempt - 1]
-            return CHAOS_OK
+    def _rated_action(self, counter_key: str, attempt: int) -> str:
+        """Rate-mode draw for one (coordinate, attempt) counter key."""
         if attempt > self.attempts_affected:
             return CHAOS_OK
         total = self.raise_rate + self.hang_rate + self.die_rate
         if total <= 0.0:
             return CHAOS_OK
-        draw = derive_seed(self.seed, f"chaos:{point_index}:{attempt}")
+        draw = derive_seed(self.seed, counter_key)
         u = (draw % (2**53)) / float(2**53)
         if u < self.die_rate:
             return CHAOS_DIE
@@ -373,6 +640,32 @@ class ChaosSpec:
         if u < total:
             return CHAOS_RAISE
         return CHAOS_OK
+
+    def action_for(self, point_index: int, attempt: int) -> str:
+        """The action for attempt ``attempt`` (1-based) of one point."""
+        actions = self.plan.get(point_index)
+        if actions is not None:
+            if attempt <= len(actions):
+                return actions[attempt - 1]
+            return CHAOS_OK
+        return self._rated_action(f"chaos:{point_index}:{attempt}", attempt)
+
+    def action_for_stage(self, stage: str, attempt: int) -> str:
+        """The action for attempt ``attempt`` (1-based) of one stage.
+
+        Stage-granular chaos: an explicit ``stage_plan`` entry wins;
+        otherwise the rate draws apply only when ``stage_rates`` is
+        set (sweep-point rates and stage rates would otherwise couple
+        through one flag).
+        """
+        actions = self.stage_plan.get(stage)
+        if actions is not None:
+            if attempt <= len(actions):
+                return actions[attempt - 1]
+            return CHAOS_OK
+        if not self.stage_rates:
+            return CHAOS_OK
+        return self._rated_action(f"chaos-stage:{stage}:{attempt}", attempt)
 
     def needs_isolation(self) -> bool:
         """Whether any injected fault must run in a worker process.
@@ -389,22 +682,36 @@ class ChaosSpec:
             for action in actions
         )
 
-    def inject(self, point_index: int, attempt: int) -> None:
-        """Apply this spec's action for one attempt (worker-side)."""
-        action = self.action_for(point_index, attempt)
+    def _apply(self, action: str, where: str) -> None:
         if action == CHAOS_RAISE:
-            raise ChaosError(
-                f"chaos: injected failure at point {point_index} "
-                f"attempt {attempt}"
-            )
+            raise ChaosError(f"chaos: injected failure at {where}")
         if action == CHAOS_HANG:
             time.sleep(self.hang_seconds)
-            raise ChaosError(
-                f"chaos: hang elapsed at point {point_index} "
-                f"attempt {attempt}"
-            )
+            raise ChaosError(f"chaos: hang elapsed at {where}")
         if action == CHAOS_DIE:
             os._exit(CHAOS_EXIT_CODE)
+
+    def inject(self, point_index: int, attempt: int) -> None:
+        """Apply this spec's action for one attempt (worker-side)."""
+        self._apply(
+            self.action_for(point_index, attempt),
+            f"point {point_index} attempt {attempt}",
+        )
+
+    def inject_stage(self, stage: str, attempt: int) -> None:
+        """Apply this spec's stage action (orchestrator-side).
+
+        Called by the campaign engine at the stage boundary, *before*
+        the stage is dispatched: ``raise``/``hang`` surface as a failed
+        stage attempt (retryable under the stage's policy), ``die``
+        hard-exits the orchestrating process — indistinguishable from
+        a SIGKILL at that boundary, which is exactly what the
+        crash-resume suite wants to rehearse.
+        """
+        self._apply(
+            self.action_for_stage(stage, attempt),
+            f"stage {stage!r} attempt {attempt}",
+        )
 
 
 # -- reporting helpers -------------------------------------------------------

@@ -776,6 +776,10 @@ def run_sweep(
 
     journaled: Dict[str, PointOutcome] = {}
     if isinstance(journal, RunJournal):
+        # Lock before consulting the journal: a second live writer
+        # fails fast with JournalLockedError instead of interleaving
+        # records with this run later on.
+        journal.acquire()
         if resume:
             journaled = journal.load()
         else:
@@ -894,7 +898,7 @@ def _run_serial(
                     point, state.outcome(STATUS_FAILED), exception
                 )
                 break
-            delay = policy.backoff_for(state.failures)
+            delay = policy.backoff_for(state.failures, key=point.key())
             if delay > 0.0:
                 time.sleep(delay)
         flush()
@@ -1005,7 +1009,13 @@ def _run_pool(
         if state.failures >= policy.max_attempts:
             fail_terminal(state.point, state.outcome(status), exception)
         else:
-            schedule(index, now + policy.backoff_for(state.failures))
+            schedule(
+                index,
+                now
+                + policy.backoff_for(
+                    state.failures, key=state.point.key()
+                ),
+            )
 
     def process_completion(future: Any, now: float) -> bool:
         """Handle one done future; returns True if the pool broke."""

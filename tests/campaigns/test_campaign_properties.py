@@ -1,0 +1,166 @@
+"""Property-based campaign tests: random DAGs, random kill points.
+
+Random DAGs are generated acyclic by construction (every stage may
+only depend on earlier stages), then pushed through the engine to
+check the invariants no example-based test can sweep:
+
+- every stage executes exactly once on a clean run, in an order that
+  respects the dependencies;
+- the canonical result is a pure function of the spec (two fresh runs
+  in different state dirs are byte-identical);
+- an interrupt at a random stage, followed by ``resume``, never
+  re-executes a stage that completed before the interrupt — and the
+  resumed result is byte-identical to an uninterrupted run.
+"""
+
+import tempfile
+from pathlib import Path
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.campaigns import CampaignEngine, CampaignSpec, StageSpec
+
+from tests.campaigns.conftest import marker_count
+
+#: Compact settings: the engine is fast, but each example simulates a
+#: whole campaign (sometimes two), so keep the sweep tight and the
+#: per-example deadline off (first-example import costs would trip it).
+PROPERTY_SETTINGS = dict(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+
+@st.composite
+def random_dags(draw, max_stages=6):
+    """A random acyclic campaign over the instrumented adder step.
+
+    Stage ``i`` may depend only on stages ``< i``, so every draw is a
+    DAG by construction; dependency sets and per-stage params vary.
+    """
+    count = draw(st.integers(min_value=1, max_value=max_stages))
+    stages = []
+    for index in range(count):
+        deps = (
+            draw(
+                st.sets(
+                    st.integers(min_value=0, max_value=index - 1),
+                    max_size=min(index, 3),
+                )
+            )
+            if index
+            else set()
+        )
+        stages.append(
+            StageSpec(
+                name=f"s{index}",
+                step="t.add",
+                params={"x": draw(st.integers(0, 9))},
+                after=tuple(f"s{dep}" for dep in sorted(deps)),
+            )
+        )
+    seed = draw(st.integers(min_value=0, max_value=99))
+    return CampaignSpec(name="prop", seed=seed, stages=tuple(stages))
+
+
+class TestRandomDags:
+    @settings(**PROPERTY_SETTINGS)
+    @given(spec=random_dags())
+    def test_every_stage_executes_exactly_once(self, spec, tmp_path):
+        state = Path(tempfile.mkdtemp(dir=tmp_path))
+        result = CampaignEngine(
+            spec, state, code_version="pinned"
+        ).run()
+        assert result.ok
+        for stage in spec.stages:
+            assert marker_count(state, stage.name, "completed") == 1
+        # The result order respects every dependency edge.
+        position = {name: i for i, name in enumerate(result.order)}
+        for stage in spec.stages:
+            for dep in stage.after:
+                assert position[dep] < position[stage.name]
+
+    @settings(**PROPERTY_SETTINGS)
+    @given(spec=random_dags())
+    def test_canonical_result_is_a_pure_function_of_the_spec(
+        self, spec, tmp_path
+    ):
+        digests = set()
+        for run_index in range(2):
+            state = Path(tempfile.mkdtemp(dir=tmp_path))
+            result = CampaignEngine(
+                spec, state, code_version="pinned"
+            ).run()
+            digests.add(result.canonical_digest())
+        assert len(digests) == 1
+
+
+class TestRandomKillPoints:
+    @settings(**PROPERTY_SETTINGS)
+    @given(data=st.data())
+    def test_resume_never_reexecutes_a_completed_stage(
+        self, data, tmp_path
+    ):
+        spec = data.draw(random_dags())
+        # Replace one random stage with the self-interrupting step: it
+        # consumes a sentinel and dies mid-"campaign" exactly once.
+        victim = data.draw(
+            st.sampled_from([stage.name for stage in spec.stages])
+        )
+        stages = tuple(
+            StageSpec(
+                name=stage.name,
+                step="t.interrupt_once",
+                params=dict(stage.params),
+                after=stage.after,
+            )
+            if stage.name == victim
+            else stage
+            for stage in spec.stages
+        )
+        spec = CampaignSpec(
+            name=spec.name, seed=spec.seed, stages=stages
+        )
+        state = Path(tempfile.mkdtemp(dir=tmp_path))
+        Path(state / f"{victim}.sentinel").touch()
+
+        engine = CampaignEngine(spec, state, code_version="pinned")
+        try:
+            engine.run()
+            interrupted = False
+        except KeyboardInterrupt:
+            interrupted = True
+        assert interrupted
+        completed_before = {
+            stage.name
+            for stage in spec.stages
+            if marker_count(state, stage.name, "completed") == 1
+        }
+
+        resumed = CampaignEngine(
+            spec, state, code_version="pinned"
+        ).run(resume=True)
+        assert resumed.ok
+        # Every stage completed exactly once across both runs, and
+        # stages that completed before the kill were never re-entered.
+        for stage in spec.stages:
+            assert marker_count(state, stage.name, "completed") == 1
+            expected_starts = 2 if stage.name == victim else 1
+            if stage.name in completed_before:
+                assert marker_count(state, stage.name, "started") == 1
+            else:
+                assert (
+                    marker_count(state, stage.name, "started")
+                    <= expected_starts
+                )
+
+        # Byte-identity with an uninterrupted run of the same spec.
+        clean = Path(tempfile.mkdtemp(dir=tmp_path))
+        baseline = CampaignEngine(
+            spec, clean, code_version="pinned"
+        ).run()
+        assert (
+            resumed.canonical_digest() == baseline.canonical_digest()
+        )

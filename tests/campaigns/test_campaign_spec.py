@@ -1,0 +1,176 @@
+"""Campaign spec and DAG validation tests."""
+
+import pytest
+
+from repro.campaigns import (
+    CampaignDAG,
+    CampaignSpec,
+    StageSpec,
+    list_campaigns,
+    load_campaign,
+)
+from repro.errors import ConfigurationError
+
+
+class TestStageSpec:
+    def test_policy_translation(self):
+        stage = StageSpec(
+            name="s",
+            step="t.add",
+            retries=2,
+            timeout_seconds=5.0,
+            on_error="collect",
+            backoff_seconds=0.5,
+        )
+        policy = stage.policy()
+        assert policy.max_attempts == 3
+        assert policy.timeout_seconds == 5.0
+        assert policy.collects
+        assert policy.backoff_seconds == 0.5
+
+    def test_rejects_bad_fields(self):
+        with pytest.raises(ConfigurationError):
+            StageSpec(name="", step="t.add")
+        with pytest.raises(ConfigurationError):
+            StageSpec(name="a/b", step="t.add")
+        with pytest.raises(ConfigurationError):
+            StageSpec(name="s", step="")
+        with pytest.raises(ConfigurationError):
+            StageSpec(name="s", step="t.add", retries=-1)
+        with pytest.raises(ConfigurationError):
+            StageSpec(name="s", step="t.add", on_error="explode")
+
+    def test_round_trip(self):
+        stage = StageSpec(
+            name="s",
+            step="t.add",
+            params={"x": 3},
+            after=("a", "b"),
+            retries=1,
+        )
+        assert StageSpec.from_dict(stage.to_dict()) == stage
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ConfigurationError):
+            StageSpec.from_dict({"name": "s", "step": "t.add", "nope": 1})
+
+
+class TestCampaignSpec:
+    def test_round_trips_dict_json_toml(self, diamond):
+        assert CampaignSpec.from_dict(diamond.to_dict()) == diamond
+        assert CampaignSpec.from_json(diamond.to_json()) == diamond
+
+    def test_toml_parsing(self):
+        spec = CampaignSpec.from_toml(
+            """
+            name = "demo"
+            seed = 11
+
+            [[stages]]
+            name = "first"
+            step = "t.add"
+            [stages.params]
+            x = 1
+
+            [[stages]]
+            name = "second"
+            step = "t.add"
+            after = ["first"]
+            retries = 2
+            """
+        )
+        assert spec.seed == 11
+        assert [s.name for s in spec.stages] == ["first", "second"]
+        assert spec.stage("second").retries == 2
+
+    def test_invalid_toml_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CampaignSpec.from_toml("name = [unclosed")
+
+    def test_needs_stages_and_name(self):
+        with pytest.raises(ConfigurationError):
+            CampaignSpec(name="empty", stages=())
+        with pytest.raises(ConfigurationError):
+            CampaignSpec(
+                name="", stages=(StageSpec(name="a", step="t.add"),)
+            )
+
+    def test_unknown_stage_lookup_rejected(self, diamond):
+        with pytest.raises(ConfigurationError):
+            diamond.stage("nope")
+
+
+class TestCampaignDAG:
+    def test_deterministic_topological_order(self, diamond):
+        assert diamond.dag().order == ["a", "b", "c", "d"]
+
+    def test_declaration_order_breaks_ties(self):
+        spec = CampaignSpec(
+            name="ties",
+            stages=(
+                StageSpec(name="z", step="t.add"),
+                StageSpec(name="a", step="t.add"),
+                StageSpec(name="m", step="t.add", after=("z", "a")),
+            ),
+        )
+        assert spec.dag().order == ["z", "a", "m"]
+
+    def test_downstream_cone(self, diamond):
+        dag = diamond.dag()
+        assert dag.downstream_cone("a") == {"b", "c", "d"}
+        assert dag.downstream_cone("b") == {"d"}
+        assert dag.downstream_cone("d") == set()
+
+    def test_cycle_rejected(self):
+        with pytest.raises(ConfigurationError, match="cycle"):
+            CampaignDAG(
+                (
+                    StageSpec(name="a", step="t.add", after=("b",)),
+                    StageSpec(name="b", step="t.add", after=("a",)),
+                )
+            )
+
+    def test_self_dependency_rejected(self):
+        with pytest.raises(ConfigurationError, match="itself"):
+            CampaignDAG(
+                (StageSpec(name="a", step="t.add", after=("a",)),)
+            )
+
+    def test_unknown_dependency_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown"):
+            CampaignDAG(
+                (StageSpec(name="a", step="t.add", after=("ghost",)),)
+            )
+
+    def test_duplicate_stage_names_rejected(self):
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            CampaignDAG(
+                (
+                    StageSpec(name="a", step="t.add"),
+                    StageSpec(name="a", step="t.add"),
+                )
+            )
+
+
+class TestLoadCampaign:
+    def test_packaged_specs_load_and_validate(self):
+        names = list_campaigns()
+        assert "e3-workflow" in names
+        for name in names:
+            spec = load_campaign(name)
+            assert spec.name == name
+            assert spec.dag().order
+
+    def test_load_from_toml_path(self, tmp_path, diamond):
+        # TOML round trip goes through the dict form.
+        path = tmp_path / "campaign.json"
+        path.write_text(diamond.to_json())
+        assert load_campaign(path) == diamond
+
+    def test_load_from_mapping_and_identity(self, diamond):
+        assert load_campaign(diamond) is diamond
+        assert load_campaign(diamond.to_dict()) == diamond
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError, match="packaged"):
+            load_campaign("no-such-campaign")

@@ -43,6 +43,7 @@ def test_docs_suite_exists():
     assert {
         "README.md",
         "architecture.md",
+        "campaigns.md",
         "fleet.md",
         "resilience.md",
         "scenarios.md",
@@ -54,6 +55,7 @@ def test_readme_links_the_doc_pages():
     readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
     for page in (
         "architecture.md",
+        "campaigns.md",
         "fleet.md",
         "resilience.md",
         "scenarios.md",

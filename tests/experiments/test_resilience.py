@@ -25,7 +25,12 @@ import multiprocessing
 
 import pytest
 
-from repro.errors import ChaosError, ConfigurationError, PointFailedError
+from repro.errors import (
+    ChaosError,
+    ConfigurationError,
+    JournalLockedError,
+    PointFailedError,
+)
 from repro.experiments.resilience import (
     CHAOS_EXIT_CODE,
     ChaosSpec,
@@ -133,6 +138,46 @@ class TestFailurePolicy:
 
     def test_zero_backoff_is_free(self):
         assert FailurePolicy(max_attempts=3).backoff_for(2) == 0.0
+
+    def test_keyed_jitter_is_deterministic_and_bounded(self):
+        policy = FailurePolicy(
+            max_attempts=4,
+            backoff_seconds=1.0,
+            max_backoff_seconds=8.0,
+            backoff_jitter=0.25,
+        )
+        for failures in (1, 2, 3):
+            base = policy.backoff_for(failures)
+            jittered = policy.backoff_for(failures, key="point-a")
+            # Same (key, failures) -> same delay, every time.
+            assert jittered == policy.backoff_for(failures, key="point-a")
+            # Jitter only ever shortens, within [1 - jitter, 1] * base.
+            assert base * 0.75 <= jittered <= base
+
+    def test_jitter_spreads_distinct_keys(self):
+        policy = FailurePolicy(
+            max_attempts=3, backoff_seconds=2.0, backoff_jitter=0.5
+        )
+        delays = {
+            policy.backoff_for(1, key=f"point-{i}") for i in range(16)
+        }
+        assert len(delays) > 1  # the herd does not retry in lockstep
+
+    def test_no_key_or_zero_jitter_reproduces_plain_backoff(self):
+        jittered = FailurePolicy(
+            max_attempts=3, backoff_seconds=1.0, backoff_jitter=0.25
+        )
+        flat = FailurePolicy(
+            max_attempts=3, backoff_seconds=1.0, backoff_jitter=0.0
+        )
+        assert jittered.backoff_for(2, key=None) == 2.0
+        assert flat.backoff_for(2, key="point-a") == 2.0
+
+    def test_jitter_outside_unit_interval_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FailurePolicy(backoff_jitter=1.5)
+        with pytest.raises(ConfigurationError):
+            FailurePolicy(backoff_jitter=-0.1)
 
 
 class TestPointOutcome:
@@ -274,6 +319,95 @@ class TestRunJournal:
         assert one.path.name.startswith("E1-")
         assert one.path.name.endswith(".journal.jsonl")
 
+    def test_compact_keeps_only_the_latest_record_per_key(self, tmp_path):
+        journal = RunJournal(tmp_path / "run.journal.jsonl")
+        for attempt in range(4):
+            journal.record(
+                PointOutcome(
+                    index=0, key="a", status="failed", attempts=attempt + 1
+                )
+            )
+        journal.record(PointOutcome(index=0, key="a", status="ok"))
+        journal.record(PointOutcome(index=1, key="b", status="ok"))
+        dropped = journal.compact()
+        assert dropped == 4
+        lines = journal.path.read_text(encoding="utf-8").splitlines()
+        assert len(lines) == 2
+        loaded = journal.load()
+        assert loaded["a"].status == "ok"
+        assert loaded["b"].status == "ok"
+        # A second compaction has nothing to drop.
+        assert journal.compact() == 0
+        journal.close()
+
+    def test_close_compacts_only_when_the_run_wrote(self, tmp_path):
+        journal = RunJournal(tmp_path / "run.journal.jsonl")
+        journal.record(PointOutcome(index=0, key="a", status="failed"))
+        journal.record(PointOutcome(index=0, key="a", status="ok"))
+        journal.close()
+        lines = journal.path.read_text(encoding="utf-8").splitlines()
+        assert len(lines) == 1
+        # A read-only reopen must not rewrite the file behind a
+        # concurrent writer's back.
+        before = journal.path.stat().st_mtime_ns
+        reader = RunJournal(journal.path)
+        assert reader.load()["a"].status == "ok"
+        reader.close()
+        assert journal.path.stat().st_mtime_ns == before
+
+    def test_compact_on_a_missing_file_is_a_no_op(self, tmp_path):
+        assert RunJournal(tmp_path / "absent.jsonl").compact() == 0
+
+    def test_second_writer_raises_journal_locked(self, tmp_path):
+        journal = RunJournal(tmp_path / "run.journal.jsonl")
+        journal.record(PointOutcome(index=0, key="a", status="ok"))
+        rival = RunJournal(journal.path)
+        with pytest.raises(JournalLockedError) as info:
+            rival.acquire()
+        assert str(os.getpid()) in str(info.value)
+        # Closing the holder releases the lock for the next writer.
+        journal.close()
+        rival.acquire()
+        rival.record(PointOutcome(index=1, key="b", status="ok"))
+        rival.close()
+
+    def test_lock_dies_with_a_killed_holder(self, tmp_path):
+        """flock is released by the kernel when the holder is SIGKILLed."""
+        journal_path = tmp_path / "run.journal.jsonl"
+        script = (
+            "import os, sys, time\n"
+            "from repro.experiments.resilience import RunJournal\n"
+            "from repro.experiments.resilience import PointOutcome\n"
+            f"journal = RunJournal({str(journal_path)!r})\n"
+            "journal.record(PointOutcome(index=0, key='a', status='ok'))\n"
+            "print('locked', flush=True)\n"
+            "time.sleep(60)\n"
+        )
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (src, env.get("PYTHONPATH")) if p
+        )
+        holder = subprocess.Popen(
+            [sys.executable, "-c", script],
+            env=env,
+            stdout=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            assert holder.stdout.readline().strip() == "locked"
+            rival = RunJournal(journal_path)
+            with pytest.raises(JournalLockedError):
+                rival.acquire()
+            holder.kill()
+            holder.wait(timeout=30)
+            rival.acquire()  # stale lockfile, lock itself died
+            rival.close()
+        finally:
+            if holder.poll() is None:
+                holder.kill()
+                holder.wait(timeout=30)
+
 
 class TestRetriesSerial:
     def test_retry_recovers_and_counts_attempts(self):
@@ -363,7 +497,9 @@ class TestRetriesSerial:
         )
         elapsed = time.perf_counter() - start
         assert result.outcomes[0].attempts == 3
-        assert elapsed >= 0.15  # 0.05 + 0.10 of backoff
+        # 0.05 + 0.10 of backoff, shrunk by at most 25% of per-key
+        # jitter (backoff_jitter=0.25 default).
+        assert elapsed >= 0.75 * 0.15
 
 
 class TestTimeouts:

@@ -396,6 +396,200 @@ class TestTrace:
             main(["trace"])
 
 
+#: A minimal two-stage campaign over simulation-free built-in steps —
+#: fast enough for CLI round trips, real enough to journal and resume.
+_TINY_CAMPAIGN = """
+name = "cli-tiny"
+description = "facility summary plus report"
+seed = 3
+
+[[stages]]
+name = "shape"
+step = "workload.summary"
+[stages.params]
+preset = "baseline-32"
+
+[[stages]]
+name = "report"
+step = "report.render"
+after = ["shape"]
+"""
+
+
+class TestCampaign:
+    @pytest.fixture
+    def tiny_spec(self, tmp_path):
+        path = tmp_path / "tiny.toml"
+        path.write_text(_TINY_CAMPAIGN)
+        return path
+
+    def test_list_names_packaged_campaigns(self, capsys):
+        assert main(["campaign", "list"]) == 0
+        assert "e3-workflow" in capsys.readouterr().out
+
+    def test_describe_prints_spec_json_and_order(self, capsys, tiny_spec):
+        assert main(["campaign", "describe", str(tiny_spec)]) == 0
+        captured = capsys.readouterr()
+        import json
+
+        spec = json.loads(captured.out)
+        assert spec["name"] == "cli-tiny"
+        assert "shape -> report" in captured.err
+
+    def test_run_renders_table_and_digest(self, capsys, tmp_path, tiny_spec):
+        state = tmp_path / "state"
+        assert (
+            main(
+                [
+                    "campaign",
+                    "run",
+                    str(tiny_spec),
+                    "--state-dir",
+                    str(state),
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "campaign 'cli-tiny'" in output
+        assert "shape" in output and "report" in output
+        assert "ok=2" in output
+        assert "digest" in output
+
+    def test_run_json_prints_canonical_result(
+        self, capsys, tmp_path, tiny_spec
+    ):
+        import json
+
+        assert (
+            main(
+                [
+                    "campaign",
+                    "run",
+                    str(tiny_spec),
+                    "--state-dir",
+                    str(tmp_path / "state"),
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        stdout = capsys.readouterr().out
+        payload = json.loads(stdout[: stdout.rindex("}") + 1])
+        assert payload["campaign"] == "cli-tiny"
+        assert payload["stages"]["shape"]["status"] == "ok"
+
+    def test_resume_replays_completed_stages(
+        self, capsys, tmp_path, tiny_spec
+    ):
+        state = tmp_path / "state"
+        argv = ["campaign", "run", str(tiny_spec), "--state-dir", str(state)]
+        assert main(argv) == 0
+        capsys.readouterr()
+        argv[1] = "resume"
+        assert main(argv) == 0
+        output = capsys.readouterr().out
+        # Both stages come back from the journal, not re-execution.
+        assert output.count("yes") == 2
+
+    def test_status_reports_progress_json(self, capsys, tmp_path, tiny_spec):
+        import json
+
+        state = tmp_path / "state"
+        argv = [
+            "campaign",
+            "status",
+            str(tiny_spec),
+            "--state-dir",
+            str(state),
+        ]
+        assert main(argv) == 0
+        before = json.loads(capsys.readouterr().out)
+        assert before["completed"] == 0 and before["total"] == 2
+        assert (
+            main(
+                [
+                    "campaign",
+                    "run",
+                    str(tiny_spec),
+                    "--state-dir",
+                    str(state),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(argv) == 0
+        after = json.loads(capsys.readouterr().out)
+        assert after["completed"] == 2
+
+    def test_seed_override_changes_the_digest(
+        self, capsys, tmp_path, tiny_spec
+    ):
+        digests = []
+        for seed in ("3", "4"):
+            argv = [
+                "campaign",
+                "run",
+                str(tiny_spec),
+                "--state-dir",
+                str(tmp_path / f"state-{seed}"),
+                "--seed",
+                seed,
+            ]
+            assert main(argv) == 0
+            output = capsys.readouterr().out
+            digests.append(output.rsplit("digest", 1)[1])
+        assert digests[0] != digests[1]
+
+    def test_failing_campaign_exits_nonzero(self, capsys, tmp_path):
+        spec = tmp_path / "bad.toml"
+        spec.write_text(
+            'name = "bad"\n[[stages]]\nname = "a"\nstep = "no.such.step"\n'
+        )
+        assert (
+            main(
+                [
+                    "campaign",
+                    "run",
+                    str(spec),
+                    "--state-dir",
+                    str(tmp_path / "state"),
+                ]
+            )
+            == 1
+        )
+        assert "campaign failed" in capsys.readouterr().err
+
+    def test_malformed_chaos_rejected(self, tmp_path, tiny_spec):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "campaign",
+                    "run",
+                    str(tiny_spec),
+                    "--state-dir",
+                    str(tmp_path / "state"),
+                    "--chaos",
+                    "{not json",
+                ]
+            )
+
+    def test_unknown_spec_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "campaign",
+                    "describe",
+                    "no-such-campaign",
+                ]
+            )
+
+    def test_campaign_needs_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["campaign"])
+
+
 class TestMisc:
     def test_no_command_shows_help(self, capsys):
         assert main([]) == 2
