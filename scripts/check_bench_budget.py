@@ -1,0 +1,180 @@
+#!/usr/bin/env python3
+"""Fail CI when a kernel benchmark regresses past its budget.
+
+Compares a freshly generated ``BENCH_<rev>.json`` (see
+``benchmarks/conftest.py``) against the checked-in baseline — the
+``BENCH_*.json`` most recently touched in git history — and exits
+non-zero if any matching benchmark's wall time exceeds
+
+    budget = baseline * factor + slack
+
+The multiplicative factor (default 2x) catches genuine hot-path
+regressions; the additive slack (default 0.25 s) keeps sub-100ms
+benchmarks from flaking on shared CI runners where absolute noise
+dwarfs such walls.  Benchmarks without a baseline entry (new tiers)
+are reported but never fail the check.
+
+Usage::
+
+    python -m pytest benchmarks/test_bench_kernel.py -q
+    python scripts/check_bench_budget.py --current BENCH_$(git rev-parse --short HEAD).json
+    python scripts/check_bench_budget.py --current BENCH_ci.json --baseline BENCH_96d3917.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Only benchmarks whose test name contains this substring are budgeted
+#: by default: artefact benchmarks regenerate whole experiments and get
+#: their regression protection from the experiment claim checks.
+DEFAULT_FILTER = "test_bench_kernel"
+
+
+def _tracked_bench_files() -> list:
+    """BENCH_*.json files tracked in git, newest-commit first."""
+    try:
+        names = subprocess.run(
+            ["git", "ls-files", "BENCH_*.json"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.split()
+    except (OSError, subprocess.CalledProcessError):
+        return []
+
+    def commit_time(name: str) -> int:
+        try:
+            out = subprocess.run(
+                ["git", "log", "-1", "--format=%ct", "--", name],
+                cwd=REPO_ROOT,
+                capture_output=True,
+                text=True,
+                check=True,
+            ).stdout.strip()
+            return int(out or 0)
+        except (OSError, subprocess.CalledProcessError, ValueError):
+            return 0
+
+    return sorted(names, key=commit_time, reverse=True)
+
+
+def _load(path: Path) -> dict:
+    try:
+        return json.loads(path.read_text())
+    except OSError as exc:
+        sys.exit(f"error: cannot read {path}: {exc}")
+    except ValueError as exc:
+        sys.exit(f"error: {path} is not valid JSON: {exc}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="benchmark budget check (see module docstring)"
+    )
+    parser.add_argument(
+        "--current",
+        required=True,
+        help="freshly generated BENCH_<rev>.json to check",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help=(
+            "baseline BENCH_<rev>.json (default: the checked-in "
+            "BENCH file most recently touched in git history, "
+            "excluding --current)"
+        ),
+    )
+    parser.add_argument(
+        "--factor",
+        type=float,
+        default=2.0,
+        help="multiplicative budget on the baseline wall time (default 2.0)",
+    )
+    parser.add_argument(
+        "--slack",
+        type=float,
+        default=0.25,
+        help="additive seconds of CI-noise allowance (default 0.25)",
+    )
+    parser.add_argument(
+        "--filter",
+        default=DEFAULT_FILTER,
+        help=(
+            "substring a test name must contain to be budgeted "
+            f"(default {DEFAULT_FILTER!r})"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    current_path = Path(args.current)
+    if not current_path.is_absolute():
+        current_path = REPO_ROOT / current_path
+    if args.baseline:
+        baseline_path = Path(args.baseline)
+        if not baseline_path.is_absolute():
+            baseline_path = REPO_ROOT / baseline_path
+    else:
+        candidates = [
+            REPO_ROOT / name
+            for name in _tracked_bench_files()
+            if (REPO_ROOT / name).resolve() != current_path.resolve()
+        ]
+        if not candidates:
+            print("bench-budget: no checked-in baseline BENCH_*.json; skipping")
+            return 0
+        baseline_path = candidates[0]
+
+    baseline = _load(baseline_path).get("benchmarks", {})
+    current = _load(current_path).get("benchmarks", {})
+
+    checked = 0
+    failures = []
+    print(
+        f"bench-budget: {current_path.name} vs {baseline_path.name} "
+        f"(budget = baseline * {args.factor:g} + {args.slack:g}s)"
+    )
+    for name in sorted(current):
+        if args.filter not in name:
+            continue
+        wall = current[name]
+        base = baseline.get(name)
+        if base is None:
+            print(f"  NEW   {name}: {wall:.3f}s (no baseline entry)")
+            continue
+        budget = base * args.factor + args.slack
+        checked += 1
+        status = "ok" if wall <= budget else "FAIL"
+        print(
+            f"  {status:5} {name}: {wall:.3f}s "
+            f"(baseline {base:.3f}s, budget {budget:.3f}s)"
+        )
+        if wall > budget:
+            failures.append(name)
+
+    if not checked and not failures:
+        print(
+            f"bench-budget: no benchmarks matching {args.filter!r} had a "
+            "baseline entry; nothing to check"
+        )
+        return 0
+    if failures:
+        print(
+            f"bench-budget: {len(failures)} benchmark(s) over budget: "
+            + ", ".join(failures)
+        )
+        return 1
+    print(f"bench-budget: {checked} benchmark(s) within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

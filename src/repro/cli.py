@@ -60,6 +60,17 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="render results as markdown instead of plain tables",
     )
+    run_parser.add_argument(
+        "--profile",
+        metavar="OUT.pstats",
+        default=None,
+        help=(
+            "profile the run with cProfile and dump pstats data to "
+            "OUT.pstats (inspect with 'python -m pstats' or snakeviz); "
+            "REPRO_PROFILE=1 enables the same with a default output "
+            "path, REPRO_PROFILE=<path> picks the path"
+        ),
+    )
 
     sweep_parser = subparsers.add_parser(
         "sweep",
@@ -410,13 +421,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"{experiment_id}: {doc}")
         return 0
     if args.command == "run":
-        return _run_experiments(
-            parser,
-            args,
-            registry=EXPERIMENTS,
-            unknown_message="unknown experiment(s)",
-            registry_label="known",
-        )
+        with _maybe_profile(args.profile):
+            return _run_experiments(
+                parser,
+                args,
+                registry=EXPERIMENTS,
+                unknown_message="unknown experiment(s)",
+                registry_label="known",
+            )
     if args.command == "scenario":
         return _scenario_command(parser, args)
     if args.command == "campaign":
@@ -443,6 +455,53 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
     parser.print_help()
     return 2
+
+
+#: Environment knob mirroring ``run --profile``: ``REPRO_PROFILE=1``
+#: profiles into :data:`DEFAULT_PROFILE_PATH`, any other non-empty
+#: value is taken as the output path itself.
+PROFILE_ENV_VAR = "REPRO_PROFILE"
+DEFAULT_PROFILE_PATH = "repro-run.pstats"
+
+
+def _resolve_profile_path(flag_value: Optional[str]) -> Optional[str]:
+    """Output path for cProfile data, or None when profiling is off."""
+    if flag_value:
+        return flag_value
+    import os
+
+    env = os.environ.get(PROFILE_ENV_VAR, "")
+    if not env or env == "0":
+        return None
+    return DEFAULT_PROFILE_PATH if env == "1" else env
+
+
+class _maybe_profile:
+    """Context manager running its body under cProfile when enabled.
+
+    The profiler brackets the whole experiment loop (simulation,
+    metrics, rendering) so kernel hot spots appear with their real
+    relative weight; the pstats file is written even if the body
+    raises, so aborted runs can still be inspected.
+    """
+
+    def __init__(self, flag_value: Optional[str]) -> None:
+        self._path = _resolve_profile_path(flag_value)
+        self._profiler = None
+
+    def __enter__(self) -> "_maybe_profile":
+        if self._path is not None:
+            import cProfile
+
+            self._profiler = cProfile.Profile()
+            self._profiler.enable()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._profiler is not None:
+            self._profiler.disable()
+            self._profiler.dump_stats(self._path)
+            print(f"[profile] wrote {self._path}", file=sys.stderr)
 
 
 def _sweep_run_kwargs(parser, args, workers: int) -> dict:

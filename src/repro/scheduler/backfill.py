@@ -78,13 +78,19 @@ class PartitionTimeline:
         "_times",
         "_node_deltas",
         "_gres_deltas",
+        "_pending",
         "_owns",
+        "_owns_compiled",
         "_dirty",
         "_cnodes",
         "_cgres",
         "_snodes",
         "_sgres",
     )
+
+    #: Above this many buffered deltas, :meth:`_flush` rebuilds the
+    #: breakpoint arrays with one merge pass instead of bisect-inserts.
+    _FLUSH_MERGE_THRESHOLD = 4
 
     def __init__(
         self,
@@ -99,7 +105,11 @@ class PartitionTimeline:
         self._times: List[float] = [now]
         self._node_deltas: List[int] = [capacity_nodes]
         self._gres_deltas: List[Dict[str, int]] = [dict(capacity_gres)]
+        #: Buffered deltas (time -> [nodes, gres]) not yet merged into
+        #: the sorted arrays; merged lazily by :meth:`_flush`.
+        self._pending: Dict[float, list] = {}
         self._owns = True
+        self._owns_compiled = True
         self._dirty = True
         self._cnodes: List[int] = []
         self._cgres: Dict[str, List[int]] = {}
@@ -110,6 +120,7 @@ class PartitionTimeline:
 
     def fork(self) -> "PartitionTimeline":
         """A trial copy sharing state with this timeline until written."""
+        self._flush()
         clone = PartitionTimeline.__new__(PartitionTimeline)
         clone.now = self.now
         clone.capacity_nodes = self.capacity_nodes
@@ -117,9 +128,12 @@ class PartitionTimeline:
         clone._times = self._times
         clone._node_deltas = self._node_deltas
         clone._gres_deltas = self._gres_deltas
+        clone._pending = {}
         # Neither side may mutate the shared arrays in place from here.
         self._owns = False
         clone._owns = False
+        self._owns_compiled = False
+        clone._owns_compiled = False
         clone._dirty = self._dirty
         clone._cnodes = self._cnodes
         clone._cgres = self._cgres
@@ -135,25 +149,90 @@ class PartitionTimeline:
         self._gres_deltas = [dict(d) for d in self._gres_deltas]
         self._owns = True
 
+    def _materialise_compiled(self) -> None:
+        if self._owns_compiled:
+            return
+        self._cnodes = list(self._cnodes)
+        self._cgres = {t: list(c) for t, c in self._cgres.items()}
+        self._snodes = list(self._snodes)
+        self._sgres = {t: list(c) for t, c in self._sgres.items()}
+        self._owns_compiled = True
+
     # -- mutation -----------------------------------------------------------
 
     def _add_delta(
         self, time: float, nodes: int, gres: Optional[Dict[str, int]] = None
     ) -> None:
-        self._materialise()
+        """Buffer one capacity delta; O(1) until a reader flushes."""
         self._dirty = True
         time = max(time, self.now)
-        index = bisect.bisect_left(self._times, time)
-        if index < len(self._times) and self._times[index] == time:
-            self._node_deltas[index] += nodes
-            if gres:
-                entry = self._gres_deltas[index]
-                for gres_type, count in gres.items():
-                    entry[gres_type] = entry.get(gres_type, 0) + count
+        entry = self._pending.get(time)
+        if entry is None:
+            self._pending[time] = [nodes, dict(gres) if gres else {}]
         else:
-            self._times.insert(index, time)
-            self._node_deltas.insert(index, nodes)
-            self._gres_deltas.insert(index, dict(gres or {}))
+            entry[0] += nodes
+            if gres:
+                pending_gres = entry[1]
+                for gres_type, count in gres.items():
+                    pending_gres[gres_type] = (
+                        pending_gres.get(gres_type, 0) + count
+                    )
+
+    def _flush(self) -> None:
+        """Merge buffered deltas into the sorted breakpoint arrays.
+
+        A handful of deltas bisect-insert individually; larger batches
+        (e.g. building a timeline from every active allocation) merge in
+        one pass — O(B + k log k) instead of O(k·B) repeated inserts.
+        """
+        pending = self._pending
+        if not pending:
+            return
+        self._materialise()
+        self._pending = {}
+        times = self._times
+        node_deltas = self._node_deltas
+        gres_deltas = self._gres_deltas
+        if len(pending) <= self._FLUSH_MERGE_THRESHOLD:
+            for time, (nodes, gres) in sorted(pending.items()):
+                index = bisect.bisect_left(times, time)
+                if index < len(times) and times[index] == time:
+                    node_deltas[index] += nodes
+                    if gres:
+                        entry = gres_deltas[index]
+                        for gres_type, count in gres.items():
+                            entry[gres_type] = entry.get(gres_type, 0) + count
+                else:
+                    times.insert(index, time)
+                    node_deltas.insert(index, nodes)
+                    gres_deltas.insert(index, gres)
+            return
+        merged_times: List[float] = []
+        merged_nodes: List[int] = []
+        merged_gres: List[Dict[str, int]] = []
+        index = 0
+        count = len(times)
+        for time, (nodes, gres) in sorted(pending.items()):
+            while index < count and times[index] < time:
+                merged_times.append(times[index])
+                merged_nodes.append(node_deltas[index])
+                merged_gres.append(gres_deltas[index])
+                index += 1
+            if index < count and times[index] == time:
+                nodes += node_deltas[index]
+                entry = gres_deltas[index]
+                for gres_type, delta in entry.items():
+                    gres[gres_type] = gres.get(gres_type, 0) + delta
+                index += 1
+            merged_times.append(time)
+            merged_nodes.append(nodes)
+            merged_gres.append(gres)
+        merged_times.extend(times[index:])
+        merged_nodes.extend(node_deltas[index:])
+        merged_gres.extend(gres_deltas[index:])
+        self._times = merged_times
+        self._node_deltas = merged_nodes
+        self._gres_deltas = merged_gres
 
     def occupy(
         self,
@@ -163,13 +242,111 @@ class PartitionTimeline:
         gres: Optional[Dict[str, int]] = None,
     ) -> None:
         """Subtract capacity over [start, end) — a running job or
-        a reservation."""
+        a reservation.
+
+        When the compiled profile is current, the occupation is *patched
+        into* the compiled arrays (an O(window) slice update plus a
+        bounded suffix-minima ripple) instead of invalidating them —
+        the conservative-backfill loop alternates ``earliest_start``
+        and ``occupy``, and this keeps each iteration from paying a
+        full O(B) recompile.
+        """
         if end <= start:
+            return
+        if not self._dirty and not self._pending and (
+            not gres or all(t in self._cgres for t in gres)
+        ):
+            self._patch_occupy(start, end, nodes, gres)
             return
         negative_gres = {t: -c for t, c in (gres or {}).items()}
         self._add_delta(start, -nodes, negative_gres)
         if end < HORIZON + self.now:
             self._add_delta(end, nodes, dict(gres or {}))
+
+    def _insert_breakpoint(self, index: int, time: float) -> None:
+        """Insert a breakpoint carrying over the values in force.
+
+        Compiled prefix columns duplicate their left neighbour (the
+        profile is right-continuous); suffix columns get a placeholder
+        that the caller's window recompute overwrites."""
+        self._times.insert(index, time)
+        self._node_deltas.insert(index, 0)
+        self._gres_deltas.insert(index, {})
+        self._cnodes.insert(index, self._cnodes[index - 1])
+        self._snodes.insert(index, 0)
+        for column in self._cgres.values():
+            column.insert(index, column[index - 1])
+        for column in self._sgres.values():
+            column.insert(index, 0)
+
+    @staticmethod
+    def _repair_suffix(
+        prefix: List[int], suffix: List[int], lo: int, hi: int
+    ) -> None:
+        """Recompute suffix running-minima over [lo, hi], then ripple
+        left of ``lo`` until a value is unchanged."""
+        last = len(prefix) - 1
+        index = hi if hi < last else last
+        while index >= lo:
+            value = prefix[index]
+            if index < last and suffix[index + 1] < value:
+                value = suffix[index + 1]
+            suffix[index] = value
+            index -= 1
+        index = lo - 1
+        while index >= 0:
+            value = prefix[index]
+            if suffix[index + 1] < value:
+                value = suffix[index + 1]
+            if suffix[index] == value:
+                break
+            suffix[index] = value
+            index -= 1
+
+    def _patch_occupy(
+        self,
+        start: float,
+        end: float,
+        nodes: int,
+        gres: Optional[Dict[str, int]],
+    ) -> None:
+        """Apply an occupation to delta *and* compiled arrays in place,
+        leaving the compiled form exactly equal to a recompile (integer
+        prefix sums patch exactly; no float error can accumulate)."""
+        self._materialise()
+        self._materialise_compiled()
+        start = max(start, self.now)
+        times = self._times
+        lo = bisect.bisect_left(times, start)
+        if lo == len(times) or times[lo] != start:
+            self._insert_breakpoint(lo, start)
+        bounded = end < HORIZON + self.now
+        if bounded:
+            hi = bisect.bisect_left(times, end)
+            if hi == len(times) or times[hi] != end:
+                self._insert_breakpoint(hi, end)
+        else:
+            hi = len(times)
+        node_deltas = self._node_deltas
+        node_deltas[lo] -= nodes
+        if bounded:
+            node_deltas[hi] += nodes
+        cnodes = self._cnodes
+        if nodes:
+            cnodes[lo:hi] = [value - nodes for value in cnodes[lo:hi]]
+        self._repair_suffix(cnodes, self._snodes, lo, hi)
+        gres_deltas = self._gres_deltas
+        for gres_type, count in (gres or {}).items():
+            entry = gres_deltas[lo]
+            entry[gres_type] = entry.get(gres_type, 0) - count
+            if bounded:
+                entry = gres_deltas[hi]
+                entry[gres_type] = entry.get(gres_type, 0) + count
+            if count:
+                column = self._cgres[gres_type]
+                column[lo:hi] = [value - count for value in column[lo:hi]]
+        for gres_type, column in self._cgres.items():
+            self._repair_suffix(column, self._sgres[gres_type], lo, hi)
 
     def apply_busy(
         self,
@@ -206,6 +383,7 @@ class PartitionTimeline:
         self._prune_zero_at(start)
 
     def _prune_zero_at(self, time: float) -> None:
+        self._flush()
         index = bisect.bisect_left(self._times, time)
         if index == 0 or index >= len(self._times):
             return  # never prune the anchor entry at ``now``
@@ -223,6 +401,7 @@ class PartitionTimeline:
         cancelled out."""
         if new_now <= self.now:
             return
+        self._flush()
         self._materialise()
         self._dirty = True
         times = self._times
@@ -253,7 +432,10 @@ class PartitionTimeline:
 
     def compile(self) -> None:
         """Materialise prefix-summed free-capacity arrays plus suffix
-        running-minima.  Idempotent; mutations re-flag for recompile."""
+        running-minima.  Idempotent; mutations re-flag for recompile
+        (except :meth:`occupy` against a current profile, which patches
+        the compiled arrays in place and stays clean)."""
+        self._flush()
         if not self._dirty:
             return
         node_deltas = self._node_deltas
@@ -290,11 +472,13 @@ class PartitionTimeline:
         self._cgres = cgres
         self._snodes = snodes
         self._sgres = sgres
+        self._owns_compiled = True
         self._dirty = False
 
     # -- queries ------------------------------------------------------------
 
     def breakpoints(self) -> List[float]:
+        self._flush()
         return list(self._times)
 
     def profile(self) -> List[Tuple[float, int, Dict[str, int]]]:
@@ -581,13 +765,15 @@ class ClusterTimeline:
         checkers = []
         for component in components:
             timeline = self._partition_timeline(component.partition)
-            candidates.update(
-                t for t in timeline._times if self.now <= t <= limit
-            )
+            # Build the checker first: it compiles the profile, which
+            # also merges any buffered deltas into ``_times``.
             checkers.append(
                 timeline.sweep_checker(
                     duration, component.nodes, component.gres
                 )
+            )
+            candidates.update(
+                t for t in timeline._times if self.now <= t <= limit
             )
         for candidate in sorted(candidates):
             if all(checker.check(candidate) for checker in checkers):

@@ -7,17 +7,36 @@ waiting process inspect exactly which events completed.
 
 A failure in any constituent event propagates to the condition (and is
 thereby delivered to the waiting process).
+
+Hot-path notes: conditions and their :class:`ConditionValue` results
+are recycled through the kernel's free lists (a condition is only
+recycled when the kernel's refcount check proves no user code can still
+observe it; its value is only recycled when additionally nothing but
+the condition referenced it), and triggering pushes directly onto the
+kernel heap like ``Event.succeed``.
 """
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import TYPE_CHECKING, Any, Dict, Iterator, List
 
 from repro.errors import SimulationError
-from repro.sim.events import PENDING, Event
+from repro.sim.events import (
+    HEAP_RECYCLABLE,
+    PENDING,
+    POOL_CAP,
+    Event,
+    _NORMAL_KEY,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.kernel import Kernel
+
+try:
+    from sys import getrefcount as _getrefcount
+except ImportError:  # pragma: no cover - CPython always has it
+    _getrefcount = None
 
 
 class ConditionValue:
@@ -56,7 +75,12 @@ class Condition(Event):
     __slots__ = ("_events", "_processed_count")
 
     def __init__(self, kernel: "Kernel", events: List[Event]) -> None:
-        super().__init__(kernel)
+        self.kernel = kernel
+        self.callbacks = []
+        self._value = PENDING
+        self._ok = True
+        self._defused = False
+        self._cancelled = False
         for event in events:
             if event.kernel is not kernel:
                 raise SimulationError(
@@ -64,12 +88,14 @@ class Condition(Event):
                 )
         self._events = events
         self._processed_count = 0
+        on_fire = self._on_fire
+        count_event = self._count_event
         for event in events:
             if event.callbacks is None:
                 # Already processed: account for it immediately.
-                self._count_event(event)
+                count_event(event)
             else:
-                event.callbacks.append(self._on_fire)
+                event.callbacks.append(on_fire)
         self._maybe_trigger()
 
     # -- hooks implemented by subclasses ------------------------------------
@@ -95,11 +121,21 @@ class Condition(Event):
 
     def _maybe_trigger(self) -> None:
         if self._value is PENDING and self._satisfied():
-            value = ConditionValue()
+            kernel = self.kernel
+            pool = kernel._pools.get(ConditionValue)
+            if pool:
+                value = pool.pop()
+            else:
+                value = ConditionValue.__new__(ConditionValue)
             value.events = [
-                event for event in self._events if event.processed
+                event for event in self._events if event.callbacks is None
             ]
-            self.succeed(value)
+            # Fused succeed: the condition was pending by construction.
+            self._ok = True
+            self._value = value
+            kernel._sequence = sequence = kernel._sequence + 1
+            kernel._live += 1
+            heappush(kernel._heap, (kernel._now, _NORMAL_KEY | sequence, self))
 
     @property
     def events(self) -> List[Event]:
@@ -130,3 +166,23 @@ class AnyOf(Condition):
         if not self._events:
             return True
         return self._processed_count >= 1
+
+
+def _clear_condition(event: Event) -> None:
+    # Drop references to the constituent events; if nothing but this
+    # condition referenced its ConditionValue, recycle that too.
+    event._events = ()
+    value = event._value
+    event._value = None
+    if type(value) is ConditionValue and _getrefcount(value) == 2:
+        pools = event.kernel._pools
+        pool = pools.get(ConditionValue)
+        if pool is None:
+            pool = pools[ConditionValue] = []
+        if len(pool) < POOL_CAP:
+            value.events = ()
+            pool.append(value)
+
+
+HEAP_RECYCLABLE[AllOf] = _clear_condition
+HEAP_RECYCLABLE[AnyOf] = _clear_condition

@@ -7,11 +7,30 @@ value (or an exception) is attached and it is placed on the kernel's
 event heap, and becomes *processed* once the kernel has popped it and
 run its callbacks.  Processes (see :mod:`repro.sim.process`) suspend by
 yielding events and are resumed through those callbacks.
+
+Hot-path design notes (see docs/architecture.md, "Kernel fast path"):
+
+- Every event class is ``__slots__``-compacted and triggering is *fused*
+  with scheduling: ``succeed``/``fail``/``trigger`` push directly onto
+  the kernel's heap instead of going through a ``Kernel.schedule`` call.
+- Heap entries are ``(time, key, event)`` where ``key`` packs
+  ``(priority, sequence)`` into a single int (``priority << 56 | seq``),
+  so tie-breaking costs one integer comparison instead of two tuple
+  elements.  The packed order is identical to the old
+  ``(time, priority, sequence)`` tuples, which keeps event ordering —
+  and therefore every simulation output — byte-identical.
+- Short-lived internal events (:class:`Timeout`, :class:`Initialize`
+  and friends) are recycled through per-kernel free lists: when the
+  kernel finishes processing an event whose refcount proves no user
+  code can ever observe it again, the instance is cleared and parked
+  for reuse.  The :data:`HEAP_RECYCLABLE` registry maps each poolable
+  class to the function that clears its references before pooling.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Callable, List, Optional
+from heapq import heappush
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
 
 from repro.errors import SimulationError
 
@@ -28,6 +47,24 @@ URGENT = 0
 #: Default scheduling priority.
 NORMAL = 1
 
+#: Bits reserved for the sequence number inside a packed heap key.
+#: ``priority << KEY_SHIFT | sequence`` orders exactly like the tuple
+#: ``(priority, sequence)`` for any sequence below 2**56 — far beyond
+#: the event count of any feasible simulation.
+KEY_SHIFT = 56
+
+_NORMAL_KEY = NORMAL << KEY_SHIFT
+
+#: Registry of heap-poolable event classes: exact class -> function
+#: clearing the instance's external references before it is parked on a
+#: free list.  Only classes registered here are ever recycled, and only
+#: when the kernel's refcount check proves the instance unreachable.
+HEAP_RECYCLABLE: Dict[type, Callable[["Event"], None]] = {}
+
+#: Cap on each per-kernel free list so pathological workloads cannot
+#: pin unbounded memory in the pools.
+POOL_CAP = 1024
+
 
 class Event:
     """A one-shot occurrence in simulated time.
@@ -39,7 +76,8 @@ class Event:
         relative to this kernel's clock.
     """
 
-    __slots__ = ("kernel", "callbacks", "_value", "_ok", "_defused")
+    __slots__ = ("kernel", "callbacks", "_value", "_ok", "_defused",
+                 "_cancelled")
 
     def __init__(self, kernel: "Kernel") -> None:
         self.kernel = kernel
@@ -49,6 +87,7 @@ class Event:
         self._value: Any = PENDING
         self._ok: bool = True
         self._defused: bool = False
+        self._cancelled: bool = False
 
     # -- state inspection -------------------------------------------------
 
@@ -61,6 +100,11 @@ class Event:
     def processed(self) -> bool:
         """Whether the kernel already ran this event's callbacks."""
         return self.callbacks is None
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether the scheduled event was cancelled before processing."""
+        return self._cancelled
 
     @property
     def ok(self) -> bool:
@@ -96,7 +140,10 @@ class Event:
             raise SimulationError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
-        self.kernel.schedule(self, priority=NORMAL)
+        kernel = self.kernel
+        kernel._sequence = sequence = kernel._sequence + 1
+        kernel._live += 1
+        heappush(kernel._heap, (kernel._now, _NORMAL_KEY | sequence, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -112,7 +159,10 @@ class Event:
             raise SimulationError(f"{self!r} has already been triggered")
         self._ok = False
         self._value = exception
-        self.kernel.schedule(self, priority=NORMAL)
+        kernel = self.kernel
+        kernel._sequence = sequence = kernel._sequence + 1
+        kernel._live += 1
+        heappush(kernel._heap, (kernel._now, _NORMAL_KEY | sequence, self))
         return self
 
     def trigger(self, event: "Event") -> None:
@@ -126,7 +176,10 @@ class Event:
             raise SimulationError(f"{self!r} has already been triggered")
         self._ok = event._ok
         self._value = event._value
-        self.kernel.schedule(self, priority=NORMAL)
+        kernel = self.kernel
+        kernel._sequence = sequence = kernel._sequence + 1
+        kernel._live += 1
+        heappush(kernel._heap, (kernel._now, _NORMAL_KEY | sequence, self))
 
     def __repr__(self) -> str:
         state = (
@@ -145,11 +198,29 @@ class Timeout(Event):
     def __init__(self, kernel: "Kernel", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay!r}")
-        super().__init__(kernel)
+        self.kernel = kernel
+        self.callbacks = []
         self.delay = delay
         self._ok = True
         self._value = value
-        kernel.schedule(self, priority=NORMAL, delay=delay)
+        self._defused = False
+        self._cancelled = False
+        kernel._sequence = sequence = kernel._sequence + 1
+        kernel._live += 1
+        heappush(
+            kernel._heap,
+            (kernel._now + delay, _NORMAL_KEY | sequence, self),
+        )
+
+    def cancel(self) -> None:
+        """Withdraw the timeout from the schedule before it fires.
+
+        The heap entry is *lazily deleted*: it stays on the heap but is
+        skipped (without running callbacks or advancing the clock) when
+        it reaches the front.  ``peek``/``queued_event_count`` ignore
+        cancelled entries, so introspection stays truthful.
+        """
+        self.kernel.cancel(self)
 
     def __repr__(self) -> str:
         return f"<Timeout delay={self.delay!r} at {id(self):#x}>"
@@ -161,11 +232,15 @@ class Initialize(Event):
     __slots__ = ()
 
     def __init__(self, kernel: "Kernel", process: Any) -> None:
-        super().__init__(kernel)
+        self.kernel = kernel
+        self.callbacks = [process._resume]
         self._ok = True
         self._value = None
-        self.callbacks.append(process._resume)
-        kernel.schedule(self, priority=URGENT)
+        self._defused = False
+        self._cancelled = False
+        kernel._sequence = sequence = kernel._sequence + 1
+        kernel._live += 1
+        heappush(kernel._heap, (kernel._now, sequence, self))  # URGENT
 
 
 class Interruption(Event):
@@ -219,3 +294,18 @@ class Interrupt(Exception):
 
     def __str__(self) -> str:
         return f"Interrupt({self.cause!r})"
+
+
+# -- free-list recycling ----------------------------------------------------
+
+
+def _clear_timeout(event: Event) -> None:
+    event._value = None
+
+
+def _clear_initialize(event: Event) -> None:
+    event._value = None
+
+
+HEAP_RECYCLABLE[Timeout] = _clear_timeout
+HEAP_RECYCLABLE[Initialize] = _clear_initialize

@@ -8,20 +8,64 @@ sequence)`` order and running their callbacks.
 The design is deliberately simpy-like: processes are generators that
 yield events, and the full simulation is deterministic for a fixed event
 schedule (ties are broken by insertion order).
+
+Fast-path design (docs/architecture.md, "Kernel fast path"):
+
+- Heap entries are ``(time, key, event)`` 3-tuples with the packed int
+  key from :mod:`repro.sim.events` — ordering is identical to the old
+  ``(time, priority, sequence, event)`` 4-tuples, one comparison level
+  cheaper.
+- :meth:`run` drains events through a single inlined loop instead of a
+  :meth:`step` method call per event, retiring whole same-timestamp
+  cascades per outer iteration (the ``until`` bound is checked once per
+  distinct timestamp, not once per event).
+- Cancelled entries (:meth:`cancel`, :meth:`Timeout.cancel`) are
+  *lazily deleted*: they stay on the heap and are skipped at pop time.
+  A live-entry counter keeps :attr:`queued_event_count` truthful and
+  :meth:`peek` discards the dead prefix before reading the head.
+- Short-lived internal events (timeouts, process initialisers, store
+  and resource bookkeeping events) are recycled through per-kernel free
+  lists.  After an event's callbacks have run, a refcount check proves
+  whether any user code can still observe the instance; only then is it
+  cleared and pooled, so recycling is semantically invisible (and
+  therefore cannot perturb determinism).  Pooling requires CPython
+  refcount semantics and can be disabled with ``REPRO_SIM_POOL=0`` or
+  ``Kernel(pooling=False)``.
 """
 
 from __future__ import annotations
 
 import heapq
+import os
+import platform
+from sys import getrefcount
 from typing import Any, Iterable, List, Optional, Tuple
 
 from repro.errors import SimulationError
 from repro.sim.conditions import AllOf, AnyOf
-from repro.sim.events import NORMAL, Event, Timeout
+from repro.sim.events import (
+    HEAP_RECYCLABLE,
+    KEY_SHIFT,
+    NORMAL,
+    PENDING,
+    POOL_CAP,
+    Event,
+    Timeout,
+)
 from repro.sim.process import Process, ProcessGenerator
 
-#: Heap entry: (time, priority, sequence number, event).
-_HeapEntry = Tuple[float, int, int, Event]
+#: Heap entry: (time, packed priority/sequence key, event).
+_HeapEntry = Tuple[float, int, Event]
+
+_INFINITY = float("inf")
+
+#: Free-list pooling relies on CPython refcount semantics; other
+#: interpreters fall back to plain allocation (results are identical
+#: either way — pooling only recycles provably unobservable instances).
+_POOLING_DEFAULT = (
+    platform.python_implementation() == "CPython"
+    and os.environ.get("REPRO_SIM_POOL", "1") != "0"
+)
 
 
 class EmptySchedule(SimulationError):
@@ -36,15 +80,35 @@ class Kernel:
     initial_time:
         Starting value of the simulated clock (default ``0.0``).
         Experiments replaying traces may start at an arbitrary epoch.
+    pooling:
+        Whether processed internal events may be recycled through free
+        lists (default: on under CPython unless ``REPRO_SIM_POOL=0``).
     """
 
-    __slots__ = ("_now", "_heap", "_sequence", "_active_process")
+    __slots__ = (
+        "_now",
+        "_heap",
+        "_sequence",
+        "_active_process",
+        "_live",
+        "_pools",
+        "_pooling",
+    )
 
-    def __init__(self, initial_time: float = 0.0) -> None:
+    def __init__(
+        self,
+        initial_time: float = 0.0,
+        pooling: Optional[bool] = None,
+    ) -> None:
         self._now = float(initial_time)
         self._heap: List[_HeapEntry] = []
         self._sequence = 0
         self._active_process: Optional[Process] = None
+        #: Number of scheduled-and-not-cancelled entries on the heap.
+        self._live = 0
+        #: Per-class free lists of recycled event instances.
+        self._pools: dict = {}
+        self._pooling = _POOLING_DEFAULT if pooling is None else bool(pooling)
 
     # -- clock & introspection --------------------------------------------
 
@@ -60,14 +124,24 @@ class Kernel:
 
     @property
     def queued_event_count(self) -> int:
-        """Number of triggered-but-unprocessed events on the heap."""
-        return len(self._heap)
+        """Number of triggered-but-unprocessed events on the heap.
+
+        Lazily-deleted (cancelled) entries are not counted.
+        """
+        return self._live
 
     def peek(self) -> float:
-        """Time of the next scheduled event, or ``inf`` if none."""
-        if not self._heap:
-            return float("inf")
-        return self._heap[0][0]
+        """Time of the next scheduled event, or ``inf`` if none.
+
+        Cancelled entries at the front of the heap are discarded first,
+        so the reported time is always that of a live event.
+        """
+        heap = self._heap
+        while heap and heap[0][2]._cancelled:
+            heapq.heappop(heap)
+        if not heap:
+            return _INFINITY
+        return heap[0][0]
 
     # -- factories ---------------------------------------------------------
 
@@ -77,20 +151,40 @@ class Kernel:
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """Create an event that fires ``delay`` time units from now."""
+        pool = self._pools.get(Timeout)
+        if pool:
+            timeout = pool.pop()
+            timeout.__init__(self, delay, value)
+            return timeout
         return Timeout(self, delay, value)
 
     def process(
         self, generator: ProcessGenerator, name: Optional[str] = None
     ) -> Process:
         """Start a new process driving ``generator``."""
+        pool = self._pools.get(Process)
+        if pool:
+            process = pool.pop()
+            process.__init__(self, generator, name=name)
+            return process
         return Process(self, generator, name=name)
 
     def all_of(self, events: Iterable[Event]) -> AllOf:
         """Event that fires once every event in ``events`` has fired."""
+        pool = self._pools.get(AllOf)
+        if pool:
+            condition = pool.pop()
+            condition.__init__(self, list(events))
+            return condition
         return AllOf(self, list(events))
 
     def any_of(self, events: Iterable[Event]) -> AnyOf:
         """Event that fires once any event in ``events`` has fired."""
+        pool = self._pools.get(AnyOf)
+        if pool:
+            condition = pool.pop()
+            condition.__init__(self, list(events))
+            return condition
         return AnyOf(self, list(events))
 
     # -- scheduling & execution ---------------------------------------------
@@ -101,18 +195,48 @@ class Kernel:
         """Place a triggered event on the heap ``delay`` from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past: {delay!r}")
-        self._sequence += 1
+        self._sequence = sequence = self._sequence + 1
+        self._live += 1
         heapq.heappush(
-            self._heap, (self._now + delay, priority, self._sequence, event)
+            self._heap,
+            (self._now + delay, (priority << KEY_SHIFT) | sequence, event),
         )
 
-    def step(self) -> None:
-        """Process the single next event; raise if the heap is empty."""
-        try:
-            self._now, _, _, event = heapq.heappop(self._heap)
-        except IndexError:
-            raise EmptySchedule("no more events scheduled") from None
+    def cancel(self, event: Event) -> None:
+        """Lazily delete a scheduled event from the heap.
 
+        The entry stays on the heap but is skipped — without running
+        callbacks or advancing the clock — when it surfaces.  Cancelling
+        twice is a no-op; cancelling an event that is not scheduled (or
+        was already processed) is an error.
+        """
+        if event._cancelled:
+            return
+        if event.callbacks is None:
+            raise SimulationError(f"cannot cancel {event!r}: already processed")
+        if event._value is PENDING:
+            raise SimulationError(f"cannot cancel {event!r}: not scheduled")
+        event._cancelled = True
+        self._live -= 1
+
+    def step(self) -> None:
+        """Process the single next live event; raise if none remain.
+
+        :meth:`run` does not go through this method (it drains the heap
+        through an inlined loop); ``step`` is the single-event API for
+        tests and interactive use.
+        """
+        heap = self._heap
+        pop = heapq.heappop
+        while True:
+            try:
+                self._now, _, event = pop(heap)
+            except IndexError:
+                raise EmptySchedule("no more events scheduled") from None
+            if not event._cancelled:
+                break
+
+        self._live -= 1
         callbacks = event.callbacks
         event.callbacks = None
         assert callbacks is not None
@@ -140,22 +264,65 @@ class Kernel:
                 run until that event is processed and return its value.
         """
         if until is None:
-            return self._run_until_empty()
+            self._drain(_INFINITY, None)
+            return None
         if isinstance(until, Event):
             return self._run_until_event(until)
         return self._run_until_time(float(until))
 
-    def _run_until_empty(self) -> None:
-        while self._heap:
-            self.step()
+    def _drain(self, limit: float, stop: Optional[list]) -> None:
+        """Inlined event loop: process live events while the head's time
+        is within ``limit``, a whole same-timestamp cascade per outer
+        iteration.  ``stop`` (when given) aborts after the event that
+        filled it was processed."""
+        heap = self._heap
+        pop = heapq.heappop
+        pooling = self._pooling
+        pools = self._pools
+        recyclers = HEAP_RECYCLABLE
+        while heap:
+            if heap[0][2]._cancelled:
+                pop(heap)
+                continue
+            now = heap[0][0]
+            if now > limit:
+                return
+            self._now = now
+            # Retire the entire cascade scheduled for this timestamp.
+            while heap and heap[0][0] == now:
+                _, _, event = pop(heap)
+                if event._cancelled:
+                    continue
+                self._live -= 1
+                callbacks = event.callbacks
+                event.callbacks = None
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not event._defused:
+                    # A failure nobody consumed: crash the simulation
+                    # loudly so bugs in models do not pass silently.
+                    raise event._value
+                if pooling and getrefcount(event) == 2:
+                    # Nothing outside this frame can ever observe the
+                    # instance again: clear and recycle it.
+                    cls = event.__class__
+                    clear = recyclers.get(cls)
+                    if clear is not None:
+                        pool = pools.get(cls)
+                        if pool is None:
+                            pool = pools[cls] = []
+                        if len(pool) < POOL_CAP:
+                            clear(event)
+                            pool.append(event)
+                if stop is not None and stop:
+                    return
 
     def _run_until_time(self, until: float) -> None:
         if until < self._now:
             raise SimulationError(
                 f"until={until!r} lies in the past (now={self._now!r})"
             )
-        while self._heap and self._heap[0][0] <= until:
-            self.step()
+        self._drain(until, None)
         self._now = until
 
     def _run_until_event(self, until: Event) -> Any:
@@ -164,30 +331,17 @@ class Kernel:
             if not until._ok and not until._defused:
                 raise until._value
             return until._value
-        stop = _StopFlag()
-        until.callbacks.append(stop.set)
-        while not stop.is_set:
-            if not self._heap:
-                raise SimulationError(
-                    "simulation ran out of events before the until-event fired"
-                )
-            self.step()
+        stop: list = []
+        until.callbacks.append(stop.append)
+        self._drain(_INFINITY, stop)
+        if not stop:
+            raise SimulationError(
+                "simulation ran out of events before the until-event fired"
+            )
         if not until._ok:
             until._defused = True
             raise until._value
         return until._value
 
     def __repr__(self) -> str:
-        return f"<Kernel t={self._now!r} queued={len(self._heap)}>"
-
-
-class _StopFlag:
-    """Tiny callback target used by :meth:`Kernel._run_until_event`."""
-
-    __slots__ = ("is_set",)
-
-    def __init__(self) -> None:
-        self.is_set = False
-
-    def set(self, _event: Event) -> None:
-        self.is_set = True
+        return f"<Kernel t={self._now!r} queued={self._live}>"

@@ -5,11 +5,18 @@
 utilisation metrics need.  :class:`SampleSeries` collects point samples
 (e.g. per-job wait times) with summary statistics.  Both are pure
 bookkeeping — no kernel interaction beyond reading the clock.
+
+Hot-path notes: sample series append into a compact ``array('d')`` and
+fold summary statistics lazily (sequentially, in arrival order, so the
+folded mean/variance are bit-identical to eager per-record folding),
+and the time-weighted integrator skips accumulation for
+same-timestamp updates.  Both classes are ``__slots__``-compacted.
 """
 
 from __future__ import annotations
 
 import math
+from array import array
 from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from repro.errors import SimulationError
@@ -104,6 +111,9 @@ class TimeWeightedValue:
     for the whole simulation.
     """
 
+    __slots__ = ("kernel", "_value", "_start_time", "_last_change",
+                 "_integral", "history")
+
     def __init__(
         self,
         kernel: "Kernel",
@@ -128,9 +138,10 @@ class TimeWeightedValue:
 
     def set(self, value: float) -> None:
         """Step the tracked quantity to ``value`` at the current time."""
-        now = self.kernel.now
-        self._integral += self._value * (now - self._last_change)
-        self._last_change = now
+        now = self.kernel._now
+        if now != self._last_change:
+            self._integral += self._value * (now - self._last_change)
+            self._last_change = now
         self._value = float(value)
         if self.history is not None:
             self.history.append((now, self._value))
@@ -159,55 +170,75 @@ class TimeWeightedValue:
 
 
 class SampleSeries:
-    """Point samples with incremental summary statistics.
+    """Point samples with amortised summary statistics.
 
-    Summary properties (``total``/``mean``/``stdev``/extremes) are O(1)
-    per access: observations fold into a :class:`RunningStats`
-    accumulator as they arrive instead of re-summing the sample list on
-    every read.  The raw samples are kept only for order statistics
-    (:meth:`percentile`).
+    Observations append into a compact ``array('d')`` — a C-level
+    append, no per-sample Python arithmetic.  Summary properties
+    (``total``/``mean``/``stdev``/extremes) fold outstanding samples
+    into a :class:`RunningStats` accumulator on first access, strictly
+    in arrival order, so the folded results are bit-identical to the
+    previous eager per-record folding.  The raw samples are kept for
+    order statistics (:meth:`percentile`).
     """
+
+    __slots__ = ("name", "_samples", "_stats", "_folded")
 
     def __init__(self, name: str = "") -> None:
         self.name = name
-        self.samples: List[float] = []
+        self._samples = array("d")
         self._stats = RunningStats()
+        #: Number of leading samples already folded into ``_stats``.
+        self._folded = 0
 
     def record(self, value: float) -> None:
-        """Append one observation."""
-        value = float(value)
-        self.samples.append(value)
-        self._stats.add(value)
+        """Append one observation (O(1), no stats arithmetic)."""
+        self._samples.append(value)
+
+    @property
+    def samples(self) -> List[float]:
+        """The recorded observations, in arrival order, as a list."""
+        return list(self._samples)
+
+    def _fold(self) -> RunningStats:
+        """Fold any outstanding samples into the running summary."""
+        samples = self._samples
+        folded = self._folded
+        if folded < len(samples):
+            add = self._stats.add
+            for value in samples[folded:]:
+                add(value)
+            self._folded = len(samples)
+        return self._stats
 
     @property
     def count(self) -> int:
-        return len(self.samples)
+        return len(self._samples)
 
     @property
     def total(self) -> float:
-        return self._stats.total
+        return self._fold().total
 
     @property
     def mean(self) -> float:
-        if not self.samples:
+        if not self._samples:
             return 0.0
-        return self._stats.mean
+        return self._fold().mean
 
     @property
     def maximum(self) -> float:
-        return self._stats.maximum if self.samples else 0.0
+        return self._fold().maximum if self._samples else 0.0
 
     @property
     def minimum(self) -> float:
-        return self._stats.minimum if self.samples else 0.0
+        return self._fold().minimum if self._samples else 0.0
 
     def percentile(self, q: float) -> float:
         """Linear-interpolated percentile of the samples, ``q`` in [0, 100]."""
         if not 0.0 <= q <= 100.0:
             raise SimulationError(f"percentile out of range: {q!r}")
-        if not self.samples:
+        if not self._samples:
             return 0.0
-        ordered = sorted(self.samples)
+        ordered = sorted(self._samples)
         if len(ordered) == 1:
             return ordered[0]
         rank = (q / 100.0) * (len(ordered) - 1)
@@ -222,7 +253,7 @@ class SampleSeries:
     @property
     def stdev(self) -> float:
         """Population standard deviation (0 for fewer than two samples)."""
-        return self._stats.stdev
+        return self._fold().stdev
 
     def __repr__(self) -> str:
         return (

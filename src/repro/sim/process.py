@@ -5,14 +5,28 @@ events to suspend; the kernel resumes it with the event's value (or
 throws the event's exception into it) once the event is processed.  A
 process is itself an event that fires when the generator terminates,
 which makes ``yield other_process`` a natural join operation.
+
+Hot-path notes: the generator's ``send``/``throw`` bound methods are
+cached at creation so every resume skips two attribute lookups, process
+termination pushes directly onto the kernel heap (fused, like
+``Event.succeed``), and process shells are recycled through the
+kernel's free lists once provably unobservable.
 """
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import TYPE_CHECKING, Any, Generator, Optional
 
 from repro.errors import SimulationError
-from repro.sim.events import PENDING, URGENT, Event, Initialize, Interruption
+from repro.sim.events import (
+    HEAP_RECYCLABLE,
+    PENDING,
+    URGENT,
+    Event,
+    Initialize,
+    Interruption,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.kernel import Kernel
@@ -27,7 +41,7 @@ class Process(Event):
     rather than instantiating this class directly.
     """
 
-    __slots__ = ("_generator", "_target", "name")
+    __slots__ = ("_generator", "_target", "name", "_send", "_throw")
 
     def __init__(
         self,
@@ -37,13 +51,25 @@ class Process(Event):
     ) -> None:
         if not hasattr(generator, "throw"):
             raise SimulationError(f"{generator!r} is not a generator")
-        super().__init__(kernel)
+        self.kernel = kernel
+        self.callbacks = []
+        self._value = PENDING
+        self._ok = True
+        self._defused = False
+        self._cancelled = False
         self._generator = generator
+        self._send = generator.send
+        self._throw = generator.throw
         #: The event this process is currently waiting on (``None``
         #: before the first resume and after termination).
         self._target: Optional[Event] = None
         self.name = name or getattr(generator, "__name__", "process")
-        Initialize(kernel, self)
+        pool = kernel._pools.get(Initialize)
+        if pool:
+            initialize = pool.pop()
+            initialize.__init__(kernel, self)
+        else:
+            Initialize(kernel, self)
 
     @property
     def is_alive(self) -> bool:
@@ -65,11 +91,13 @@ class Process(Event):
 
     def _resume(self, event: Event) -> None:
         """Advance the generator with the outcome of ``event``."""
-        self.kernel._active_process = self
+        kernel = self.kernel
+        kernel._active_process = self
+        send = self._send
         while True:
             if event._ok:
                 try:
-                    next_target = self._generator.send(event._value)
+                    next_target = send(event._value)
                 except StopIteration as stop:
                     self._terminate(ok=True, value=stop.value)
                     break
@@ -82,7 +110,7 @@ class Process(Event):
                 event._defused = True
                 exception = event._value
                 try:
-                    next_target = self._generator.throw(exception)
+                    next_target = self._throw(exception)
                 except StopIteration as stop:
                     self._terminate(ok=True, value=stop.value)
                     break
@@ -103,9 +131,10 @@ class Process(Event):
                 )
                 break
 
-            if next_target.callbacks is not None:
+            callbacks = next_target.callbacks
+            if callbacks is not None:
                 # Not yet processed: wait for it.
-                next_target.callbacks.append(self._resume)
+                callbacks.append(self._resume)
                 self._target = next_target
                 break
 
@@ -114,18 +143,28 @@ class Process(Event):
             self._target = next_target
             event = next_target
 
-        self.kernel._active_process = None
+        kernel._active_process = None
 
     def _terminate(self, ok: bool, value: Any) -> None:
         """Record the generator outcome and fire this process-as-event."""
         self._target = None
         self._ok = ok
         self._value = value
-        if not ok and not self.callbacks:
-            # Nobody is waiting on this process: surface the crash
-            # through the kernel unless someone defuses it first.
-            pass
-        self.kernel.schedule(self, priority=URGENT)
+        kernel = self.kernel
+        kernel._sequence = sequence = kernel._sequence + 1
+        kernel._live += 1
+        heappush(kernel._heap, (kernel._now, sequence, self))  # URGENT
 
     def __repr__(self) -> str:
         return f"<Process {self.name!r} at {id(self):#x}>"
+
+
+def _clear_process(event: Event) -> None:
+    event._generator = None
+    event._send = None
+    event._throw = None
+    event._target = None
+    event._value = None
+
+
+HEAP_RECYCLABLE[Process] = _clear_process

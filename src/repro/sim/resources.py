@@ -8,6 +8,12 @@ manager).  :class:`PriorityResource` orders its wait queue by a numeric
 priority (lower = more important); :class:`PreemptiveResource`
 additionally evicts a lower-priority user when a more important request
 arrives, delivering a :class:`Preempted` cause through an interrupt.
+
+Hot-path notes: the priority wait queue lazily deletes cancelled
+requests (an O(1) flag, skipped at pop) instead of rebuilding and
+re-heapifying the heap, the service-order ``queue`` view is computed on
+access instead of after every mutation, and :class:`Release` events are
+recycled through the kernel's free lists.
 """
 
 from __future__ import annotations
@@ -16,7 +22,7 @@ import heapq
 from typing import TYPE_CHECKING, Any, List, Optional
 
 from repro.errors import SimulationError
-from repro.sim.events import PENDING, URGENT, Event
+from repro.sim.events import HEAP_RECYCLABLE, PENDING, Event
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.kernel import Kernel
@@ -75,7 +81,7 @@ class Resource:
         #: Requests currently holding a slot.
         self.users: List[Request] = []
         #: Requests waiting for a slot, in grant order.
-        self.queue: List[Request] = []
+        self._waiting: List[Request] = []
 
     @property
     def capacity(self) -> int:
@@ -92,12 +98,22 @@ class Resource:
         """Number of free slots."""
         return self._capacity - len(self.users)
 
+    @property
+    def queue(self) -> List[Request]:
+        """Requests waiting for a slot, in service order."""
+        return self._waiting
+
     def request(self) -> Request:
         """Create (and possibly immediately grant) a request."""
         return self.request_class(self)
 
     def release(self, request: Request) -> Release:
         """Free the slot held by ``request`` and wake the next waiter."""
+        pool = self.kernel._pools.get(Release)
+        if pool:
+            release = pool.pop()
+            release.__init__(self, request)
+            return release
         return Release(self, request)
 
     # -- internals -----------------------------------------------------------
@@ -106,7 +122,7 @@ class Resource:
         if len(self.users) < self._capacity:
             self._grant(request)
         else:
-            self.queue.append(request)
+            self._waiting.append(request)
 
     def _grant(self, request: Request) -> None:
         self.users.append(request)
@@ -123,13 +139,13 @@ class Resource:
         self._wake_next()
 
     def _wake_next(self) -> None:
-        while self.queue and len(self.users) < self._capacity:
-            request = self.queue.pop(0)
-            self._grant(request)
+        waiting = self._waiting
+        while waiting and len(self.users) < self._capacity:
+            self._grant(waiting.pop(0))
 
     def _remove_from_queue(self, request: Request) -> None:
         try:
-            self.queue.remove(request)
+            self._waiting.remove(request)
         except ValueError:
             pass
 
@@ -143,7 +159,8 @@ class Resource:
 class PriorityRequest(Request):
     """A request with a priority (lower value = served earlier)."""
 
-    __slots__ = ("priority", "preempt", "submit_time", "_order_key")
+    __slots__ = ("priority", "preempt", "submit_time", "_order_key",
+                 "_dequeued")
 
     def __init__(
         self,
@@ -156,11 +173,19 @@ class PriorityRequest(Request):
         self.submit_time = resource.kernel.now
         # Key orders by priority, then FIFO by time and insertion count.
         self._order_key = (priority, self.submit_time, resource._tiebreak())
+        self._dequeued = False
         super().__init__(resource)
 
 
 class PriorityResource(Resource):
-    """A resource whose wait queue is ordered by request priority."""
+    """A resource whose wait queue is ordered by request priority.
+
+    Cancelled requests are lazily deleted: :meth:`_remove_from_queue`
+    only flags the request, and :meth:`_wake_next` discards flagged
+    entries as they surface, so a cancellation is O(1) instead of a
+    full heap rebuild.  The public :attr:`queue` view filters them out
+    on access.
+    """
 
     request_class = PriorityRequest
 
@@ -173,6 +198,15 @@ class PriorityResource(Resource):
         self._counter += 1
         return self._counter
 
+    @property
+    def queue(self) -> List[Request]:
+        """Waiting (non-cancelled) requests, in service order."""
+        return [
+            entry[1]
+            for entry in sorted(self._queue_heap)
+            if not entry[1]._dequeued and entry[1]._value is PENDING
+        ]
+
     def request(  # type: ignore[override]
         self, priority: float = 0.0, preempt: bool = False
     ) -> PriorityRequest:
@@ -184,26 +218,17 @@ class PriorityResource(Resource):
             self._grant(request)
         else:
             heapq.heappush(self._queue_heap, (request._order_key, request))
-            self._sync_queue()
 
     def _wake_next(self) -> None:
-        while self._queue_heap and len(self.users) < self._capacity:
-            _, request = heapq.heappop(self._queue_heap)
-            if request._value is not PENDING:
-                continue  # cancelled
+        heap = self._queue_heap
+        while heap and len(self.users) < self._capacity:
+            _, request = heapq.heappop(heap)
+            if request._dequeued or request._value is not PENDING:
+                continue  # lazily-deleted (cancelled) entry
             self._grant(request)
-        self._sync_queue()
 
     def _remove_from_queue(self, request: Request) -> None:
-        self._queue_heap = [
-            entry for entry in self._queue_heap if entry[1] is not request
-        ]
-        heapq.heapify(self._queue_heap)
-        self._sync_queue()
-
-    def _sync_queue(self) -> None:
-        # Maintain the public ``queue`` view in service order.
-        self.queue = [entry[1] for entry in sorted(self._queue_heap)]
+        request._dequeued = True
 
 
 class Preempted:
@@ -261,3 +286,11 @@ class PreemptiveResource(PriorityResource):
                         )
                     )
         super()._do_request(request)
+
+
+def _clear_release(event: Event) -> None:
+    event.request = None
+    event._value = None
+
+
+HEAP_RECYCLABLE[Release] = _clear_release

@@ -6,6 +6,11 @@ empty.  :class:`FilterStore` lets consumers wait for an item matching a
 predicate, and :class:`PriorityStore` serves the smallest item first —
 both are the building blocks for scheduler queues and device inboxes in
 the cluster model.
+
+Hot-path notes: plain :class:`StorePut`/:class:`StoreGet` events are
+recycled through the kernel's free lists once provably unobservable
+(:class:`FilterStoreGet` is not pooled — its predicate closure may pin
+arbitrary state and the filter path is not hot).
 """
 
 from __future__ import annotations
@@ -14,7 +19,7 @@ import heapq
 from typing import TYPE_CHECKING, Any, Callable, List, Optional
 
 from repro.errors import SimulationError
-from repro.sim.events import Event
+from repro.sim.events import HEAP_RECYCLABLE, Event
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.kernel import Kernel
@@ -87,10 +92,20 @@ class Store:
 
     def put(self, item: Any) -> StorePut:
         """Insert ``item``; the returned event fires once accepted."""
+        pool = self.kernel._pools.get(StorePut)
+        if pool:
+            put = pool.pop()
+            put.__init__(self, item)
+            return put
         return StorePut(self, item)
 
     def get(self) -> StoreGet:
         """Retrieve the next item; the event fires with the item."""
+        pool = self.kernel._pools.get(StoreGet)
+        if pool:
+            get = pool.pop()
+            get.__init__(self)
+            return get
         return StoreGet(self)
 
     @property
@@ -199,3 +214,18 @@ class PriorityStore(Store):
                 get = self._get_waiters.pop(0)
                 get.succeed(heapq.heappop(self.items))
                 progress = True
+
+
+def _clear_store_put(event: Event) -> None:
+    event.item = None
+    event.store = None
+    event._value = None
+
+
+def _clear_store_get(event: Event) -> None:
+    event.store = None
+    event._value = None
+
+
+HEAP_RECYCLABLE[StorePut] = _clear_store_put
+HEAP_RECYCLABLE[StoreGet] = _clear_store_get

@@ -584,3 +584,99 @@ def test_capacity_check_is_version_based(kernel):
     timeline = cache.timeline(cluster, 0.0)
     assert cache.rebuilds == 2
     assert timeline.partitions["classical"].capacity_nodes == 7
+
+
+# -- compiled-array patching (occupy against a clean profile) -----------------
+
+
+@given(occupation_stream=occupations, query_stream=queries)
+@settings(max_examples=200, deadline=None)
+def test_interleaved_occupy_and_fits_matches_naive(
+    occupation_stream, query_stream
+):
+    """Alternating queries and occupations exercises the in-place
+    compiled-array patch path (occupy against a clean profile) rather
+    than the batch recompile; answers must still match the naive
+    reference exactly."""
+    compiled = PartitionTimeline(10, {"qpu": 3}, now=0.0)
+    naive = NaivePartitionTimeline(10, {"qpu": 3}, now=0.0)
+    stream = list(occupation_stream) or [(0.0, 1.0, 1, 0)]
+    for index, (start, duration, nodes, gres_units) in enumerate(
+        query_stream
+    ):
+        gres = {"qpu": gres_units} if gres_units else None
+        assert compiled.fits(start, duration, nodes, gres) == naive.fits(
+            start, duration, nodes, gres
+        )
+        ostart, length, onodes, ogres_units = stream[index % len(stream)]
+        ogres = {"qpu": ogres_units} if ogres_units else None
+        compiled.occupy(ostart, ostart + length, onodes, ogres)
+        naive.occupy(ostart, ostart + length, onodes, ogres)
+    assert profiles_equal(
+        compiled, _as_partition_timeline(naive)
+    )
+
+
+def _as_partition_timeline(naive):
+    """Rebuild a compiled timeline from a naive reference's deltas."""
+    rebuilt = PartitionTimeline(0, {}, naive.now)
+    rebuilt._times = list(naive._times)
+    rebuilt._node_deltas = list(naive._node_deltas)
+    rebuilt._gres_deltas = [dict(d) for d in naive._gres_deltas]
+    rebuilt._dirty = True
+    return rebuilt
+
+
+@given(occupation_stream=occupations)
+@settings(max_examples=200, deadline=None)
+def test_patched_arrays_equal_recompile(occupation_stream):
+    """After any mix of patched occupations, the in-place compiled
+    arrays are exactly what a from-scratch compile of the same deltas
+    produces (integer prefix sums patch without drift)."""
+    timeline = PartitionTimeline(10, {"qpu": 3}, now=0.0)
+    timeline.compile()  # start clean so every occupy patches
+    for start, length, nodes, gres_units in occupation_stream:
+        gres = {"qpu": gres_units} if gres_units else None
+        timeline.occupy(start, start + length, nodes, gres)
+        assert not timeline._dirty, "patched occupy must stay compiled"
+    twin = PartitionTimeline(10, {"qpu": 3}, now=0.0)
+    twin._times = list(timeline._times)
+    twin._node_deltas = list(timeline._node_deltas)
+    twin._gres_deltas = [dict(d) for d in timeline._gres_deltas]
+    twin.compile()
+    assert timeline._cnodes == twin._cnodes
+    assert timeline._snodes == twin._snodes
+    for gres_type, column in twin._cgres.items():
+        assert timeline._cgres.get(gres_type, column) == column
+    for gres_type, column in twin._sgres.items():
+        assert timeline._sgres.get(gres_type, column) == column
+
+
+@given(occupation_stream=occupations)
+@settings(max_examples=150, deadline=None)
+def test_flush_merge_and_insert_paths_agree(occupation_stream):
+    """Buffered deltas merged in one pass (big batches) and
+    bisect-inserted one by one (small batches) yield the same
+    profile."""
+    batched = PartitionTimeline(10, {"qpu": 3}, now=0.0)
+    stepped = PartitionTimeline(10, {"qpu": 3}, now=0.0)
+    for start, length, nodes, gres_units in occupation_stream:
+        gres = {"qpu": gres_units} if gres_units else None
+        batched.occupy(start, start + length, nodes, gres)
+        stepped.occupy(start, start + length, nodes, gres)
+        stepped.compile()  # flush per occupation: insert path
+    batched.compile()  # flush once: merge path (when deltas > threshold)
+    assert profiles_equal(batched, stepped)
+
+
+def test_fork_of_patched_timeline_does_not_leak():
+    """A fork taken after in-place patches must not observe later
+    patches on the parent (compiled arrays are copy-on-write too)."""
+    parent = PartitionTimeline(10, {"qpu": 3}, now=0.0)
+    parent.compile()
+    parent.occupy(1.0, 5.0, 4, {"qpu": 1})
+    child = parent.fork()
+    before = (list(child._cnodes), list(child._snodes))
+    parent.occupy(2.0, 6.0, 3, None)
+    assert (list(child._cnodes), list(child._snodes)) == before
+    assert child.fits(2.0, 3.0, 6, None) != parent.fits(2.0, 3.0, 6, None)

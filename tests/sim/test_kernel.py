@@ -125,3 +125,82 @@ class TestFactories:
         kernel.timeout(1.0)
         text = repr(kernel)
         assert "t=" in text and "queued=1" in text
+
+
+class TestCancellation:
+    """Lazy deletion: cancelled entries stay on the heap but are
+    skipped, never run callbacks and never advance the clock."""
+
+    def test_cancelled_timeout_does_not_fire(self, kernel):
+        fired = []
+        timeout = kernel.timeout(5.0)
+        timeout.callbacks.append(lambda event: fired.append(event))
+        timeout.cancel()
+        kernel.run()
+        assert fired == []
+
+    def test_cancelled_event_never_advances_clock(self, kernel):
+        kernel.timeout(5.0).cancel()
+        kernel.run()
+        assert kernel.now == 0.0
+
+    def test_queued_event_count_ignores_cancelled(self, kernel):
+        keep = kernel.timeout(1.0)
+        kernel.timeout(2.0).cancel()
+        assert kernel.queued_event_count == 1
+        kernel.run()
+        assert keep.processed
+        assert kernel.queued_event_count == 0
+
+    def test_peek_skips_cancelled_prefix(self, kernel):
+        kernel.timeout(1.0).cancel()
+        kernel.timeout(2.0).cancel()
+        kernel.timeout(3.0)
+        assert kernel.peek() == 3.0
+
+    def test_peek_all_cancelled_is_inf(self, kernel):
+        kernel.timeout(1.0).cancel()
+        assert kernel.peek() == float("inf")
+
+    def test_step_skips_cancelled_entries(self, kernel):
+        kernel.timeout(1.0).cancel()
+        kernel.timeout(2.0)
+        kernel.step()
+        assert kernel.now == 2.0
+
+    def test_cancel_twice_is_noop(self, kernel):
+        timeout = kernel.timeout(1.0)
+        timeout.cancel()
+        timeout.cancel()
+        assert timeout.cancelled
+
+    def test_cancel_processed_event_rejected(self, kernel):
+        timeout = kernel.timeout(1.0)
+        kernel.run()
+        with pytest.raises(SimulationError):
+            kernel.cancel(timeout)
+
+    def test_cancel_untriggered_event_rejected(self, kernel):
+        event = kernel.event()
+        with pytest.raises(SimulationError):
+            kernel.cancel(event)
+
+    def test_cancelled_entries_skipped_mid_run(self, kernel):
+        order = []
+
+        def canceller(k, victim):
+            yield k.timeout(1.0)
+            victim.cancel()
+            order.append("cancelled")
+
+        def waiter(k):
+            yield k.timeout(3.0)
+            order.append("survivor")
+
+        victim = kernel.timeout(2.0)
+        victim.callbacks.append(lambda event: order.append("victim"))
+        kernel.process(canceller(kernel, victim))
+        kernel.process(waiter(kernel))
+        kernel.run()
+        assert order == ["cancelled", "survivor"]
+        assert kernel.now == 3.0

@@ -1,0 +1,342 @@
+"""Equivalence suite: fast-path kernel vs the naive seed stepper.
+
+The kernel hot path was rebuilt around packed heap keys, fused
+trigger-and-schedule, batched same-timestamp cascade draining and
+free-list pooling of internal events.  These tests pin the rebuild to
+the original semantics:
+
+- :class:`ReferenceKernel` ports the seed kernel's run discipline —
+  one :meth:`~repro.sim.kernel.Kernel.step` per iteration, the time
+  bound checked per event, pooling off — and serves as the executable
+  specification.  Both kernels drain the *same* heap representation,
+  so any divergence in callback order, clock values or process results
+  is a real semantic difference, not a representation artefact.
+- Property tests drive both kernels with randomized workloads
+  (timeouts, process chains, conditions, resources, stores,
+  interrupts) and require the full observable traces to be identical.
+- Free-list recycling properties prove pooled instances can never leak
+  state: a recycled object is only reused after the kernel's refcount
+  check showed no user code could still observe it, and reuse resets
+  callbacks and values completely.
+"""
+
+import sys
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.events import POOL_CAP, Timeout
+from repro.sim.kernel import Kernel
+from repro.sim.process import Process
+from repro.sim.resources import Resource
+from repro.sim.store import Store
+
+# -- naive reference (port of the seed run discipline) -----------------------
+
+
+class ReferenceKernel(Kernel):
+    """Seed-port stepper: one event per iteration, no batching/pooling.
+
+    The seed kernel had no ``cancel``/pooling and ran via repeated
+    ``step()`` with the ``until`` bound re-checked per event; this
+    class reproduces exactly that control flow on top of the shared
+    event structures.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        super().__init__(initial_time, pooling=False)
+
+    def run(self, until=None):
+        from repro.errors import SimulationError
+        from repro.sim.events import Event
+
+        if until is None:
+            while self.queued_event_count:
+                self.step()
+            return None
+        if isinstance(until, Event):
+            if until.callbacks is None:
+                if not until._ok and not until._defused:
+                    raise until._value
+                return until._value
+            fired = []
+            until.callbacks.append(fired.append)
+            while self.queued_event_count and not fired:
+                self.step()
+            if not fired:
+                raise SimulationError(
+                    "simulation ran out of events before the until-event "
+                    "fired"
+                )
+            if not until._ok:
+                until._defused = True
+                raise until._value
+            return until._value
+        until = float(until)
+        if until < self._now:
+            raise SimulationError(
+                f"until={until!r} lies in the past (now={self._now!r})"
+            )
+        while self.peek() <= until:
+            self.step()
+        self._now = until
+        return None
+
+
+# -- randomized workloads run on both kernels --------------------------------
+
+
+def _trace_timeout_tree(kernel, trace, delays):
+    def spawner(k, remaining, label):
+        for index, delay in enumerate(remaining):
+            yield k.timeout(delay)
+            trace.append(("tick", label, index, k.now))
+        trace.append(("done", label, k.now))
+
+    half = len(delays) // 2
+    kernel.process(spawner(kernel, delays[:half], "a"))
+    kernel.process(spawner(kernel, delays[half:], "b"))
+
+
+def _trace_conditions(kernel, trace, delays):
+    def worker(k):
+        timeouts = [k.timeout(delay, value=index)
+                    for index, delay in enumerate(delays)]
+        result = yield k.all_of(timeouts)
+        trace.append(("all", [result[t] for t in timeouts], k.now))
+        more = [k.timeout(delay / 2) for delay in delays]
+        first = yield k.any_of(more)
+        trace.append(("any", len(first), k.now))
+
+    kernel.process(worker(kernel))
+
+
+def _trace_resources(kernel, trace, delays):
+    resource = Resource(kernel, capacity=2)
+
+    def user(k, label, delay):
+        with resource.request() as request:
+            yield request
+            trace.append(("acquired", label, k.now))
+            yield k.timeout(delay)
+        trace.append(("released", label, k.now))
+
+    for index, delay in enumerate(delays):
+        kernel.process(user(kernel, index, delay))
+
+
+def _trace_store(kernel, trace, delays):
+    store = Store(kernel, capacity=2)
+
+    def producer(k):
+        for index, delay in enumerate(delays):
+            yield k.timeout(delay)
+            yield store.put(index)
+
+    def consumer(k):
+        for _ in delays:
+            item = yield store.get()
+            trace.append(("got", item, k.now))
+
+    kernel.process(producer(kernel))
+    kernel.process(consumer(kernel))
+
+
+def _trace_interrupts(kernel, trace, delays):
+    from repro.sim.events import Interrupt
+
+    def sleeper(k, label):
+        try:
+            yield k.timeout(1e9)
+            trace.append(("overslept", label, k.now))
+        except Interrupt as interrupt:
+            trace.append(("interrupted", label, interrupt.cause, k.now))
+
+    def waker(k, victims):
+        for index, delay in enumerate(delays):
+            yield k.timeout(delay)
+            if index < len(victims):
+                victims[index].interrupt(cause=index)
+
+    victims = [kernel.process(sleeper(kernel, index))
+               for index in range(min(3, len(delays)))]
+    kernel.process(waker(kernel, victims))
+
+
+_WORKLOADS = [
+    _trace_timeout_tree,
+    _trace_conditions,
+    _trace_resources,
+    _trace_store,
+    _trace_interrupts,
+]
+
+_DELAYS = st.lists(
+    st.floats(min_value=0.0, max_value=100.0,
+              allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=12,
+)
+
+
+@given(
+    workload_index=st.integers(min_value=0, max_value=len(_WORKLOADS) - 1),
+    delays=_DELAYS,
+    until=st.one_of(
+        st.none(), st.floats(min_value=0.0, max_value=150.0)
+    ),
+)
+@settings(max_examples=120, deadline=None)
+def test_fast_kernel_matches_reference_stepper(workload_index, delays, until):
+    """Identical observable traces, clocks and queue counts under any
+    workload and run mode, batching/pooling on or off."""
+    workload = _WORKLOADS[workload_index]
+    traces = []
+    clocks = []
+    for kernel_class in (Kernel, ReferenceKernel):
+        kernel = kernel_class()
+        trace = []
+        workload(kernel, trace, list(delays))
+        kernel.run(until=until)
+        traces.append(trace)
+        clocks.append((kernel.now, kernel.queued_event_count))
+    assert traces[0] == traces[1]
+    assert clocks[0] == clocks[1]
+
+
+@given(delays=_DELAYS, seed=st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=60, deadline=None)
+def test_pooling_on_and_off_are_byte_identical(delays, seed):
+    """The same workload with pooling enabled and disabled yields the
+    same trace — recycling is semantically invisible."""
+    import random
+
+    traces = []
+    for pooling in (True, False):
+        kernel = Kernel(pooling=pooling)
+        trace = []
+        rng = random.Random(seed)
+
+        def worker(k, label):
+            for delay in delays:
+                yield k.timeout(delay * rng.random())
+                trace.append((label, k.now))
+
+        for label in range(3):
+            kernel.process(worker(kernel, label))
+        kernel.run()
+        traces.append(trace)
+    assert traces[0] == traces[1]
+
+
+# -- free-list recycling safety ---------------------------------------------
+
+
+def _drain_timeouts(kernel, count):
+    def ticker(k):
+        for _ in range(count):
+            yield k.timeout(1.0)
+
+    kernel.process(ticker(kernel))
+    kernel.run()
+
+
+class TestPoolReuse:
+    def test_recycled_timeouts_are_reused(self):
+        kernel = Kernel(pooling=True)
+        _drain_timeouts(kernel, 50)
+        pool = kernel._pools.get(Timeout)
+        assert pool, "timeout churn should have populated the free list"
+        recycled = pool[-1]
+        fresh = kernel.timeout(3.0, value="v")
+        assert fresh is recycled
+        # Reuse fully re-initialises the instance: live callbacks list,
+        # the new value, not cancelled.
+        assert fresh.callbacks == []
+        assert fresh._value == "v"
+        assert not fresh.cancelled
+        assert kernel.peek() == kernel.now + 3.0
+
+    def test_pool_never_exceeds_cap(self):
+        kernel = Kernel(pooling=True)
+        _drain_timeouts(kernel, POOL_CAP + 500)
+        for pool in kernel._pools.values():
+            assert len(pool) <= POOL_CAP
+
+    def test_referenced_events_are_never_recycled(self):
+        kernel = Kernel(pooling=True)
+        held = []
+
+        def holder(k):
+            for index in range(30):
+                timeout = k.timeout(1.0, value=index)
+                held.append(timeout)
+                yield timeout
+
+        kernel.process(holder(kernel))
+        kernel.run()
+        pool = kernel._pools.get(Timeout, [])
+        assert not any(timeout in pool for timeout in held)
+        # The held instances keep their identities and final values.
+        assert [timeout._value for timeout in held] == list(range(30))
+
+    def test_recycled_process_shells_are_reused(self):
+        kernel = Kernel(pooling=True)
+
+        def short(k):
+            yield k.timeout(1.0)
+
+        def spawner(k):
+            for _ in range(40):
+                yield k.process(short(k))
+
+        kernel.process(spawner(kernel))
+        kernel.run()
+        pool = kernel._pools.get(Process)
+        assert pool, "short-lived processes should have been recycled"
+        shell = pool[-1]
+        # A cleared shell holds no references that could pin memory or
+        # leak state into its next incarnation.
+        assert shell._generator is None
+        assert shell._target is None
+        assert shell._value is None
+        revived = kernel.process(short(kernel))
+        assert revived is shell
+        assert revived.is_alive
+        kernel.run()
+        assert revived.processed
+
+    @given(count=st.integers(min_value=1, max_value=200))
+    @settings(max_examples=30, deadline=None)
+    def test_no_stale_callbacks_across_recycling(self, count):
+        """A callback attached to one timeout incarnation never fires
+        for a later incarnation of the recycled instance."""
+        kernel = Kernel(pooling=True)
+        fired = []
+
+        def ticker(k):
+            for index in range(count):
+                timeout = k.timeout(1.0, value=index)
+                timeout.callbacks.append(
+                    lambda event, index=index: fired.append(
+                        (index, event._value)
+                    )
+                )
+                yield timeout
+
+        kernel.process(ticker(kernel))
+        kernel.run()
+        assert fired == [(index, index) for index in range(count)]
+
+    def test_pooling_disabled_pools_nothing(self):
+        kernel = Kernel(pooling=False)
+        _drain_timeouts(kernel, 50)
+        assert kernel._pools == {}
+
+    def test_refcount_probe_matches_cpython_semantics(self):
+        """The recycling gate relies on getrefcount(x) == 2 meaning
+        'only the probe frame and the caller's local refer to x'."""
+        probe = object()
+        assert sys.getrefcount(probe) == 2
