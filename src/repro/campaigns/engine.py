@@ -202,6 +202,7 @@ class CampaignEngine:
         workers: Optional[int] = None,
         chaos: Optional[ChaosSpec] = None,
         code_version: Optional[str] = None,
+        store: Any = None,
     ) -> None:
         self.spec = load_campaign(spec)
         self.state_dir = Path(state_dir)
@@ -213,10 +214,27 @@ class CampaignEngine:
         else:
             self.backend = create_backend(backend, workers=self.workers)
         self.dag = self.spec.dag()
+        # Optional durable result store (a ResultStore or a directory):
+        # stage journal + stage values go into SQLite instead of JSONL
+        # + pickle files, with identical resume semantics.
+        self.store = None
+        if store is not None:
+            from repro.store import ResultStore
+
+            if isinstance(store, ResultStore):
+                self.store = store
+            else:
+                self.store = ResultStore(
+                    store, code_version=self.code_version
+                )
 
     # -- durable state -------------------------------------------------------
 
     def journal(self) -> CampaignJournal:
+        if self.store is not None:
+            return self.store.campaign_journal(
+                self.spec.name, self.spec.seed, self.code_version
+            )
         return CampaignJournal.for_campaign(
             self.state_dir,
             self.spec.name,
@@ -233,8 +251,18 @@ class CampaignEngine:
     def _result_path(self, stage: str) -> Path:
         return self._results_dir() / f"{stage}.pkl"
 
+    def _campaign_id(self) -> int:
+        return self.store.campaign_id(
+            self.spec.name, self.spec.seed, self.code_version
+        )
+
     def _persist_value(self, stage: str, value: Any) -> None:
         """Atomically pickle one stage's value (crash-safe)."""
+        if self.store is not None:
+            self.store.save_stage_value(
+                self._campaign_id(), stage, result_digest(value), value
+            )
+            return
         path = self._result_path(stage)
         path.parent.mkdir(parents=True, exist_ok=True)
         handle = tempfile.NamedTemporaryFile(
@@ -263,6 +291,10 @@ class CampaignEngine:
         unreadable, or does not match the digest the journal promised
         — all of which mean "re-execute", never "crash".
         """
+        if self.store is not None:
+            return self.store.load_stage_value(
+                self._campaign_id(), stage, expect_digest
+            )
         path = self._result_path(stage)
         try:
             with open(path, "rb") as handle:

@@ -163,6 +163,15 @@ def _build_parser() -> argparse.ArgumentParser:
             "docs/resilience.md)"
         ),
     )
+    sweep_parser.add_argument(
+        "--store",
+        action="store_true",
+        help=(
+            "back the cache directory with the durable result store "
+            "(SQLite + columnar metrics; see docs/store.md) instead "
+            "of per-point pickles; requires --cache-dir"
+        ),
+    )
 
     scenario_parser = subparsers.add_parser(
         "scenario",
@@ -280,6 +289,15 @@ def _build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="print the canonical campaign result as JSON",
         )
+        campaign_exec.add_argument(
+            "--store",
+            action="store_true",
+            help=(
+                "keep the stage journal and stage values in the durable "
+                "result store under STATE_DIR/store instead of pickle "
+                "files (see docs/store.md)"
+            ),
+        )
     campaign_status = campaign_sub.add_parser(
         "status",
         help=(
@@ -301,6 +319,149 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="override the spec's campaign seed",
     )
+    campaign_status.add_argument(
+        "--store",
+        action="store_true",
+        help="read stage progress from STATE_DIR/store",
+    )
+
+    store_parser = subparsers.add_parser(
+        "store",
+        help=(
+            "the durable result store: submit scenario sweeps, inspect "
+            "their status, read metric columns, reclaim space "
+            "(see docs/store.md)"
+        ),
+    )
+    store_sub = store_parser.add_subparsers(dest="store_command")
+    store_init = store_sub.add_parser(
+        "init",
+        help=(
+            "create (or migrate) a store at a directory so sweeps "
+            "pointed there auto-detect it"
+        ),
+    )
+    store_init.add_argument("directory", help="store directory")
+    store_submit = store_sub.add_parser(
+        "submit",
+        help=(
+            "record a scenario-sweep submission and run it to "
+            "completion (use --defer to only record it)"
+        ),
+    )
+    store_submit.add_argument("directory", help="store directory")
+    store_submit.add_argument(
+        "--preset",
+        required=True,
+        help="scenario preset name supplying the base ScenarioSpec",
+    )
+    store_submit.add_argument(
+        "--axis",
+        action="append",
+        default=[],
+        metavar="NAME=V1,V2,...",
+        help=(
+            "sweep axis as name=comma-separated values (repeatable); "
+            "values parse as JSON scalars, falling back to strings"
+        ),
+    )
+    store_submit.add_argument(
+        "--name",
+        default=None,
+        help="submission name (default: the preset name)",
+    )
+    store_submit.add_argument(
+        "--seed", type=int, default=0, help="base seed (default 0)"
+    )
+    store_submit.add_argument(
+        "--replications",
+        type=int,
+        default=1,
+        help="replications per grid point (default 1)",
+    )
+    store_submit.add_argument(
+        "--horizon",
+        type=float,
+        default=None,
+        help="simulated seconds per point (default: the preset's)",
+    )
+    store_submit.add_argument(
+        "--workers",
+        default=None,
+        help="worker processes ('auto' or an integer, default 1)",
+    )
+    store_submit.add_argument(
+        "--defer",
+        action="store_true",
+        help="record the submission as pending without executing it",
+    )
+    store_run = store_sub.add_parser(
+        "run",
+        help="execute a pending submission recorded with submit --defer",
+    )
+    store_run.add_argument("directory", help="store directory")
+    store_run.add_argument("id", type=int, help="submission id")
+    store_run.add_argument(
+        "--workers",
+        default=None,
+        help="worker processes ('auto' or an integer, default 1)",
+    )
+    store_status = store_sub.add_parser(
+        "status",
+        help="list submissions newest-first with their point counts",
+    )
+    store_status.add_argument("directory", help="store directory")
+    store_status.add_argument(
+        "--json",
+        dest="json_output",
+        action="store_true",
+        help="print the submission rows as JSON",
+    )
+    store_results = store_sub.add_parser(
+        "results",
+        help=(
+            "print a submission's per-point metric table from the "
+            "columnar shards"
+        ),
+    )
+    store_results.add_argument("directory", help="store directory")
+    store_results.add_argument("id", type=int, help="submission id")
+    store_results.add_argument(
+        "--metrics",
+        default=None,
+        metavar="M1,M2,...",
+        help="restrict to these metric columns (default: all)",
+    )
+    store_results.add_argument(
+        "--json",
+        dest="json_output",
+        action="store_true",
+        help="print {headers, rows} as JSON",
+    )
+    store_gc = store_sub.add_parser(
+        "gc",
+        help=(
+            "remove orphan shard files and expire sweeps not touched "
+            "within --keep-days"
+        ),
+    )
+    store_gc.add_argument("directory", help="store directory")
+    store_gc.add_argument(
+        "--keep-days",
+        type=float,
+        default=None,
+        help="expire sweeps idle longer than this many days",
+    )
+    store_gc.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report what would be removed without touching anything",
+    )
+    store_verify = store_sub.add_parser(
+        "verify",
+        help="integrity-check the database and every shard's zip directory",
+    )
+    store_verify.add_argument("directory", help="store directory")
 
     fleet_parser = subparsers.add_parser(
         "fleet",
@@ -433,6 +594,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _scenario_command(parser, args)
     if args.command == "campaign":
         return _campaign_command(parser, args)
+    if args.command == "store":
+        return _store_command(parser, args)
     if args.command == "fleet":
         return _fleet_command(parser, args)
     if args.command == "trace":
@@ -515,6 +678,15 @@ def _sweep_run_kwargs(parser, args, workers: int) -> dict:
     if args.retries < 0:
         parser.error("--retries must be >= 0")
     cache_dir = args.cache_dir or os.environ.get(CACHE_ENV_VAR)
+    if args.store:
+        if not cache_dir:
+            parser.error("--store needs --cache-dir")
+        # Creating the database up front is all it takes: sweep_cache()
+        # auto-detects store.sqlite3 and goes store-backed.
+        from repro.store import ResultStore
+
+        with ResultStore(cache_dir):
+            pass
     if args.resume and not cache_dir:
         parser.error(
             "--resume needs the run journal kept next to the result "
@@ -632,6 +804,7 @@ def _campaign_command(parser, args) -> int:
                 backend=args.backend,
                 workers=args.workers,
                 chaos=chaos,
+                store=_campaign_store_dir(args),
             )
         except (ReproError, ValueError, TypeError) as exc:
             parser.error(str(exc))
@@ -681,7 +854,9 @@ def _campaign_command(parser, args) -> int:
             spec = load_campaign(args.spec)
             if args.seed is not None:
                 spec = dataclasses.replace(spec, seed=args.seed)
-            engine = CampaignEngine(spec, args.state_dir)
+            engine = CampaignEngine(
+                spec, args.state_dir, store=_campaign_store_dir(args)
+            )
         except ReproError as exc:
             parser.error(str(exc))
         print(json.dumps(engine.status(), indent=2, sort_keys=True))
@@ -690,6 +865,177 @@ def _campaign_command(parser, args) -> int:
         "campaign needs a subcommand: list, describe, run, resume or "
         "status"
     )
+
+
+def _campaign_store_dir(args):
+    """``--store`` puts campaign state in ``STATE_DIR/store``."""
+    from pathlib import Path
+
+    if not getattr(args, "store", False):
+        return None
+    return Path(args.state_dir) / "store"
+
+
+def _store_command(parser, args) -> int:
+    """The ``store`` verb: init / submit / run / status / results / gc
+    / verify."""
+    from repro.errors import ReproError, StoreError
+    from repro.store import ResultStore
+
+    if args.store_command is None:
+        parser.error(
+            "store needs a subcommand: init, submit, run, status, "
+            "results, gc or verify"
+        )
+    store = ResultStore(args.directory)
+    try:
+        if args.store_command == "init":
+            store.open()
+            store.close()
+            print(f"[store] ready: {store.db.db_path}")
+            return 0
+        if args.store_command == "submit":
+            return _store_submit(parser, args, store)
+        if args.store_command == "run":
+            workers = resolve_workers(args.workers)
+            record = _store_execute(parser, store, args.id, workers)
+            return 0 if record["state"] == "done" else 1
+        if args.store_command == "status":
+            rows = store.status()
+            if args.json_output:
+                print(json.dumps(rows, indent=2, sort_keys=True))
+                return 0
+            from repro.metrics.report import render_table
+
+            table = [
+                [
+                    row["id"],
+                    row["name"],
+                    row["state"],
+                    row["ok_points"] if row["ok_points"] is not None else "",
+                    (
+                        row["failed_points"]
+                        if row["failed_points"] is not None
+                        else ""
+                    ),
+                    (row["error"] or "")[:50],
+                ]
+                for row in rows
+            ]
+            print(
+                render_table(
+                    ["id", "name", "state", "ok", "failed", "error"],
+                    table,
+                    title=f"store {store.directory}",
+                )
+            )
+            return 0
+        if args.store_command == "results":
+            metrics = None
+            if args.metrics:
+                metrics = [
+                    metric.strip()
+                    for metric in args.metrics.split(",")
+                    if metric.strip()
+                ]
+            headers, rows = store.results_rows(args.id, metrics=metrics)
+            if args.json_output:
+                print(
+                    json.dumps(
+                        {"headers": headers, "rows": rows}, sort_keys=True
+                    )
+                )
+                return 0
+            from repro.metrics.report import render_table
+
+            print(
+                render_table(
+                    headers,
+                    rows,
+                    title=f"submission {args.id}",
+                )
+            )
+            return 0
+        if args.store_command == "gc":
+            report = store.gc(
+                keep_days=args.keep_days, dry_run=args.dry_run
+            )
+            print(json.dumps(report, indent=2, sort_keys=True))
+            return 0
+        if args.store_command == "verify":
+            report = store.verify()
+            print(json.dumps(report, indent=2, sort_keys=True))
+            return 0 if report["ok"] else 1
+    except (StoreError, ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        store.close()
+    parser.error(f"unknown store subcommand {args.store_command!r}")
+
+
+def _store_submit(parser, args, store) -> int:
+    """Record (and by default execute) a scenario-sweep submission."""
+    from repro.errors import ReproError
+    from repro.experiments.sweep import runner_name
+    from repro.scenarios.sweeps import run_scenario_point, scenario_sweep_spec
+
+    axes = {}
+    for item in args.axis:
+        name, _, raw = item.partition("=")
+        if not name or not raw:
+            parser.error(f"--axis must look like name=v1,v2,... (got {item!r})")
+        values = []
+        for token in raw.split(","):
+            token = token.strip()
+            try:
+                values.append(json.loads(token))
+            except ValueError:
+                values.append(token)
+        axes[name] = values
+    if not axes:
+        parser.error("submit needs at least one --axis")
+    try:
+        spec = scenario_sweep_spec(
+            args.preset,
+            axes,
+            base_seed=args.seed,
+            replications=args.replications,
+            run_horizon=args.horizon,
+        )
+    except (ReproError, ValueError, TypeError) as exc:
+        parser.error(str(exc))
+    submission_id = store.submit(
+        args.name or args.preset, spec, runner_name(run_scenario_point)
+    )
+    print(
+        f"[store] submission {submission_id}: {spec.experiment_id} "
+        f"({len(spec.points())} points)"
+    )
+    if args.defer:
+        return 0
+    workers = resolve_workers(args.workers)
+    record = _store_execute(parser, store, submission_id, workers)
+    return 0 if record["state"] == "done" else 1
+
+
+def _store_execute(parser, store, submission_id: int, workers: int):
+    """Drive one submission through ``run_submission`` and report."""
+    from repro.errors import ReproError, StoreError
+    from repro.scenarios.sweeps import run_scenario_point
+
+    try:
+        store.run_submission(
+            submission_id, run_scenario_point, workers=workers
+        )
+    except (StoreError, ReproError) as exc:
+        parser.error(str(exc))
+    record = store.submission(submission_id)
+    print(
+        f"[store] submission {submission_id}: {record['state']} "
+        f"(ok={record['ok_points']}, failed={record['failed_points']})"
+    )
+    return record
 
 
 def _device_table(spec) -> str:

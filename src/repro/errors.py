@@ -89,6 +89,42 @@ class JournalLockedError(ReproError):
     """
 
 
+class StoreError(ReproError):
+    """The durable result store could not complete an operation."""
+
+
+class StoreLockedError(StoreError, JournalLockedError):
+    """Another live process holds the store's exclusive writer lock.
+
+    Subclasses :class:`JournalLockedError` because a store-backed run
+    journal surfaces writer contention through the same ``acquire()``
+    seam the JSONL journals use — callers catching the journal error
+    keep working unchanged.  Like the journal lock, the store lock is
+    ``flock``-based: the kernel releases it when its holder dies, so a
+    SIGKILL'd writer never leaves a stale lock behind.
+    """
+
+
+class StoreCorruptError(StoreError):
+    """A store file failed validation and was quarantined.
+
+    Raised after the offending file (SQLite database or npz metric
+    shard) has been renamed aside with a ``.corrupt`` suffix — the
+    same quarantine contract as ``SweepCache.load``'s
+    ``*.pkl.corrupt`` — so a reopen starts clean instead of crashing
+    on (or silently trusting) mangled bytes.
+    """
+
+
+class StoreSchemaError(StoreError):
+    """The store's schema version is newer than this code understands.
+
+    Unlike corruption this is *not* quarantined: the data is fine,
+    the code is old.  Upgrade the library or point it at a different
+    store directory.
+    """
+
+
 class CampaignError(ReproError):
     """A campaign DAG could not run to completion.
 

@@ -81,6 +81,9 @@ from repro.sim.rng import derive_seed
 #: sweeps that do not specify them explicitly.
 WORKERS_ENV_VAR = "REPRO_SWEEP_WORKERS"
 CACHE_ENV_VAR = "REPRO_SWEEP_CACHE_DIR"
+#: Force (1) or forbid (0) store-backed caches for directories holding
+#: a ``store.sqlite3``; unset means auto-detect.
+STORE_ENV_VAR = "REPRO_SWEEP_STORE"
 #: Override the code-version component of cache keys (e.g. a VCS hash).
 CODE_VERSION_ENV_VAR = "REPRO_SWEEP_CODE_VERSION"
 
@@ -264,6 +267,40 @@ class SweepSpec:
             for values in self.axes.values():
                 sets *= len(values)
         return sets * self.replications
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form (used by the result store's submissions).
+
+        >>> SweepSpec("demo", axes={"a": [1, 2]}).to_dict()
+        {'experiment_id': 'demo', 'axes': {'a': [1, 2]}}
+        """
+        data: Dict[str, Any] = {"experiment_id": self.experiment_id}
+        if self.axes is not None:
+            data["axes"] = {
+                axis: list(values) for axis, values in self.axes.items()
+            }
+        if self.explicit is not None:
+            data["explicit"] = [dict(entry) for entry in self.explicit]
+        if self.constants:
+            data["constants"] = dict(self.constants)
+        if self.replications != 1:
+            data["replications"] = self.replications
+        if self.base_seed != 0:
+            data["base_seed"] = self.base_seed
+        if self.seed_mode != "derived":
+            data["seed_mode"] = self.seed_mode
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SweepSpec":
+        """Inverse of :meth:`to_dict` (rejects unknown fields)."""
+        fields = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - fields
+        if unknown:
+            raise ConfigurationError(
+                f"unknown SweepSpec fields: {sorted(unknown)}"
+            )
+        return cls(**dict(data))
 
 
 # -- canonical serialisation -------------------------------------------------
@@ -542,10 +579,19 @@ class SweepResult:
         return stats
 
 
-def _runner_name(runner: PointRunner) -> str:
+def runner_name(runner: PointRunner) -> str:
+    """The ``module:qualname`` identity cache/journal/store keys use.
+
+    >>> runner_name(canonical_params)
+    'repro.experiments.sweep:canonical_params'
+    """
     module = getattr(runner, "__module__", "") or ""
     qualname = getattr(runner, "__qualname__", repr(runner))
     return f"{module}:{qualname}"
+
+
+#: Backwards-compatible alias (pre-store callers import the old name).
+_runner_name = runner_name
 
 
 def _execute_point_attempt(
@@ -719,11 +765,8 @@ def run_sweep(
     points = spec.points()
     runner_name = _runner_name(runner)
     if journal is not None and not isinstance(journal, RunJournal):
-        journal = RunJournal.for_sweep(
-            Path(journal),
-            spec.experiment_id,
-            runner_name,
-            cache.code_version if cache else _default_code_version(),
+        journal = _journal_for_directory(
+            Path(journal), spec, runner_name, cache
         )
     start = time.perf_counter()
     values: List[Any] = [None] * len(points)
@@ -1195,11 +1238,73 @@ def _run_pool(
         pool.shutdown(wait=True, cancel_futures=True)
 
 
-def sweep_cache(cache_dir: Optional[os.PathLike]) -> Optional[SweepCache]:
-    """Cache at ``cache_dir``, else ``$REPRO_SWEEP_CACHE_DIR``, else none."""
-    if cache_dir:
-        return SweepCache(cache_dir)
-    return SweepCache.from_environment()
+def _store_backed(directory: Path) -> bool:
+    """Whether ``directory`` should get a store-backed cache/journal.
+
+    Auto-detected from the presence of ``store.sqlite3`` (created by
+    ``repro-hpcqc store init`` or any ``ResultStore`` use);
+    ``$REPRO_SWEEP_STORE=1`` forces it for fresh directories and
+    ``=0`` forbids it entirely.
+    """
+    override = os.environ.get(STORE_ENV_VAR)
+    if override is not None and override != "":
+        return override not in ("0", "false", "no")
+    return (directory / "store.sqlite3").exists()
+
+
+def _journal_for_directory(
+    directory: Path,
+    spec: SweepSpec,
+    runner_name: str,
+    cache: Optional[Any],
+) -> RunJournal:
+    """The journal for a directory-valued ``journal=`` argument.
+
+    A store-aware cache supplies its own journal for its own
+    directory (sharing one store handle and writer lock — a second
+    independent handle would trip the flock in-process); a directory
+    holding a ``store.sqlite3`` gets a store journal; anything else
+    gets the classic JSONL :class:`RunJournal`.
+    """
+    maker = getattr(cache, "journal_for", None)
+    if maker is not None:
+        journal = maker(directory, spec, runner_name)
+        if journal is not None:
+            return journal
+    if _store_backed(directory):
+        from repro.store import ResultStore
+
+        code_version = (
+            cache.code_version if cache is not None else None
+        )
+        return ResultStore(directory, code_version=code_version).run_journal(
+            spec.experiment_id, runner_name
+        )
+    return RunJournal.for_sweep(
+        directory,
+        spec.experiment_id,
+        runner_name,
+        cache.code_version if cache else _default_code_version(),
+    )
+
+
+def sweep_cache(cache_dir: Optional[os.PathLike]) -> Optional[Any]:
+    """Cache at ``cache_dir``, else ``$REPRO_SWEEP_CACHE_DIR``, else none.
+
+    A directory holding a ``store.sqlite3`` (see :mod:`repro.store`)
+    gets a store-backed cache — same interface, same byte-identical
+    results, durable SQLite + columnar metrics underneath.
+    """
+    if not cache_dir:
+        directory = os.environ.get(CACHE_ENV_VAR)
+        if not directory:
+            return None
+        cache_dir = directory
+    if _store_backed(Path(cache_dir)):
+        from repro.store import ResultStore
+
+        return ResultStore(cache_dir).sweep_cache()
+    return SweepCache(cache_dir)
 
 
 def sweep_values(

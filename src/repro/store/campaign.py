@@ -1,0 +1,106 @@
+"""Store-backed campaign journal.
+
+:class:`StoreCampaignJournal` speaks the
+:class:`~repro.campaigns.journal.CampaignJournal` contract against
+the store's ``campaigns``/``stages`` tables; the stage *values* the
+engine persists next to the journal live in ``stage_values`` (pickled
+blobs with the same ``result_digest`` verification as the pickle-file
+path).  ``CampaignEngine(store=...)`` switches both over — see
+:meth:`repro.campaigns.engine.CampaignEngine.journal`.
+
+The durability ordering the engine relies on is preserved: the value
+commits in its own transaction *before* the stage outcome that
+promises it, so a crash between the two re-executes the stage rather
+than trusting a phantom value.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.campaigns.journal import CampaignJournal, StageOutcome
+from repro.store.api import ResultStore
+from repro.store.db import STORE_DB_FILENAME
+
+
+class StoreCampaignJournal(CampaignJournal):
+    """The ``CampaignJournal`` contract against the store's tables.
+
+    Subclasses :class:`CampaignJournal` so the engine's journal
+    handling works unchanged; every file operation is overridden to
+    hit SQLite.  The campaign row (``name``, ``seed``,
+    ``code_version``) is the same identity
+    :func:`~repro.campaigns.journal.campaign_digest` encodes into
+    journal file names.
+    """
+
+    def __init__(
+        self,
+        store: ResultStore,
+        name: str,
+        seed: int,
+        code_version: str,
+    ) -> None:
+        super().__init__(store.directory / STORE_DB_FILENAME)
+        self.result_store = store
+        self.campaign_name = name
+        self.campaign_seed = seed
+        self.campaign_code_version = code_version
+        self._campaign_id: Any = None
+
+    @property
+    def campaign_id(self) -> int:
+        if self._campaign_id is None:
+            self._campaign_id = self.result_store.campaign_id(
+                self.campaign_name,
+                self.campaign_seed,
+                self.campaign_code_version,
+            )
+        return self._campaign_id
+
+    # -- locking -------------------------------------------------------------
+
+    def acquire(self) -> None:
+        self.result_store.acquire()
+
+    def _release_lock(self) -> None:  # pragma: no cover - via close()
+        self.result_store.release()
+
+    # -- journal operations --------------------------------------------------
+
+    def load(self) -> Dict[str, StageOutcome]:
+        # Read-only lookup: a status query on a campaign that never
+        # ran must not create its row (or take the writer lock).
+        found = self.result_store.find_campaign_id(
+            self.campaign_name,
+            self.campaign_seed,
+            self.campaign_code_version,
+        )
+        if found is None:
+            return {}
+        self._campaign_id = found
+        return self.result_store.load_stage_outcomes(found)
+
+    def record(self, record: StageOutcome) -> None:
+        self.result_store.record_stage_outcome(self.campaign_id, record)
+
+    def reset(self) -> None:
+        self.result_store.clear_stages(self.campaign_id)
+
+    def compact(self) -> int:
+        return 0
+
+    def close(self) -> None:
+        self.result_store.release()
+
+    # -- stage values --------------------------------------------------------
+
+    def save_value(self, stage: str, digest: str, value: Any) -> None:
+        self.result_store.save_stage_value(
+            self.campaign_id, stage, digest, value
+        )
+
+    def load_value(self, stage: str, expect_digest: Any) -> Any:
+        return self.result_store.load_stage_value(
+            self.campaign_id, stage, expect_digest
+        )

@@ -1,0 +1,298 @@
+"""SQLite connection management for the result store.
+
+:class:`StoreDB` owns exactly one database file (``store.sqlite3`` in
+the store directory) and provides the durability spine every higher
+layer builds on:
+
+- **WAL mode, ``synchronous=NORMAL``** — a committed transaction
+  survives a SIGKILL of the writer (the OS page cache persists across
+  process death; only a kernel panic / power cut could lose the tail,
+  which is out of scope for a local experiment store), while readers
+  get snapshot isolation against the live writer.
+- **Exclusive writer flock** (``store.sqlite3.lock``) — a second
+  writer process raises :class:`~repro.errors.StoreLockedError`
+  instead of interleaving; the kernel drops the lock when its holder
+  dies, so crashed writers never leave stale locks.  The lock is
+  fork-safe via the same guard the JSONL journals use: a forked child
+  drops its inherited handles so a pool worker outliving the
+  orchestrator cannot pin the lock.
+- **Validation with quarantine** — a garbage database file or an
+  unreadable schema version is renamed to ``*.corrupt`` (plus its
+  ``-wal``/``-shm`` siblings) and :class:`~repro.errors.
+  StoreCorruptError` raised; reopening starts clean.  A *newer*
+  schema version raises :class:`~repro.errors.StoreSchemaError`
+  without touching the data.  An older version is migrated in one
+  transaction on open.
+
+The module also hosts :func:`crash_point`, the fault-injection hook
+the crash-safety suite drives: when ``REPRO_STORE_FAULT`` names a
+site (optionally ``site:N`` for the N-th hit), reaching that site
+hard-exits the process with :data:`~repro.experiments.resilience.
+CHAOS_EXIT_CODE` — a SIGKILL-equivalent crash at a chosen commit
+boundary.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import sqlite3
+import time
+from pathlib import Path
+from typing import Dict, Iterator, Optional
+
+from repro.errors import (
+    StoreCorruptError,
+    StoreLockedError,
+    StoreSchemaError,
+)
+from repro.experiments.resilience import (
+    CHAOS_EXIT_CODE,
+    _register_fork_guard,
+)
+from repro.store import schema as store_schema
+
+try:  # POSIX advisory locks die with their holder (SIGKILL-safe).
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
+
+#: Database file name inside a store directory — its presence is how
+#: ``sweep_cache``/``run_sweep`` detect a store-backed directory.
+STORE_DB_FILENAME = "store.sqlite3"
+
+#: Environment variable naming a crash site (``site`` or ``site:N``).
+FAULT_ENV = "REPRO_STORE_FAULT"
+
+_fault_hits: Dict[str, int] = {}
+
+
+def crash_point(site: str) -> None:
+    """Hard-exit at ``site`` when ``REPRO_STORE_FAULT`` selects it.
+
+    ``os._exit`` (no cleanup, no atexit, no flushes) is the closest
+    in-process stand-in for SIGKILL; the crash-safety suite asserts
+    that a store killed at *any* site reopens clean.
+    """
+    spec = os.environ.get(FAULT_ENV)
+    if not spec:
+        return
+    name, _, count = spec.partition(":")
+    if name != site:
+        return
+    _fault_hits[site] = _fault_hits.get(site, 0) + 1
+    if _fault_hits[site] == int(count or 1):
+        os._exit(CHAOS_EXIT_CODE)
+
+
+class StoreDB:
+    """One SQLite database with WAL durability and a writer flock.
+
+    Connections are lazy: constructing a :class:`StoreDB` touches
+    nothing on disk until :meth:`connection` (which creates and
+    validates the database) or :meth:`acquire_writer` (which takes
+    the lock) is called.
+    """
+
+    def __init__(self, directory: os.PathLike) -> None:
+        self.directory = Path(directory)
+        self._conn: Optional[sqlite3.Connection] = None
+        self._lock_handle = None
+
+    # -- paths ---------------------------------------------------------------
+
+    @property
+    def db_path(self) -> Path:
+        return self.directory / STORE_DB_FILENAME
+
+    @property
+    def lock_path(self) -> Path:
+        return self.directory / (STORE_DB_FILENAME + ".lock")
+
+    @property
+    def shards_dir(self) -> Path:
+        return self.directory / "shards"
+
+    # -- fork safety ---------------------------------------------------------
+
+    def _drop_inherited_handles(self) -> None:
+        """Forked-child half of the lock contract.
+
+        Closing the child's inherited lock handle keeps the flock
+        owned by exactly the parent (the lock lives on the shared
+        open file description, which survives until *every* holder
+        closes it — so the parent keeps it, but a child that outlives
+        a SIGKILL'd parent releases it).  The SQLite connection is
+        *not* closed in the child — closing could roll back the
+        parent's in-flight transaction through the shared file
+        handle — it is simply forgotten; the child reconnects if it
+        ever needs the store.
+        """
+        handle, self._lock_handle = self._lock_handle, None
+        if handle is not None:
+            try:
+                handle.close()
+            except OSError:  # pragma: no cover
+                pass
+        self._conn = None
+
+    # -- writer lock ---------------------------------------------------------
+
+    @property
+    def holds_writer_lock(self) -> bool:
+        return self._lock_handle is not None
+
+    def acquire_writer(self) -> None:
+        """Take the exclusive writer lock (idempotent).
+
+        Raises :class:`~repro.errors.StoreLockedError` when another
+        live process holds it.  Degrades to no locking where
+        ``fcntl`` is unavailable.
+        """
+        if self._lock_handle is not None or fcntl is None:
+            return
+        _register_fork_guard(self)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        handle = open(self.lock_path, "a+")
+        try:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            pid = "unknown"
+            try:
+                handle.seek(0)
+                pid = handle.read(32).strip() or "unknown"
+            except OSError:  # pragma: no cover - unreadable lock file
+                pass
+            handle.close()
+            raise StoreLockedError(
+                f"store {self.directory} is locked by another live "
+                f"process (pid {pid}); a second concurrent writer "
+                "would corrupt resume state — wait for it or use a "
+                "different store directory"
+            ) from None
+        handle.truncate(0)
+        handle.write(f"{os.getpid()}\n")
+        handle.flush()
+        self._lock_handle = handle
+
+    def release_writer(self) -> None:
+        if self._lock_handle is not None:
+            try:
+                self._lock_handle.close()
+            except OSError:  # pragma: no cover
+                pass
+            self._lock_handle = None
+
+    # -- connection ----------------------------------------------------------
+
+    def connection(self) -> sqlite3.Connection:
+        """The validated connection (created/migrated on first use)."""
+        if self._conn is None:
+            self._conn = self._open()
+        return self._conn
+
+    def _open(self) -> sqlite3.Connection:
+        self.directory.mkdir(parents=True, exist_ok=True)
+        fresh = not self.db_path.exists()
+        conn = sqlite3.connect(self.db_path, timeout=30.0)
+        conn.isolation_level = None  # explicit BEGIN/COMMIT only
+        try:
+            try:
+                conn.execute("PRAGMA journal_mode=WAL")
+                conn.execute("PRAGMA synchronous=NORMAL")
+                conn.execute("PRAGMA foreign_keys=ON")
+                conn.execute("PRAGMA busy_timeout=30000")
+                if fresh:
+                    store_schema.create_schema(conn)
+                    return conn
+                version = store_schema.read_schema_version(conn)
+            except (sqlite3.Error, ValueError) as exc:
+                # A garbage file can fail as early as the first PRAGMA
+                # ("file is not a database"), not just at the version
+                # read — quarantine either way.  A brand-new file has
+                # nothing worth quarantining.
+                if fresh:
+                    raise
+                conn.close()
+                quarantined = self.quarantine_database()
+                raise StoreCorruptError(
+                    f"{self.db_path} is not a readable result store "
+                    f"({exc}); quarantined to {quarantined} — reopen "
+                    "to start a fresh store"
+                ) from exc
+            if version > store_schema.SCHEMA_VERSION:
+                conn.close()
+                raise StoreSchemaError(
+                    f"{self.db_path} has schema version {version}, "
+                    f"newer than this library understands "
+                    f"({store_schema.SCHEMA_VERSION}); upgrade the "
+                    "library — the store was left untouched"
+                )
+            if version < store_schema.SCHEMA_VERSION:
+                store_schema.migrate(conn, version)
+            return conn
+        except BaseException:
+            with contextlib.suppress(sqlite3.Error):
+                conn.close()
+            raise
+
+    @contextlib.contextmanager
+    def transaction(self) -> Iterator[sqlite3.Connection]:
+        """``BEGIN IMMEDIATE`` ... ``COMMIT`` (rollback on error).
+
+        IMMEDIATE takes the SQLite write lock up front, so a
+        transaction never fails at COMMIT after doing half its reads.
+        """
+        conn = self.connection()
+        conn.execute("BEGIN IMMEDIATE")
+        try:
+            yield conn
+        except BaseException:
+            with contextlib.suppress(sqlite3.Error):
+                conn.execute("ROLLBACK")
+            raise
+        conn.execute("COMMIT")
+
+    # -- quarantine / verification -------------------------------------------
+
+    def quarantine_database(self) -> Path:
+        """Rename the database (and WAL/SHM siblings) to ``*.corrupt``."""
+        if self._conn is not None:
+            with contextlib.suppress(sqlite3.Error):
+                self._conn.close()
+            self._conn = None
+        stamp = f"{int(time.time() * 1000):x}"
+        quarantined = self.db_path.with_name(
+            self.db_path.name + f".{stamp}.corrupt"
+        )
+        os.replace(self.db_path, quarantined)
+        for suffix in ("-wal", "-shm"):
+            sibling = self.db_path.with_name(self.db_path.name + suffix)
+            with contextlib.suppress(OSError):
+                os.replace(
+                    sibling, quarantined.with_name(quarantined.name + suffix)
+                )
+        return quarantined
+
+    def verify(self) -> None:
+        """Raise :class:`~repro.errors.StoreCorruptError` unless the
+        database passes SQLite's integrity check."""
+        row = self.connection().execute(
+            "PRAGMA integrity_check"
+        ).fetchone()
+        if row is None or row[0] != "ok":
+            raise StoreCorruptError(
+                f"{self.db_path} failed integrity_check: "
+                f"{row[0] if row else 'no result'}"
+            )
+
+    def close(self) -> None:
+        if self._conn is not None:
+            with contextlib.suppress(sqlite3.Error):
+                self._conn.close()
+            self._conn = None
+        self.release_writer()
+
+    @staticmethod
+    def now() -> float:
+        return time.time()

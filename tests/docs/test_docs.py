@@ -47,6 +47,7 @@ def test_docs_suite_exists():
         "fleet.md",
         "resilience.md",
         "scenarios.md",
+        "store.md",
         "sweeps.md",
     } <= names
 
@@ -59,6 +60,7 @@ def test_readme_links_the_doc_pages():
         "fleet.md",
         "resilience.md",
         "scenarios.md",
+        "store.md",
         "sweeps.md",
     ):
         assert f"docs/{page}" in readme, f"README must link docs/{page}"

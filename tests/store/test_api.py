@@ -1,0 +1,210 @@
+"""Submit/status/results API and the ``store`` CLI verbs."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ConfigurationError, StoreError
+from repro.experiments.sweep import runner_name
+from repro.store import ResultStore
+
+from tests.store.conftest import grid_spec, mixed_runner, scalar_runner
+
+
+class TestSubmissions:
+    def test_submit_records_pending(self, store):
+        spec = grid_spec(4, "sub-grid")
+        submission_id = store.submit(
+            "nightly", spec, runner_name(scalar_runner)
+        )
+        record = store.submission(submission_id)
+        assert record["state"] == "pending"
+        assert record["name"] == "nightly"
+        assert record["experiment_id"] == "sub-grid"
+        rows = store.status()
+        assert [row["id"] for row in rows] == [submission_id]
+
+    def test_run_submission_executes_finalizes_and_reports(self, store):
+        spec = grid_spec(5, "sub-run")
+        submission_id = store.submit(
+            "go", spec, runner_name(scalar_runner)
+        )
+        result = store.run_submission(submission_id, scalar_runner)
+        assert result.ok_count == 5
+        record = store.submission(submission_id)
+        assert record["state"] == "done"
+        assert record["ok_points"] == 5 and record["failed_points"] == 0
+        # Finalized: the metric columns read straight off the shards.
+        headers, rows = store.results_rows(submission_id, metrics=["y"])
+        assert headers == ["index", "params", "y"]
+        assert [row[2] for row in rows] == [x * 2.0 for x in range(5)]
+
+    def test_results_defaults_to_all_columnar_metrics(self, store):
+        spec = grid_spec(3, "sub-metrics")
+        submission_id = store.submit(
+            "m", spec, runner_name(mixed_runner)
+        )
+        store.run_submission(submission_id, mixed_runner)
+        headers, rows = store.results_rows(submission_id)
+        # Scalar metrics only — strings/nested live in the residual.
+        assert headers == ["index", "params", "count", "seed_mod", "y"]
+        assert len(rows) == 3
+
+    def test_wrong_runner_is_rejected(self, store):
+        spec = grid_spec(3, "sub-wrong")
+        submission_id = store.submit(
+            "w", spec, runner_name(scalar_runner)
+        )
+        with pytest.raises(ConfigurationError, match="recorded for runner"):
+            store.run_submission(submission_id, mixed_runner)
+
+    def test_unknown_submission_raises(self, store):
+        with pytest.raises(StoreError, match="no submission"):
+            store.submission(999)
+        with pytest.raises(StoreError):
+            store.results_rows(999)
+
+    def test_status_newest_first(self, store):
+        spec = grid_spec(2, "sub-order")
+        first = store.submit("one", spec, "r")
+        second = store.submit("two", spec, "r")
+        assert [row["id"] for row in store.status()] == [second, first]
+
+
+class TestSubmitCrash:
+    def test_kill_before_submit_commit_leaves_no_row(self, tmp_path):
+        from repro.experiments.resilience import CHAOS_EXIT_CODE
+
+        from tests.store.conftest import run_driver
+
+        script = (
+            "import sys\n"
+            "from pathlib import Path\n"
+            "from repro.experiments.sweep import SweepSpec\n"
+            "from repro.store import ResultStore\n"
+            "store = ResultStore(Path(sys.argv[1]) / 'store')\n"
+            "spec = SweepSpec('sub-kill', axes={'x': [1, 2]})\n"
+            "store.submit('doomed', spec, 'r')\n"
+        )
+        killed = run_driver(
+            script, tmp_path,
+            env={"REPRO_STORE_FAULT": "submit-pre-commit"},
+        )
+        assert killed.returncode == CHAOS_EXIT_CODE, killed.stderr
+        with ResultStore(tmp_path / "store") as store:
+            assert store.status() == []
+            assert store.verify()["ok"]
+            # The store is fully usable: the same submission lands
+            # cleanly on the next attempt.
+            from repro.experiments.sweep import SweepSpec
+
+            spec = SweepSpec("sub-kill", axes={"x": [1, 2]})
+            assert store.submit("retry", spec, "r") == 1
+
+
+class TestStoreCli:
+    def test_init_status_gc_verify_round_trip(self, tmp_path, capsys):
+        directory = str(tmp_path / "store")
+        assert main(["store", "init", directory]) == 0
+        assert "ready" in capsys.readouterr().out
+        assert main(["store", "status", directory, "--json"]) == 0
+        assert json.loads(capsys.readouterr().out) == []
+        assert main(["store", "verify", directory]) == 0
+        assert json.loads(capsys.readouterr().out)["ok"] is True
+        assert main(["store", "gc", directory, "--dry-run"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["dry_run"] is True
+
+    def test_submit_defer_then_run_then_results(self, tmp_path, capsys):
+        directory = str(tmp_path / "store")
+        code = main([
+            "store", "submit", directory,
+            "--preset", "baseline-32",
+            "--axis", "workload.background_rho=0.5,0.85",
+            "--horizon", "300",
+            "--name", "cli-demo",
+            "--defer",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "submission 1" in out and "2 points" in out
+
+        assert main(["store", "status", directory, "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert rows[0]["state"] == "pending"
+
+        assert main(["store", "run", directory, "1"]) == 0
+        assert "done (ok=2, failed=0)" in capsys.readouterr().out
+
+        assert main([
+            "store", "results", directory, "1",
+            "--metrics", "utilisation_classical", "--json",
+        ]) == 0
+        table = json.loads(capsys.readouterr().out)
+        assert table["headers"] == [
+            "index", "params", "utilisation_classical"
+        ]
+        assert len(table["rows"]) == 2
+        assert all(
+            isinstance(row[2], float) for row in table["rows"]
+        )
+
+    def test_submit_runs_synchronously_by_default(self, tmp_path, capsys):
+        directory = str(tmp_path / "store")
+        assert main([
+            "store", "submit", directory,
+            "--preset", "baseline-32",
+            "--axis", "workload.background_rho=0.7",
+            "--horizon", "300",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "done (ok=1, failed=0)" in out
+        assert main(["store", "status", directory, "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert rows[0]["state"] == "done"
+        assert rows[0]["name"] == "baseline-32"
+
+    def test_axis_values_parse_as_json_scalars(self, tmp_path, capsys):
+        directory = str(tmp_path / "store")
+        assert main([
+            "store", "submit", directory,
+            "--preset", "baseline-32",
+            "--axis", "workload.background_rho=0.25",
+            "--axis", "policy.policy=easy",
+            "--horizon", "300",
+            "--defer",
+        ]) == 0
+        capsys.readouterr()
+        assert main(["store", "status", directory, "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        spec = json.loads(
+            ResultStore(tmp_path / "store").submission(
+                rows[0]["id"]
+            )["spec_json"]
+        )
+        assert spec["axes"]["workload.background_rho"] == [0.25]
+        assert spec["axes"]["policy.policy"] == ["easy"]
+
+    def test_bad_axis_and_missing_axis_error_cleanly(self, tmp_path):
+        directory = str(tmp_path / "store")
+        with pytest.raises(SystemExit):
+            main([
+                "store", "submit", directory,
+                "--preset", "baseline-32", "--axis", "garbage",
+            ])
+        with pytest.raises(SystemExit):
+            main(["store", "submit", directory, "--preset", "baseline-32"])
+
+    def test_sweep_store_flag_creates_store_backed_cache(
+        self, tmp_path, capsys
+    ):
+        cache_dir = tmp_path / "cache"
+        assert main([
+            "sweep", "E7",
+            "--cache-dir", str(cache_dir), "--store", "--workers", "1",
+        ]) == 0
+        capsys.readouterr()
+        assert (cache_dir / "store.sqlite3").exists()
+        # Points landed in the store, not as pickle files.
+        assert not list(cache_dir.glob("*.pkl"))

@@ -1,0 +1,208 @@
+"""SIGKILL-equivalent crashes at every store commit boundary.
+
+The durability contract of the result store: a writer hard-killed at
+*any* injected fault site (``REPRO_STORE_FAULT``) leaves a database
+that reopens clean — integrity check passes, no torn row, no
+half-written shard behind a committed row — and a resumed run
+re-executes **zero** points whose values had committed before the
+kill, finishing with output byte-identical to an uninterrupted run.
+
+Each scenario runs in a fresh interpreter (the crash must take down a
+real process); run counts are fsync'd marker files, one per point.
+"""
+
+import json
+import sqlite3
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.resilience import CHAOS_EXIT_CODE
+
+from tests.store.conftest import run_driver
+
+#: Every sweep-path fault site, with the hit count that lands the
+#: crash mid-grid (6 points, shard_points=2 -> 3 shards).
+SITES = [
+    ("point-pre-commit", 3),
+    ("point-post-commit", 3),
+    ("outcome-pre-commit", 3),
+    ("outcome-post-commit", 3),
+    ("shard-mid-write", 2),
+    ("shard-tmp-written", 2),
+    ("shard-renamed", 2),
+    ("finalize-pre-commit", 1),
+    ("finalize-post-commit", 1),
+]
+
+_SWEEP_DRIVER = """
+import hashlib, json, os, sys
+from pathlib import Path
+
+from repro.experiments.sweep import (
+    SweepSpec, canonical_bytes, run_sweep, runner_name,
+)
+from repro.store import ResultStore
+
+workdir = Path(sys.argv[1])
+mode = sys.argv[2]  # "run" (fault env may be set), "resume", "clean"
+
+
+def runner(params, seed):
+    marks = workdir / "points"
+    marks.mkdir(exist_ok=True)
+    with open(marks / f"p{params['x']}.runs", "a") as handle:
+        handle.write(f"{os.getpid()}\\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    return {
+        "y": params["x"] * 2.0,
+        "n": params["x"],
+        "label": f"x{params['x']}",
+    }
+
+
+spec = SweepSpec("crash-grid", axes={"x": list(range(6))})
+directory = workdir / ("clean-store" if mode == "clean" else "store")
+store = ResultStore(directory, code_version="pinned")
+name = runner_name(runner)
+result = run_sweep(
+    spec, runner, workers=1, cache=store.sweep_cache(),
+    journal=store.run_journal(spec.experiment_id, name),
+    resume=(mode != "clean"),
+)
+store.finalize_sweep(spec, name, shard_points=2)
+report = {
+    "digest": hashlib.sha256(canonical_bytes(result.values)).hexdigest(),
+    "values": result.values,
+    "resumed": [o.resumed for o in result.outcomes],
+    "cached": [o.cached for o in result.outcomes],
+    "verify": store.verify(),
+    "column": store.read_column(spec, name, "y").tolist(),
+}
+store.close()
+(workdir / f"result-{mode}.json").write_text(json.dumps(report))
+"""
+
+
+def _marker_counts(workdir):
+    counts = {}
+    points = Path(workdir) / "points"
+    if points.is_dir():
+        for path in points.glob("p*.runs"):
+            x = int(path.stem[1:].split(".")[0])
+            counts[x] = len(path.read_text().splitlines())
+    return counts
+
+
+def _stored_xs(workdir):
+    """Grid positions whose values committed, read straight off disk."""
+    conn = sqlite3.connect(Path(workdir) / "store" / "store.sqlite3")
+    try:
+        keys = [
+            key for (key,) in conn.execute("SELECT point_key FROM points")
+        ]
+    finally:
+        conn.close()
+    return {json.loads(key.split(":rep")[0])["x"] for key in keys}
+
+
+class TestKillAtEveryFaultSite:
+    @pytest.mark.parametrize("site,hit", SITES)
+    def test_reopen_clean_and_zero_stored_points_reexecute(
+        self, tmp_path, site, hit
+    ):
+        killed = run_driver(
+            _SWEEP_DRIVER, tmp_path, "run",
+            env={"REPRO_STORE_FAULT": f"{site}:{hit}"},
+        )
+        assert killed.returncode == CHAOS_EXIT_CODE, killed.stderr
+        assert not (tmp_path / "result-run.json").exists()
+
+        runs_before = _marker_counts(tmp_path)
+        stored = _stored_xs(tmp_path)
+        # Whatever committed was executed at least once before dying.
+        for x in stored:
+            assert runs_before.get(x, 0) >= 1
+
+        resumed = run_driver(_SWEEP_DRIVER, tmp_path, "resume")
+        assert resumed.returncode == 0, resumed.stderr
+        report = json.loads((tmp_path / "result-resume.json").read_text())
+        assert report["verify"]["ok"], report["verify"]
+
+        # THE contract: not one point whose value had committed before
+        # the kill ran again on resume.
+        runs_after = _marker_counts(tmp_path)
+        for x in stored:
+            assert runs_after[x] == runs_before[x], (
+                f"stored point x={x} re-executed after {site}"
+            )
+        # ... and the sweep still completed every point exactly.
+        assert all(runs_after.get(x, 0) >= 1 for x in range(6))
+        assert report["column"] == [x * 2.0 for x in range(6)]
+
+        clean = run_driver(_SWEEP_DRIVER, tmp_path, "clean")
+        assert clean.returncode == 0, clean.stderr
+        baseline = json.loads((tmp_path / "result-clean.json").read_text())
+        assert report["digest"] == baseline["digest"]
+        assert report["values"] == baseline["values"]
+
+    def test_no_fault_env_means_no_crash(self, tmp_path):
+        done = run_driver(_SWEEP_DRIVER, tmp_path, "run")
+        assert done.returncode == 0, done.stderr
+        report = json.loads((tmp_path / "result-run.json").read_text())
+        assert report["verify"]["ok"]
+        assert _marker_counts(tmp_path) == {x: 1 for x in range(6)}
+
+
+class TestTornShardNeverPublished:
+    def test_kill_mid_shard_write_leaves_no_committed_reference(
+        self, tmp_path
+    ):
+        """A shard row must never point at a file that is not fully
+        on disk: the file publishes before the transaction commits."""
+        killed = run_driver(
+            _SWEEP_DRIVER, tmp_path, "run",
+            env={"REPRO_STORE_FAULT": "shard-mid-write:1"},
+        )
+        assert killed.returncode == CHAOS_EXIT_CODE
+        conn = sqlite3.connect(tmp_path / "store" / "store.sqlite3")
+        try:
+            assert conn.execute(
+                "SELECT count(*) FROM shards"
+            ).fetchone() == (0,)
+            # No point row claims to live in a shard either.
+            assert conn.execute(
+                "SELECT count(*) FROM points WHERE shard_id IS NOT NULL"
+            ).fetchone() == (0,)
+        finally:
+            conn.close()
+        # The half-written temp file (if any) is unreferenced garbage
+        # the next resume/gc handles; the published name never exists.
+        shards_dir = tmp_path / "store" / "shards"
+        if shards_dir.is_dir():
+            assert not list(shards_dir.glob("sweep*.npz"))
+
+    def test_orphan_from_kill_after_rename_is_collectable(self, tmp_path):
+        """Killed between file publish and row commit: the file is an
+        orphan gc reports, never a dangling database reference."""
+        killed = run_driver(
+            _SWEEP_DRIVER, tmp_path, "run",
+            env={"REPRO_STORE_FAULT": "shard-renamed:1"},
+        )
+        assert killed.returncode == CHAOS_EXIT_CODE
+        conn = sqlite3.connect(tmp_path / "store" / "store.sqlite3")
+        try:
+            assert conn.execute(
+                "SELECT count(*) FROM shards"
+            ).fetchone() == (0,)
+        finally:
+            conn.close()
+        orphans = list((tmp_path / "store" / "shards").glob("sweep*.npz"))
+        assert len(orphans) == 1
+
+        # Resume overwrites the orphan in place and commits its row.
+        resumed = run_driver(_SWEEP_DRIVER, tmp_path, "resume")
+        assert resumed.returncode == 0, resumed.stderr
+        report = json.loads((tmp_path / "result-resume.json").read_text())
+        assert report["verify"]["ok"]

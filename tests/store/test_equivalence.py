@@ -1,0 +1,179 @@
+"""Store-backed sweeps are byte-identical to the pickle path.
+
+The replacement contract: swapping ``SweepCache`` + JSONL journal for
+the store must change *nothing* observable — same ``SweepResult``
+values and outcomes, same ``canonical_bytes``, serial or parallel,
+cold or warm, before or after finalization into columnar shards.
+"""
+
+import pickle
+
+import pytest
+
+from repro.experiments.sweep import (
+    STORE_ENV_VAR,
+    SweepCache,
+    SweepSpec,
+    canonical_bytes,
+    run_sweep,
+    runner_name,
+    sweep_cache,
+)
+from repro.store import ResultStore, StoreSweepCache
+
+from tests.store.conftest import (
+    grid_spec,
+    mixed_runner,
+    opaque_runner,
+    scalar_runner,
+)
+
+
+RUNNERS = [scalar_runner, mixed_runner, opaque_runner]
+
+
+def _run(spec, runner, cache, workers=1, journal=None, resume=False):
+    return run_sweep(
+        spec, runner, workers=workers, cache=cache,
+        journal=journal, resume=resume,
+    )
+
+
+def _signature(result):
+    return (
+        canonical_bytes(result.values),
+        [
+            (o.key, o.index, o.status, o.attempts, o.error)
+            for o in result.outcomes
+        ],
+    )
+
+
+class TestByteIdentity:
+    @pytest.mark.parametrize("runner", RUNNERS)
+    def test_store_matches_pickle_cache_cold_and_warm(
+        self, tmp_path, runner
+    ):
+        spec = grid_spec(6)
+        pickle_cache = SweepCache(tmp_path / "pkl", code_version="pinned")
+        with ResultStore(tmp_path / "store", code_version="pinned") as st:
+            store_cache = st.sweep_cache()
+            for cold in (True, False):
+                a = _run(spec, runner, pickle_cache)
+                b = _run(spec, runner, store_cache)
+                assert _signature(a) == _signature(b)
+                assert a.values == b.values
+
+    @pytest.mark.parametrize("runner", [scalar_runner, mixed_runner])
+    def test_serial_matches_parallel_through_store(self, tmp_path, runner):
+        spec = grid_spec(6)
+        with ResultStore(tmp_path / "s1", code_version="pinned") as s1:
+            serial = _run(spec, runner, s1.sweep_cache(), workers=1)
+        with ResultStore(tmp_path / "s2", code_version="pinned") as s2:
+            parallel = _run(spec, runner, s2.sweep_cache(), workers=2)
+        assert _signature(serial) == _signature(parallel)
+
+    @pytest.mark.parametrize("runner", RUNNERS)
+    def test_finalized_columnar_replay_still_identical(
+        self, tmp_path, runner
+    ):
+        spec = grid_spec(7)
+        name = runner_name(runner)
+        pickle_cache = SweepCache(tmp_path / "pkl", code_version="pinned")
+        _run(spec, runner, pickle_cache)
+        pickle_warm = _run(spec, runner, pickle_cache)
+        with ResultStore(tmp_path / "store", code_version="pinned") as st:
+            cold = _run(spec, runner, st.sweep_cache())
+            st.finalize_sweep(spec, name, shard_points=3)
+            warm = _run(spec, runner, st.sweep_cache())
+            assert cold.values == warm.values
+            assert canonical_bytes(warm.values) == canonical_bytes(
+                pickle_warm.values
+            )
+            assert _signature(warm) == _signature(pickle_warm)
+            assert all(o.cached for o in warm.outcomes)
+            # Replays after finalization must come from the columns,
+            # not from pickled blobs.
+            if runner is not opaque_runner:
+                assert st.stats["column_point"] == len(spec)
+
+    def test_warm_replay_value_types_are_exact(self, tmp_path):
+        spec = grid_spec(5)
+        with ResultStore(tmp_path / "store", code_version="pinned") as st:
+            cold = _run(spec, scalar_runner, st.sweep_cache())
+            st.finalize_sweep(spec, runner_name(scalar_runner))
+            warm = _run(spec, scalar_runner, st.sweep_cache())
+        for before, after in zip(cold.values, warm.values):
+            assert before == after
+            for key in before:
+                assert type(before[key]) is type(after[key])
+
+
+class TestJournalEquivalence:
+    def test_resume_skips_stored_points_like_the_pickle_path(
+        self, tmp_path
+    ):
+        spec = grid_spec(6)
+        name = runner_name(scalar_runner)
+
+        with ResultStore(tmp_path / "store", code_version="pinned") as st:
+            first = _run(
+                spec, scalar_runner, st.sweep_cache(),
+                journal=st.run_journal(spec.experiment_id, name),
+                resume=True,
+            )
+            assert not any(o.resumed for o in first.outcomes)
+            second = _run(
+                spec, scalar_runner, st.sweep_cache(),
+                journal=st.run_journal(spec.experiment_id, name),
+                resume=True,
+            )
+        pickle_dir = tmp_path / "pkl"
+        cache = SweepCache(pickle_dir, code_version="pinned")
+        _run(spec, scalar_runner, cache, journal=pickle_dir, resume=True)
+        baseline = _run(
+            spec, scalar_runner, cache, journal=pickle_dir, resume=True
+        )
+        assert second.values == baseline.values
+        assert [o.resumed for o in second.outcomes] == [
+            o.resumed for o in baseline.outcomes
+        ]
+        assert all(o.resumed for o in second.outcomes)
+
+
+class TestStoreDetection:
+    def test_sweep_cache_prefers_store_when_database_exists(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.delenv(STORE_ENV_VAR, raising=False)
+        directory = tmp_path / "cache"
+        assert isinstance(sweep_cache(directory), SweepCache)
+        with ResultStore(directory):
+            pass
+        assert isinstance(sweep_cache(directory), StoreSweepCache)
+
+    def test_env_var_forces_and_forbids(self, tmp_path, monkeypatch):
+        directory = tmp_path / "cache"
+        monkeypatch.setenv(STORE_ENV_VAR, "1")
+        assert isinstance(sweep_cache(directory), StoreSweepCache)
+        with ResultStore(directory):
+            pass
+        monkeypatch.setenv(STORE_ENV_VAR, "0")
+        assert isinstance(sweep_cache(directory), SweepCache)
+
+    def test_directory_journal_shares_the_store(self, tmp_path):
+        """Passing the store directory as the *journal* must not open a
+        second store handle (which would self-deadlock on the flock)."""
+        spec = grid_spec(4)
+        directory = tmp_path / "cache"
+        with ResultStore(directory, code_version="pinned") as st:
+            result = run_sweep(
+                spec, scalar_runner, cache=st.sweep_cache(),
+                journal=directory, resume=True,
+            )
+            assert result.ok_count == len(spec)
+            replay = run_sweep(
+                spec, scalar_runner, cache=st.sweep_cache(),
+                journal=directory, resume=True,
+            )
+            assert all(o.resumed for o in replay.outcomes)
