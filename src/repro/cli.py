@@ -13,6 +13,10 @@ Usage::
     repro-hpcqc scenario describe mixed-fleet   # JSON + device table
     repro-hpcqc scenario run --preset baseline-32 --seed 7
     repro-hpcqc scenario run --json my_facility.json --horizon 7200
+    repro-hpcqc store submit .store --preset baseline-32 \\
+        --axis workload.background_rho=0.5,0.7 --defer
+    repro-hpcqc serve --store .store --port 8351 --workers 2
+    repro-hpcqc worker --store .store --until-drained
     repro-hpcqc fleet policies
     repro-hpcqc trace info sample-32n.swf
     repro-hpcqc trace replay my_site.swf --time-scale 0.5 --loop
@@ -463,6 +467,116 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     store_verify.add_argument("directory", help="store directory")
 
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help=(
+            "run the campaign service: a JSON HTTP API over a result "
+            "store plus an optional leased worker pool draining its "
+            "submission queue (see docs/service.md)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--store", required=True, help="store directory to serve"
+    )
+    serve_parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address (default 127.0.0.1)",
+    )
+    serve_parser.add_argument(
+        "--port",
+        type=int,
+        default=8351,
+        help="TCP port; 0 picks an ephemeral port (default 8351)",
+    )
+    serve_parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help=(
+            "worker subprocesses draining the queue (0 = API only, "
+            "default 2)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--lease-seconds",
+        type=float,
+        default=None,
+        help="lease window each worker claim holds (default 60)",
+    )
+    serve_parser.add_argument(
+        "--poll-interval",
+        type=float,
+        default=None,
+        help="idle worker sleep between claim attempts (default 0.5)",
+    )
+    serve_parser.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        help=(
+            "seconds workers get to finish their current point on "
+            "SIGTERM before being killed (default 30)"
+        ),
+    )
+
+    worker_parser = subparsers.add_parser(
+        "worker",
+        help=(
+            "run one queue-draining worker against a store: claim the "
+            "oldest claimable submission under a lease, execute it, "
+            "release, repeat (see docs/service.md)"
+        ),
+    )
+    worker_parser.add_argument(
+        "--store", required=True, help="store directory to drain"
+    )
+    worker_parser.add_argument(
+        "--worker-id",
+        default=None,
+        help="lease identity (default: host:pid:nonce)",
+    )
+    worker_parser.add_argument(
+        "--lease-seconds",
+        type=float,
+        default=None,
+        help="lease window each claim holds (default 60)",
+    )
+    worker_parser.add_argument(
+        "--poll-interval",
+        type=float,
+        default=None,
+        help="idle sleep between claim attempts (default 0.5)",
+    )
+    worker_parser.add_argument(
+        "--point-workers",
+        default=None,
+        help=(
+            "process-pool workers per sweep ('auto' or an integer, "
+            "default 1)"
+        ),
+    )
+    worker_parser.add_argument(
+        "--max-submissions",
+        type=int,
+        default=None,
+        help="exit after executing this many submissions",
+    )
+    worker_parser.add_argument(
+        "--until-drained",
+        action="store_true",
+        help=(
+            "exit once no submission is pending or running instead of "
+            "polling forever"
+        ),
+    )
+    worker_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="exit after this many idle-inclusive wall-clock seconds",
+    )
+
     fleet_parser = subparsers.add_parser(
         "fleet",
         help=(
@@ -596,6 +710,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _campaign_command(parser, args)
     if args.command == "store":
         return _store_command(parser, args)
+    if args.command == "serve":
+        return _serve_command(parser, args)
+    if args.command == "worker":
+        return _worker_command(parser, args)
     if args.command == "fleet":
         return _fleet_command(parser, args)
     if args.command == "trace":
@@ -902,8 +1020,15 @@ def _store_command(parser, args) -> int:
             return 0 if record["state"] == "done" else 1
         if args.store_command == "status":
             rows = store.status()
+            summary = store.queue_summary()
             if args.json_output:
+                # The JSON shape stays a bare row list (scripts pipe it
+                # through jq); the queue composition rides on stderr.
                 print(json.dumps(rows, indent=2, sort_keys=True))
+                print(
+                    json.dumps({"queue": summary}, sort_keys=True),
+                    file=sys.stderr,
+                )
                 return 0
             from repro.metrics.report import render_table
 
@@ -928,6 +1053,12 @@ def _store_command(parser, args) -> int:
                     table,
                     title=f"store {store.directory}",
                 )
+            )
+            print(
+                f"[queue] pending={summary['pending']} "
+                f"running={summary['running']} "
+                f"done={summary['done']} failed={summary['failed']} "
+                f"stale_leases={summary['stale_leases']}"
             )
             return 0
         if args.store_command == "results":
@@ -1036,6 +1167,113 @@ def _store_execute(parser, store, submission_id: int, workers: int):
         f"(ok={record['ok_points']}, failed={record['failed_points']})"
     )
     return record
+
+
+def _serve_command(parser, args) -> int:
+    """The ``serve`` verb: HTTP API + worker pool until SIGTERM."""
+    import signal
+    import threading
+
+    from repro.errors import ReproError, StoreError
+    from repro.service import WorkerSupervisor, make_server
+    from repro.service.workers import (
+        DEFAULT_POLL_SECONDS,
+    )
+    from repro.store.api import DEFAULT_LEASE_SECONDS
+
+    if args.workers < 0:
+        parser.error("--workers must be >= 0")
+    lease_seconds = (
+        args.lease_seconds
+        if args.lease_seconds is not None
+        else DEFAULT_LEASE_SECONDS
+    )
+    poll_seconds = (
+        args.poll_interval
+        if args.poll_interval is not None
+        else DEFAULT_POLL_SECONDS
+    )
+    supervisor = None
+    if args.workers > 0:
+        supervisor = WorkerSupervisor(
+            args.store,
+            args.workers,
+            lease_seconds=lease_seconds,
+            poll_seconds=poll_seconds,
+        )
+    try:
+        server = make_server(
+            args.store,
+            host=args.host,
+            port=args.port,
+            supervisor=supervisor,
+        )
+    except (StoreError, ReproError, OSError) as exc:
+        parser.error(str(exc))
+    host, port = server.server_address[:2]
+    if supervisor is not None:
+        supervisor.start()
+    # Flushed before serve_forever blocks, so wrappers (tests, shell
+    # scripts) can scrape the bound port as soon as it is ready.
+    print(f"[serve] listening on http://{host}:{port}", flush=True)
+
+    def _begin_drain(signum, frame):
+        server.service.draining = True
+        # shutdown() must come from outside serve_forever's thread.
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _begin_drain)
+    signal.signal(signal.SIGINT, _begin_drain)
+    try:
+        server.serve_forever(poll_interval=0.1)
+    finally:
+        if supervisor is not None:
+            supervisor.drain(timeout=args.drain_timeout)
+        server.server_close()
+        server.service.close()
+    print("[serve] drained", flush=True)
+    return 0
+
+
+def _worker_command(parser, args) -> int:
+    """The ``worker`` verb: one queue-draining worker until SIGTERM."""
+    import signal
+
+    from repro.errors import ReproError, StoreError
+    from repro.service import Worker
+
+    if args.max_submissions is not None and args.max_submissions < 1:
+        parser.error("--max-submissions must be >= 1")
+    kwargs = {}
+    if args.lease_seconds is not None:
+        kwargs["lease_seconds"] = args.lease_seconds
+    if args.poll_interval is not None:
+        kwargs["poll_seconds"] = args.poll_interval
+    try:
+        if args.point_workers is not None:
+            kwargs["point_workers"] = resolve_workers(args.point_workers)
+        worker = Worker(args.store, worker_id=args.worker_id, **kwargs)
+    except (StoreError, ReproError) as exc:
+        parser.error(str(exc))
+
+    def _request_stop(signum, frame):
+        worker.stop()
+
+    signal.signal(signal.SIGTERM, _request_stop)
+    signal.signal(signal.SIGINT, _request_stop)
+    print(f"[worker] {worker.worker_id} draining {args.store}", flush=True)
+    try:
+        with worker:
+            executed = worker.run(
+                max_submissions=args.max_submissions,
+                until_drained=args.until_drained,
+                timeout=args.timeout,
+            )
+    except (StoreError, ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"[worker] {worker.worker_id} exiting ({executed} executed)")
+    return 0
 
 
 def _device_table(spec) -> str:

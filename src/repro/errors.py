@@ -105,6 +105,48 @@ class StoreLockedError(StoreError, JournalLockedError):
     """
 
 
+class UnknownSubmissionError(StoreError):
+    """A submission id does not exist in the store.
+
+    Distinguished from the base :class:`StoreError` so the HTTP
+    service can map it to a 404 instead of a generic 500 — existing
+    callers catching :class:`StoreError` keep working unchanged.
+    """
+
+
+class LeaseError(StoreError):
+    """A submission lease operation violated the claim protocol.
+
+    Raised when a worker tries to execute or release a submission it
+    does not currently hold — the fencing that keeps a worker whose
+    lease expired (and was re-claimed by a live peer) from flipping
+    the submission's terminal state twice.
+    """
+
+
+class LeaseLostError(LeaseError):
+    """The worker's lease expired mid-run and another claim fenced it.
+
+    The in-flight sweep is aborted after its current point commits;
+    every committed point stays committed, and whichever worker now
+    holds the lease resumes with only the uncommitted remainder.
+    """
+
+
+class WorkerDrainError(ReproError):
+    """A worker was asked to drain while a submission was in flight.
+
+    Control-flow exception: the worker loop raises it from the sweep's
+    ``on_outcome`` hook (after the current point committed), releases
+    the lease back to ``pending`` and exits cleanly — the submission
+    is picked up by the next worker with zero committed-point loss.
+    """
+
+
+class ServiceError(ReproError):
+    """The campaign service (HTTP layer or worker pool) failed."""
+
+
 class StoreCorruptError(StoreError):
     """A store file failed validation and was quarantined.
 

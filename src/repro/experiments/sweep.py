@@ -697,16 +697,27 @@ def _terminate_pool(pool: ProcessPoolExecutor) -> None:
             pass
 
 
-def resolve_workers(workers: Optional[int]) -> int:
-    """Explicit worker count, else ``$REPRO_SWEEP_WORKERS``, else 1."""
+def resolve_workers(workers: Optional[Any]) -> int:
+    """Explicit worker count, else ``$REPRO_SWEEP_WORKERS``, else 1.
+
+    Accepts what the CLI hands through verbatim: an integer, a string
+    integer, or ``'auto'`` (one worker per CPU).
+    """
+    source = "workers"
     if workers is None:
-        raw = os.environ.get(WORKERS_ENV_VAR, "1")
-        try:
-            workers = int(raw)
-        except ValueError:
-            raise ConfigurationError(
-                f"${WORKERS_ENV_VAR} must be an integer, got {raw!r}"
-            ) from None
+        workers = os.environ.get(WORKERS_ENV_VAR, "1")
+        source = f"${WORKERS_ENV_VAR}"
+    if isinstance(workers, str):
+        if workers.strip().lower() == "auto":
+            workers = os.cpu_count() or 1
+        else:
+            try:
+                workers = int(workers)
+            except ValueError:
+                raise ConfigurationError(
+                    f"{source} must be 'auto' or an integer, "
+                    f"got {workers!r}"
+                ) from None
     if workers < 1:
         raise ConfigurationError(f"workers must be >= 1, got {workers}")
     return workers

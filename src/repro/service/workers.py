@@ -1,0 +1,414 @@
+"""Leased workers draining the store's submission queue.
+
+The ``submissions`` table *is* the queue; :meth:`~repro.store.api.
+ResultStore.run_claimed_submission` is the worker body.  What this
+module adds is the lifecycle around it:
+
+- :class:`Worker` — claim the oldest claimable submission (atomic
+  ``BEGIN IMMEDIATE``; pending, or running with an expired lease),
+  heartbeat from a side thread to keep the lease alive, execute the
+  store-backed sweep, release with a fenced update.  A worker that
+  dies mid-run simply stops heartbeating; after one lease window the
+  submission is claimable again and the next worker resumes it,
+  re-executing **only** points whose commits never landed (the store's
+  per-point transactions make re-entry free).
+- :class:`WorkerSupervisor` — N worker subprocesses with bounded
+  restart-on-crash and graceful SIGTERM drain (each worker finishes
+  its current *point*, requeues the submission, exits 0).
+
+Runner resolution: a submission records its runner as the
+``module:qualname`` string :func:`~repro.experiments.sweep.
+runner_name` produces; :func:`resolve_runner` imports it back, so any
+worker process with the right code checkout can execute any
+submission.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+import socket
+import subprocess
+import sys
+import threading
+import time
+import uuid
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.errors import (
+    LeaseLostError,
+    ReproError,
+    ServiceError,
+    WorkerDrainError,
+)
+from repro.store import ResultStore
+from repro.store.api import (
+    DEFAULT_LEASE_SECONDS,
+    DEFAULT_MAX_CLAIMS,
+    DEFAULT_SHARD_POINTS,
+)
+
+#: Seconds an idle worker sleeps between claim attempts.
+DEFAULT_POLL_SECONDS = 0.5
+
+#: Heartbeats per lease window — 4 extensions before expiry leaves
+#: room for a slow commit without risking a spurious takeover.
+HEARTBEATS_PER_LEASE = 4
+
+
+def default_worker_id() -> str:
+    """A globally distinguishable worker identity (host:pid:nonce)."""
+    return f"{socket.gethostname()}:{os.getpid()}:{uuid.uuid4().hex[:8]}"
+
+
+def resolve_runner(name: str) -> Any:
+    """Import the runner a submission recorded (``module:qualname``).
+
+    The inverse of :func:`~repro.experiments.sweep.runner_name` —
+    raises :class:`~repro.errors.ServiceError` (never crashes the
+    worker loop) when the module or attribute is missing in this
+    checkout, so an unresolvable submission fails cleanly.
+
+    >>> resolve_runner("repro.experiments.sweep:canonical_params").__name__
+    'canonical_params'
+    """
+    module_name, sep, qualname = name.partition(":")
+    if not sep or not module_name or not qualname:
+        raise ServiceError(
+            f"runner {name!r} is not a module:qualname reference"
+        )
+    try:
+        target: Any = importlib.import_module(module_name)
+    except ImportError as exc:
+        raise ServiceError(
+            f"cannot import runner module {module_name!r}: {exc}"
+        ) from exc
+    for part in qualname.split("."):
+        try:
+            target = getattr(target, part)
+        except AttributeError:
+            raise ServiceError(
+                f"runner {name!r} does not resolve: {module_name} has "
+                f"no attribute path {qualname!r}"
+            ) from None
+    if not callable(target):
+        raise ServiceError(f"runner {name!r} resolved to a non-callable")
+    return target
+
+
+class _Heartbeat:
+    """Side thread extending one submission's lease until stopped.
+
+    Uses its *own* store handle (own SQLite connection, own shared
+    flock) so it never races the executing thread's transactions.
+    A heartbeat that comes back unheld sets :attr:`lost`; the worker's
+    ``on_outcome`` hook checks it between points and aborts.
+    """
+
+    def __init__(
+        self,
+        directory: os.PathLike,
+        submission_id: int,
+        worker_id: str,
+        lease_seconds: float,
+        code_version: Optional[str],
+    ) -> None:
+        self.directory = directory
+        self.submission_id = submission_id
+        self.worker_id = worker_id
+        self.lease_seconds = lease_seconds
+        self.code_version = code_version
+        self.interval = max(
+            lease_seconds / HEARTBEATS_PER_LEASE, 0.02
+        )
+        self.lost = threading.Event()
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="lease-heartbeat", daemon=True
+        )
+
+    def start(self) -> "_Heartbeat":
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=max(self.interval * 4, 5.0))
+
+    def _run(self) -> None:
+        store = ResultStore(
+            self.directory,
+            code_version=self.code_version,
+            shared_writer=True,
+        )
+        try:
+            while not self._stop.wait(self.interval):
+                held = store.heartbeat_submission(
+                    self.submission_id,
+                    self.worker_id,
+                    lease_seconds=self.lease_seconds,
+                )
+                if not held:
+                    self.lost.set()
+                    return
+        except ReproError:  # pragma: no cover - e.g. store torn down
+            self.lost.set()
+        finally:
+            store.close()
+
+
+class Worker:
+    """One queue-draining worker over a shared-lock store handle.
+
+    The loop: claim → execute (with heartbeats) → release → repeat;
+    idle polls every ``poll_seconds``.  :meth:`stop` (wired to
+    SIGTERM by the CLI) drains gracefully: the current point finishes
+    and commits, the submission is requeued as ``pending``, the loop
+    exits.
+    """
+
+    def __init__(
+        self,
+        directory: os.PathLike,
+        worker_id: Optional[str] = None,
+        lease_seconds: float = DEFAULT_LEASE_SECONDS,
+        poll_seconds: float = DEFAULT_POLL_SECONDS,
+        max_claims: Optional[int] = DEFAULT_MAX_CLAIMS,
+        point_workers: Optional[int] = 1,
+        shard_points: int = DEFAULT_SHARD_POINTS,
+        code_version: Optional[str] = None,
+        heartbeats: bool = True,
+    ) -> None:
+        self.directory = Path(directory)
+        self.worker_id = worker_id or default_worker_id()
+        self.lease_seconds = lease_seconds
+        self.poll_seconds = poll_seconds
+        self.max_claims = max_claims
+        self.point_workers = point_workers
+        self.shard_points = shard_points
+        self.heartbeats = heartbeats
+        self.store = ResultStore(
+            self.directory, code_version=code_version, shared_writer=True
+        )
+        self._stop = threading.Event()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def stop(self) -> None:
+        """Request a graceful drain (safe from signal handlers)."""
+        self._stop.set()
+
+    @property
+    def stopping(self) -> bool:
+        return self._stop.is_set()
+
+    def close(self) -> None:
+        self.store.close()
+
+    def __enter__(self) -> "Worker":
+        self.store.open()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- the loop ------------------------------------------------------------
+
+    def run(
+        self,
+        max_submissions: Optional[int] = None,
+        until_drained: bool = False,
+        timeout: Optional[float] = None,
+    ) -> int:
+        """Drain the queue; returns the number of submissions executed.
+
+        ``max_submissions`` bounds the executions; ``until_drained``
+        exits once no submission is pending or running (waiting out
+        live peers' leases); ``timeout`` bounds the wall clock.  With
+        none of the three, runs until :meth:`stop` — service mode.
+        """
+        executed = 0
+        deadline = (
+            time.monotonic() + timeout if timeout is not None else None
+        )
+        while not self._stop.is_set():
+            record = self.store.claim_next_submission(
+                self.worker_id,
+                lease_seconds=self.lease_seconds,
+                max_claims=self.max_claims,
+            )
+            if record is not None:
+                if self.execute(record):
+                    executed += 1
+                if (
+                    max_submissions is not None
+                    and executed >= max_submissions
+                ):
+                    break
+                continue
+            if until_drained and self._drained():
+                break
+            if deadline is not None and time.monotonic() >= deadline:
+                break
+            self._stop.wait(self.poll_seconds)
+        return executed
+
+    def _drained(self) -> bool:
+        summary = self.store.queue_summary()
+        return summary["pending"] == 0 and summary["running"] == 0
+
+    # -- one submission ------------------------------------------------------
+
+    def execute(self, record: Dict[str, Any]) -> bool:
+        """Run one claimed submission; ``True`` if it reached a
+        terminal state under our lease (``False``: requeued on drain,
+        or fenced off after losing the lease)."""
+        submission_id = record["id"]
+        try:
+            runner = resolve_runner(record["runner"])
+        except ServiceError as exc:
+            self.store.release_submission(
+                submission_id, self.worker_id, "failed", error=str(exc)
+            )
+            return True
+        heartbeat = None
+        if self.heartbeats:
+            heartbeat = _Heartbeat(
+                self.directory,
+                submission_id,
+                self.worker_id,
+                self.lease_seconds,
+                self.store.code_version,
+            ).start()
+
+        def on_outcome(point: Any, outcome: Any) -> None:
+            # Runs after the point's value and outcome committed —
+            # aborting here never loses work.
+            if heartbeat is not None and heartbeat.lost.is_set():
+                raise LeaseLostError(
+                    f"lease on submission {submission_id} was lost by "
+                    f"{self.worker_id}; another worker owns it now"
+                )
+            if self._stop.is_set():
+                raise WorkerDrainError(
+                    f"worker {self.worker_id} draining; requeueing "
+                    f"submission {submission_id}"
+                )
+
+        try:
+            self.store.run_claimed_submission(
+                submission_id,
+                runner,
+                self.worker_id,
+                workers=self.point_workers,
+                shard_points=self.shard_points,
+                on_outcome=on_outcome,
+            )
+            return True
+        except (WorkerDrainError, LeaseLostError):
+            return False
+        except ReproError:
+            # run_claimed_submission already released the lease into
+            # 'failed' with the error text; the pool stays alive.
+            return True
+        finally:
+            if heartbeat is not None:
+                heartbeat.stop()
+
+
+class WorkerSupervisor:
+    """N worker subprocesses draining one store, restart on crash.
+
+    Subprocesses (not threads): a worker taken out by a fault dies
+    alone, its flock and lease die with it, and the supervisor
+    replaces it — up to ``restart_limit`` replacements, so a
+    systematically crashing fleet stops instead of looping (poison
+    *submissions* are already contained by the store's claim cap).
+
+    :meth:`drain` implements graceful shutdown: SIGTERM to every
+    worker (each finishes its current point and requeues), bounded
+    wait, SIGKILL stragglers.
+    """
+
+    def __init__(
+        self,
+        directory: os.PathLike,
+        workers: int,
+        lease_seconds: float = DEFAULT_LEASE_SECONDS,
+        poll_seconds: float = DEFAULT_POLL_SECONDS,
+        restart_limit: Optional[int] = None,
+        extra_env: Optional[Dict[str, str]] = None,
+    ) -> None:
+        if workers < 0:
+            raise ServiceError("workers must be >= 0")
+        self.directory = Path(directory)
+        self.workers = workers
+        self.lease_seconds = lease_seconds
+        self.poll_seconds = poll_seconds
+        self.restart_limit = (
+            restart_limit if restart_limit is not None else workers * 8
+        )
+        self.extra_env = dict(extra_env or {})
+        self.restarts = 0
+        self.draining = False
+        self._procs: List[subprocess.Popen] = []
+
+    # -- process management --------------------------------------------------
+
+    def _spawn(self, index: int) -> subprocess.Popen:
+        env = dict(os.environ)
+        env.update(self.extra_env)
+        return subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "worker",
+                "--store",
+                str(self.directory),
+                "--lease-seconds",
+                str(self.lease_seconds),
+                "--poll-interval",
+                str(self.poll_seconds),
+                "--worker-id",
+                f"{default_worker_id()}#w{index}",
+            ],
+            env=env,
+        )
+
+    def start(self) -> "WorkerSupervisor":
+        for index in range(self.workers):
+            self._procs.append(self._spawn(index))
+        return self
+
+    def poll(self) -> int:
+        """Reap dead workers, replace them (bounded); returns the
+        number currently alive."""
+        for index, proc in enumerate(self._procs):
+            if proc.poll() is None or self.draining:
+                continue
+            if self.restarts >= self.restart_limit:
+                continue
+            self.restarts += 1
+            self._procs[index] = self._spawn(index)
+        return self.alive_count()
+
+    def alive_count(self) -> int:
+        return sum(1 for proc in self._procs if proc.poll() is None)
+
+    def drain(self, timeout: float = 30.0) -> None:
+        """SIGTERM every worker, wait out the graceful window, then
+        SIGKILL what is left.  Idempotent."""
+        self.draining = True
+        for proc in self._procs:
+            if proc.poll() is None:
+                proc.terminate()
+        deadline = time.monotonic() + timeout
+        for proc in self._procs:
+            remaining = deadline - time.monotonic()
+            try:
+                proc.wait(timeout=max(remaining, 0.1))
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()

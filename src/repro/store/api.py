@@ -37,7 +37,13 @@ from collections import Counter
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.errors import ConfigurationError, StoreCorruptError, StoreError
+from repro.errors import (
+    ConfigurationError,
+    LeaseError,
+    StoreCorruptError,
+    StoreError,
+    UnknownSubmissionError,
+)
 from repro.experiments.resilience import PointOutcome, STATUSES
 from repro.experiments.sweep import (
     SweepPoint,
@@ -54,6 +60,16 @@ DEFAULT_SHARD_POINTS = 2048
 
 #: Submission lifecycle states.
 SUBMISSION_STATES = ("pending", "running", "done", "failed")
+
+#: Default lease duration for worker claims; a worker heartbeats at a
+#: fraction of this, so a dead worker's submission becomes claimable
+#: again after at most one lease window.
+DEFAULT_LEASE_SECONDS = 60.0
+
+#: Default cap on claims per submission: a submission whose worker
+#: dies this many times is marked ``failed`` instead of crash-looping
+#: the pool forever.
+DEFAULT_MAX_CLAIMS = 5
 
 
 def spec_digest(spec: SweepSpec) -> str:
@@ -84,9 +100,10 @@ class ResultStore:
         self,
         directory: os.PathLike,
         code_version: Optional[str] = None,
+        shared_writer: bool = False,
     ) -> None:
         self.directory = Path(directory)
-        self.db = StoreDB(self.directory)
+        self.db = StoreDB(self.directory, shared_lock=shared_writer)
         self.code_version = code_version or _default_code_version()
         self.stats: Counter = Counter()
         self._shard_arrays: Dict[int, Dict[str, Any]] = {}
@@ -856,16 +873,20 @@ class ResultStore:
             """
             SELECT id, name, kind, spec_json, experiment_id, runner,
                    code_version, state, error, ok_points, failed_points,
+                   claimed_by, lease_expires_at, attempts,
                    created_at, updated_at
             FROM submissions WHERE id = ?
             """,
             (submission_id,),
         ).fetchone()
         if row is None:
-            raise StoreError(f"no submission with id {submission_id}")
+            raise UnknownSubmissionError(
+                f"no submission with id {submission_id}"
+            )
         keys = (
             "id", "name", "kind", "spec_json", "experiment_id", "runner",
             "code_version", "state", "error", "ok_points", "failed_points",
+            "claimed_by", "lease_expires_at", "attempts",
             "created_at", "updated_at",
         )
         return dict(zip(keys, row))
@@ -875,15 +896,273 @@ class ResultStore:
         rows = self.db.connection().execute(
             """
             SELECT id, name, kind, state, experiment_id, ok_points,
-                   failed_points, error, updated_at
+                   failed_points, error, claimed_by, lease_expires_at,
+                   attempts, updated_at
             FROM submissions ORDER BY id DESC
             """
         ).fetchall()
         keys = (
             "id", "name", "kind", "state", "experiment_id", "ok_points",
-            "failed_points", "error", "updated_at",
+            "failed_points", "error", "claimed_by", "lease_expires_at",
+            "attempts", "updated_at",
         )
         return [dict(zip(keys, row)) for row in rows]
+
+    def queue_summary(self, now: Optional[float] = None) -> Dict[str, Any]:
+        """Queue composition: per-state counts plus stale-lease count.
+
+        A *stale lease* is a ``running`` submission whose lease has
+        expired — its worker died (or wedged past the lease window)
+        and the next claim will take it over.  A pure read: safe
+        while workers are live.
+        """
+        now = self.db.now() if now is None else now
+        conn = self.db.connection()
+        counts = {state: 0 for state in SUBMISSION_STATES}
+        for state, count in conn.execute(
+            "SELECT state, COUNT(*) FROM submissions GROUP BY state"
+        ):
+            counts[state] = count
+        stale = conn.execute(
+            """
+            SELECT COUNT(*) FROM submissions
+            WHERE state = 'running' AND lease_expires_at IS NOT NULL
+              AND lease_expires_at < ?
+            """,
+            (now,),
+        ).fetchone()[0]
+        counts["stale_leases"] = stale
+        counts["depth"] = counts["pending"] + counts["running"]
+        return counts
+
+    # -- leases (the worker-pool claim protocol) -----------------------------
+
+    def claim_next_submission(
+        self,
+        worker_id: str,
+        lease_seconds: float = DEFAULT_LEASE_SECONDS,
+        now: Optional[float] = None,
+        max_claims: Optional[int] = DEFAULT_MAX_CLAIMS,
+    ) -> Optional[Dict[str, Any]]:
+        """Atomically claim the oldest claimable submission, or None.
+
+        Claimable: ``pending``, or ``running`` with an expired lease
+        (its worker died — the per-point transactions mean the new
+        holder re-runs only the uncommitted remainder).  The claim is
+        one ``BEGIN IMMEDIATE`` transaction, so two workers can never
+        claim the same submission: the loser sees the winner's
+        committed ``claimed_by``.  A submission already claimed
+        ``max_claims`` times is marked ``failed`` instead (poison
+        protection); pass ``max_claims=None`` to retry forever.
+
+        The claim re-stamps ``code_version`` with the executing
+        worker's, exactly as :meth:`run_submission` does for deferred
+        submissions.
+        """
+        if lease_seconds <= 0:
+            raise ConfigurationError("lease_seconds must be > 0")
+        now = self.db.now() if now is None else now
+        claimed_id: Optional[int] = None
+        with self._write() as conn:
+            rows = conn.execute(
+                """
+                SELECT id, attempts FROM submissions
+                WHERE state = 'pending'
+                   OR (state = 'running' AND lease_expires_at IS NOT NULL
+                       AND lease_expires_at < ?)
+                ORDER BY id
+                """,
+                (now,),
+            ).fetchall()
+            for submission_id, attempts in rows:
+                if max_claims is not None and attempts >= max_claims:
+                    conn.execute(
+                        """
+                        UPDATE submissions
+                        SET state = 'failed', claimed_by = NULL,
+                            lease_expires_at = NULL, error = ?,
+                            updated_at = ?
+                        WHERE id = ?
+                        """,
+                        (
+                            f"abandoned after {attempts} failed claims "
+                            "(worker crash loop?)",
+                            now,
+                            submission_id,
+                        ),
+                    )
+                    continue
+                conn.execute(
+                    """
+                    UPDATE submissions
+                    SET state = 'running', claimed_by = ?,
+                        lease_expires_at = ?, attempts = attempts + 1,
+                        code_version = ?, updated_at = ?
+                    WHERE id = ?
+                    """,
+                    (
+                        worker_id,
+                        now + lease_seconds,
+                        self.code_version,
+                        now,
+                        submission_id,
+                    ),
+                )
+                claimed_id = submission_id
+                break
+            crash_point("lease-claim-pre-commit")
+        crash_point("lease-claim-post-commit")
+        if claimed_id is None:
+            return None
+        return self.submission(claimed_id)
+
+    def heartbeat_submission(
+        self,
+        submission_id: int,
+        worker_id: str,
+        lease_seconds: float = DEFAULT_LEASE_SECONDS,
+        now: Optional[float] = None,
+    ) -> bool:
+        """Extend the lease; ``False`` means the lease was lost.
+
+        Guarded on ``claimed_by``: a worker whose lease expired and
+        was re-claimed cannot resurrect it — it must abort (the new
+        holder owns the submission now).
+        """
+        now = self.db.now() if now is None else now
+        with self._write() as conn:
+            cursor = conn.execute(
+                """
+                UPDATE submissions
+                SET lease_expires_at = ?, updated_at = ?
+                WHERE id = ? AND state = 'running' AND claimed_by = ?
+                """,
+                (now + lease_seconds, now, submission_id, worker_id),
+            )
+            held = cursor.rowcount == 1
+            crash_point("lease-heartbeat-pre-commit")
+        crash_point("lease-heartbeat-post-commit")
+        return held
+
+    def release_submission(
+        self,
+        submission_id: int,
+        worker_id: str,
+        state: str,
+        now: Optional[float] = None,
+        **fields: Any,
+    ) -> bool:
+        """Release a held lease into ``state`` (guarded, fenced).
+
+        Only the current holder succeeds (``True``); a stale worker's
+        release is a no-op returning ``False`` — so a submission
+        reaches its terminal state exactly once no matter how many
+        expired claimants are still alive.  ``state='pending'``
+        requeues (graceful drain); ``done``/``failed`` are terminal
+        and may carry ``ok_points``/``failed_points``/``error``.
+        """
+        if state not in ("pending", "done", "failed"):
+            raise ConfigurationError(
+                f"cannot release a lease into state {state!r}"
+            )
+        now = self.db.now() if now is None else now
+        assignments = "".join(
+            f", {name} = ?" for name in fields
+        )
+        with self._write() as conn:
+            cursor = conn.execute(
+                f"""
+                UPDATE submissions
+                SET state = ?, claimed_by = NULL,
+                    lease_expires_at = NULL, updated_at = ?{assignments}
+                WHERE id = ? AND state = 'running' AND claimed_by = ?
+                """,
+                (state, now, *fields.values(), submission_id, worker_id),
+            )
+            released = cursor.rowcount == 1
+            crash_point("lease-release-pre-commit")
+        crash_point("lease-release-post-commit")
+        return released
+
+    def run_claimed_submission(
+        self,
+        submission_id: int,
+        runner: Any,
+        worker_id: str,
+        workers: Optional[int] = None,
+        policy: Optional[Any] = None,
+        finalize: bool = True,
+        shard_points: int = DEFAULT_SHARD_POINTS,
+        on_outcome: Optional[Any] = None,
+    ) -> Tuple[Any, bool]:
+        """Execute a submission this worker has claimed.
+
+        The lease-protocol sibling of :meth:`run_submission`: the
+        claim already flipped the state to ``running`` and stamped
+        the code version, so this only checks the fence, runs the
+        store-backed sweep (resuming past committed points), finalizes
+        the columns and releases the lease into ``done``/``failed``
+        with a guarded update.  Returns ``(result, released)`` —
+        ``released=False`` means the lease was lost mid-run and
+        another worker owns the terminal transition.
+        """
+        from repro.experiments.sweep import run_sweep, runner_name
+
+        record = self.submission(submission_id)
+        if record["state"] != "running" or record["claimed_by"] != worker_id:
+            raise LeaseError(
+                f"submission {submission_id} is not held by "
+                f"{worker_id!r} (state={record['state']!r}, "
+                f"claimed_by={record['claimed_by']!r}); claim it first"
+            )
+        spec = SweepSpec.from_dict(json.loads(record["spec_json"]))
+        name = runner_name(runner)
+        if name != record["runner"]:
+            raise ConfigurationError(
+                f"submission {submission_id} was recorded for runner "
+                f"{record['runner']!r}, got {name!r}"
+            )
+        try:
+            result = run_sweep(
+                spec,
+                runner,
+                workers=workers,
+                cache=self.sweep_cache(),
+                policy=policy,
+                journal=self.run_journal(spec.experiment_id, name),
+                resume=True,
+                on_outcome=on_outcome,
+            )
+        except BaseException as exc:
+            from repro.errors import WorkerDrainError
+
+            if isinstance(exc, WorkerDrainError):
+                # Graceful drain: requeue; committed points stay.
+                self.release_submission(
+                    submission_id, worker_id, "pending"
+                )
+            else:
+                self.release_submission(
+                    submission_id,
+                    worker_id,
+                    "failed",
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+            raise
+        if finalize and result.failure_count == 0:
+            self.finalize_sweep(spec, name, shard_points=shard_points)
+        released = self.release_submission(
+            submission_id,
+            worker_id,
+            "done" if result.failure_count == 0 else "failed",
+            ok_points=result.ok_count,
+            failed_points=result.failure_count,
+            error=(
+                None if result.failure_count == 0 else
+                result.failures()[0].describe()
+            ),
+        )
+        return result, released
 
     def run_submission(
         self,

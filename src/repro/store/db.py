@@ -94,8 +94,11 @@ class StoreDB:
     the lock) is called.
     """
 
-    def __init__(self, directory: os.PathLike) -> None:
+    def __init__(
+        self, directory: os.PathLike, shared_lock: bool = False
+    ) -> None:
         self.directory = Path(directory)
+        self.shared_lock = shared_lock
         self._conn: Optional[sqlite3.Connection] = None
         self._lock_handle = None
 
@@ -143,19 +146,27 @@ class StoreDB:
         return self._lock_handle is not None
 
     def acquire_writer(self) -> None:
-        """Take the exclusive writer lock (idempotent).
+        """Take the writer lock (idempotent).
 
-        Raises :class:`~repro.errors.StoreLockedError` when another
-        live process holds it.  Degrades to no locking where
-        ``fcntl`` is unavailable.
+        The default is an *exclusive* flock: exactly one writer per
+        store, raising :class:`~repro.errors.StoreLockedError` when
+        another live process holds any lock on it.  A store opened
+        with ``shared_lock=True`` (the service worker pool and HTTP
+        server) takes a *shared* flock instead: any number of shared
+        holders coexist — per-submission mutual exclusion comes from
+        the lease protocol, and SQLite's own WAL locking serialises
+        their transactions — while exclusive single-writer tools and
+        the shared pool still exclude each other both ways.  Degrades
+        to no locking where ``fcntl`` is unavailable.
         """
         if self._lock_handle is not None or fcntl is None:
             return
         _register_fork_guard(self)
         self.directory.mkdir(parents=True, exist_ok=True)
+        mode = fcntl.LOCK_SH if self.shared_lock else fcntl.LOCK_EX
         handle = open(self.lock_path, "a+")
         try:
-            fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+            fcntl.flock(handle.fileno(), mode | fcntl.LOCK_NB)
         except OSError:
             pid = "unknown"
             try:
@@ -164,15 +175,20 @@ class StoreDB:
             except OSError:  # pragma: no cover - unreadable lock file
                 pass
             handle.close()
+            wanted = "shared" if self.shared_lock else "exclusive"
             raise StoreLockedError(
                 f"store {self.directory} is locked by another live "
-                f"process (pid {pid}); a second concurrent writer "
-                "would corrupt resume state — wait for it or use a "
+                f"process (pid {pid}) against a {wanted} writer; "
+                "concurrent writers outside the lease protocol would "
+                "corrupt resume state — wait for it or use a "
                 "different store directory"
             ) from None
-        handle.truncate(0)
-        handle.write(f"{os.getpid()}\n")
-        handle.flush()
+        if not self.shared_lock:
+            # Shared holders skip the pid stamp: truncating under a
+            # shared lock would race with (and clobber) their peers.
+            handle.truncate(0)
+            handle.write(f"{os.getpid()}\n")
+            handle.flush()
         self._lock_handle = handle
 
     def release_writer(self) -> None:
@@ -194,7 +210,13 @@ class StoreDB:
     def _open(self) -> sqlite3.Connection:
         self.directory.mkdir(parents=True, exist_ok=True)
         fresh = not self.db_path.exists()
-        conn = sqlite3.connect(self.db_path, timeout=30.0)
+        # check_same_thread=False: the HTTP service serves requests
+        # from handler threads behind a mutex — the store object is
+        # still single-threaded by contract, just not pinned to the
+        # thread that happened to open it.
+        conn = sqlite3.connect(
+            self.db_path, timeout=30.0, check_same_thread=False
+        )
         conn.isolation_level = None  # explicit BEGIN/COMMIT only
         try:
             try:

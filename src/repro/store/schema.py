@@ -12,7 +12,7 @@ a store compares it against :data:`SCHEMA_VERSION`:
   from a future library; never quarantine it);
 - missing/garbage — the file is not a store; quarantine it.
 
-Tables (v2):
+Tables (v3):
 
 ``meta``
     Schema version and store identity.
@@ -37,7 +37,10 @@ Tables (v2):
     stage values with digests — the store-backed campaign journal.
 ``submissions``
     Queue of submitted sweeps for the ``store submit|status|results``
-    verbs.
+    verbs — and, since v3, the *work queue* the service worker pool
+    drains: ``claimed_by``/``lease_expires_at`` implement lease-based
+    claiming (see :mod:`repro.service.workers`), ``attempts`` counts
+    claims so poison submissions fail instead of crash-looping.
 ``code_versions``
     First-seen registry of code versions (v2, gc reporting).
 """
@@ -48,7 +51,7 @@ import sqlite3
 from typing import Callable, Dict, List
 
 #: The schema version this code writes and expects.
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 #: The oldest version :func:`migrate` can upgrade from.
 OLDEST_SUPPORTED_VERSION = 1
@@ -200,9 +203,27 @@ _V2_MIGRATION: List[str] = [
     """,
 ]
 
+_V3_MIGRATION: List[str] = [
+    # Lease-based claiming for the service worker pool: a worker
+    # claims a pending (or expired-lease) submission atomically,
+    # heartbeats to extend the lease, and releases it with a guarded
+    # update — a dead worker's lease simply expires, so another
+    # worker re-runs only the uncommitted remainder.
+    "ALTER TABLE submissions ADD COLUMN claimed_by TEXT",
+    "ALTER TABLE submissions ADD COLUMN lease_expires_at REAL",
+    # Claim attempts so a poison submission (one that reliably kills
+    # its worker) lands in 'failed' instead of crash-looping the pool.
+    "ALTER TABLE submissions ADD COLUMN attempts INTEGER NOT NULL DEFAULT 0",
+    """
+    CREATE INDEX idx_submissions_lease
+        ON submissions (state, lease_expires_at)
+    """,
+]
+
 #: from-version -> DDL statements lifting the schema one version.
 MIGRATIONS: Dict[int, List[str]] = {
     1: _V2_MIGRATION,
+    2: _V3_MIGRATION,
 }
 
 

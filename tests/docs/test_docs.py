@@ -47,6 +47,7 @@ def test_docs_suite_exists():
         "fleet.md",
         "resilience.md",
         "scenarios.md",
+        "service.md",
         "store.md",
         "sweeps.md",
     } <= names
@@ -60,6 +61,7 @@ def test_readme_links_the_doc_pages():
         "fleet.md",
         "resilience.md",
         "scenarios.md",
+        "service.md",
         "store.md",
         "sweeps.md",
     ):

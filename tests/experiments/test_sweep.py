@@ -416,6 +416,15 @@ class TestWorkersResolution:
         with pytest.raises(ConfigurationError):
             resolve_workers(0)
 
+    def test_cli_strings_resolve(self):
+        # argparse hands '--workers 2' through as a string.
+        assert resolve_workers("2") == 2
+        assert resolve_workers("auto") >= 1
+
+    def test_bad_string_rejected(self):
+        with pytest.raises(ConfigurationError, match="'auto' or an"):
+            resolve_workers("lots")
+
 
 class TestExperimentLevelDeterminism:
     """Full experiment artefacts agree serial vs parallel (E4 is the

@@ -1,0 +1,245 @@
+"""Property-based lease protocol: random worker interleavings.
+
+Hypothesis drives 2–4 simulated workers through random sequences of
+claim / heartbeat / release / crash / clock-advance operations against
+a real store on a simulated clock, shadowed by a reference model.
+The invariants no example-based test can sweep:
+
+- the store and the model never disagree on state, holder, or lease;
+- a submission is only ever taken over after its lease has *strictly*
+  expired — two live holders can never coexist;
+- a fenced-off worker (crashed, or expired and superseded) can never
+  heartbeat or release;
+- every submission reaches ``done`` or ``failed`` **exactly once**,
+  no matter how the schedule interleaves or how many workers crash.
+"""
+
+import tempfile
+from pathlib import Path
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.sweep import runner_name
+from repro.store import ResultStore
+
+from tests.service.conftest import counting_runner
+from tests.store.conftest import grid_spec
+
+#: Each example replays a whole multi-worker schedule against a fresh
+#: SQLite store, so keep the sweep compact and the deadline off.
+PROPERTY_SETTINGS = dict(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+LEASE = 10.0
+
+
+@st.composite
+def schedules(draw):
+    n_subs = draw(st.integers(min_value=1, max_value=3))
+    n_workers = draw(st.integers(min_value=2, max_value=4))
+    count = draw(st.integers(min_value=4, max_value=40))
+    ops = []
+    for _ in range(count):
+        kind = draw(
+            st.sampled_from(
+                ["claim", "heartbeat", "release", "crash", "advance"]
+            )
+        )
+        if kind == "advance":
+            ops.append(("advance", draw(st.integers(1, 15))))
+        elif kind == "release":
+            ops.append(
+                (
+                    "release",
+                    draw(st.integers(0, n_workers - 1)),
+                    draw(st.sampled_from(["pending", "done", "failed"])),
+                )
+            )
+        else:
+            ops.append((kind, draw(st.integers(0, n_workers - 1))))
+    return n_subs, n_workers, ops
+
+
+class _SimWorker:
+    """One worker identity: what it *believes* it holds.
+
+    A crash forgets the belief and rotates the identity (epoch), the
+    way a restarted process comes back with a fresh worker id while
+    its orphaned lease is still ticking in the store.
+    """
+
+    def __init__(self, index):
+        self.index = index
+        self.epoch = 0
+        self.holding = None
+
+    @property
+    def worker_id(self):
+        return f"w{self.index}e{self.epoch}"
+
+    def crash(self):
+        self.holding = None
+        self.epoch += 1
+
+
+class _Model:
+    """Reference lease table: sid -> (holder, lease expiry, terminal)."""
+
+    def __init__(self, sids):
+        self.holder = {sid: None for sid in sids}
+        self.lease_exp = {sid: None for sid in sids}
+        self.terminal = {}
+        self.terminal_releases = {sid: 0 for sid in sids}
+
+    def claimable(self, now):
+        for sid in sorted(self.holder):
+            if sid in self.terminal:
+                continue
+            if self.holder[sid] is None:
+                return sid
+            if self.lease_exp[sid] < now:  # strictly expired
+                return sid
+        return None
+
+
+def _check_agreement(store, model, now):
+    """The store must mirror the model after every operation."""
+    for sid in model.holder:
+        record = store.submission(sid)
+        if sid in model.terminal:
+            assert record["state"] == model.terminal[sid]
+            assert record["claimed_by"] is None
+            assert record["lease_expires_at"] is None
+        elif model.holder[sid] is None:
+            assert record["state"] == "pending"
+            assert record["claimed_by"] is None
+        else:
+            assert record["state"] == "running"
+            assert record["claimed_by"] == model.holder[sid]
+            assert record["lease_expires_at"] == model.lease_exp[sid]
+
+
+class TestLeaseStateMachine:
+    @settings(**PROPERTY_SETTINGS)
+    @given(schedule=schedules())
+    def test_random_interleavings_preserve_all_invariants(
+        self, schedule
+    ):
+        n_subs, n_workers, ops = schedule
+        with tempfile.TemporaryDirectory() as tmp:
+            with ResultStore(
+                Path(tmp) / "store", shared_writer=True
+            ) as store:
+                sids = [
+                    store.submit(
+                        f"sub{i}",
+                        grid_spec(2, experiment_id=f"prop-{i}"),
+                        runner_name(counting_runner),
+                    )
+                    for i in range(n_subs)
+                ]
+                self._run_schedule(store, sids, n_workers, ops)
+
+    def _run_schedule(self, store, sids, n_workers, ops):
+        workers = [_SimWorker(i) for i in range(n_workers)]
+        model = _Model(sids)
+        now = 0.0
+
+        for op in ops:
+            if op[0] == "advance":
+                now += op[1]
+                continue
+            worker = workers[op[1]]
+            wid = worker.worker_id
+
+            if op[0] == "claim":
+                if worker.holding is not None:
+                    continue  # real workers run one submission at a time
+                expected = model.claimable(now)
+                record = store.claim_next_submission(
+                    wid, lease_seconds=LEASE, now=now, max_claims=None
+                )
+                if expected is None:
+                    assert record is None
+                else:
+                    assert record["id"] == expected
+                    # Takeover only after strict expiry: the previous
+                    # holder's lease must already be dead.
+                    previous = model.holder[expected]
+                    if previous is not None:
+                        assert model.lease_exp[expected] < now
+                    model.holder[expected] = wid
+                    model.lease_exp[expected] = now + LEASE
+                    worker.holding = expected
+
+            elif op[0] == "heartbeat":
+                if worker.holding is None:
+                    continue
+                sid = worker.holding
+                held = store.heartbeat_submission(
+                    sid, wid, lease_seconds=LEASE, now=now
+                )
+                still_mine = (
+                    model.holder.get(sid) == wid
+                    and sid not in model.terminal
+                )
+                assert held == still_mine
+                if held:
+                    model.lease_exp[sid] = now + LEASE
+                else:
+                    worker.holding = None  # fenced off: forget it
+
+            elif op[0] == "release":
+                if worker.holding is None:
+                    continue
+                sid, state = worker.holding, op[2]
+                ok = store.release_submission(sid, wid, state, now=now)
+                still_mine = (
+                    model.holder.get(sid) == wid
+                    and sid not in model.terminal
+                )
+                assert ok == still_mine
+                if ok and state == "pending":
+                    model.holder[sid] = None
+                    model.lease_exp[sid] = None
+                elif ok:
+                    model.terminal[sid] = state
+                    model.terminal_releases[sid] += 1
+                    model.holder[sid] = None
+                    model.lease_exp[sid] = None
+                worker.holding = None
+
+            elif op[0] == "crash":
+                worker.crash()
+
+            _check_agreement(store, model, now)
+
+        # Drive every survivor to completion with a fresh finisher
+        # whose clock has outlived every possible orphaned lease.
+        now += LEASE + 1.0
+        finisher = "finisher"
+        while True:
+            record = store.claim_next_submission(
+                finisher, lease_seconds=LEASE, now=now, max_claims=None
+            )
+            if record is None:
+                break
+            assert store.release_submission(
+                record["id"], finisher, "done", now=now
+            )
+            model.terminal[record["id"]] = "done"
+            model.terminal_releases[record["id"]] += 1
+
+        # THE invariant: terminal exactly once, for every submission.
+        for sid in model.holder:
+            assert model.terminal_releases[sid] == 1
+            assert store.submission(sid)["state"] == model.terminal[sid]
+            # A terminal submission is inert: unclaimable, unreleasable.
+            assert not store.release_submission(
+                sid, finisher, "done", now=now
+            )
+        assert store.claim_next_submission(finisher, now=now) is None

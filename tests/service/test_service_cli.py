@@ -1,0 +1,114 @@
+"""The ``serve``, ``worker``, and ``store status`` CLI surfaces.
+
+The subprocess lifecycle of ``serve`` (SIGTERM drain, port scraping)
+is pinned in ``test_http.py``; here the verbs run in-process through
+``main()`` — flag validation, the worker verb's bounded runs, and the
+queue line ``store status`` grew for lease visibility.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.sweep import runner_name
+
+from tests.service.conftest import COUNTS, counting_runner
+from tests.store.conftest import grid_spec
+
+
+def seed(store, n=3, name="cli-sub"):
+    return store.submit(
+        name, grid_spec(n, experiment_id=f"cli-{name}"),
+        runner_name(counting_runner),
+    )
+
+
+class TestStoreStatusQueue:
+    def test_text_status_reports_queue_counts(self, store_dir, store, capsys):
+        seed(store, name="a")
+        seed(store, name="b")
+        store.claim_next_submission("w1", lease_seconds=0.001, now=0.0)
+        assert main(["store", "status", str(store_dir)]) == 0
+        out = capsys.readouterr().out
+        assert (
+            "[queue] pending=1 running=1 done=0 failed=0 stale_leases=1"
+            in out
+        )
+
+    def test_json_status_keeps_bare_rows_and_reports_queue_aside(
+        self, store_dir, store, capsys
+    ):
+        seed(store)
+        assert main(["store", "status", str(store_dir), "--json"]) == 0
+        captured = capsys.readouterr()
+        rows = json.loads(captured.out)  # the pinned machine shape
+        assert isinstance(rows, list) and rows[0]["state"] == "pending"
+        aside = json.loads(captured.err)
+        assert aside["queue"]["pending"] == 1
+        assert aside["queue"]["stale_leases"] == 0
+
+
+class TestWorkerVerb:
+    def test_until_drained_executes_and_reports(
+        self, store_dir, store, capsys
+    ):
+        seed(store)
+        assert main([
+            "worker", "--store", str(store_dir),
+            "--worker-id", "cli-w", "--poll-interval", "0.01",
+            "--until-drained", "--timeout", "30",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "[worker] cli-w draining" in out
+        assert "[worker] cli-w exiting (1 executed)" in out
+        assert COUNTS == {0: 1, 1: 1, 2: 1}
+        assert store.submission(1)["state"] == "done"
+
+    def test_max_submissions_bounds_the_verb(
+        self, store_dir, store, capsys
+    ):
+        seed(store, name="a")
+        seed(store, name="b")
+        assert main([
+            "worker", "--store", str(store_dir),
+            "--worker-id", "cli-w", "--poll-interval", "0.01",
+            "--max-submissions", "1",
+        ]) == 0
+        assert "(1 executed)" in capsys.readouterr().out
+        states = {row["name"]: row["state"] for row in store.status()}
+        assert states == {"a": "done", "b": "pending"}
+
+    def test_idle_timeout_exits_zero(self, store_dir, capsys):
+        assert main([
+            "worker", "--store", str(store_dir),
+            "--worker-id", "idle", "--poll-interval", "0.01",
+            "--timeout", "0.2",
+        ]) == 0
+        assert "(0 executed)" in capsys.readouterr().out
+
+
+class TestFlagValidation:
+    def test_serve_rejects_negative_workers(self, store_dir, capsys):
+        with pytest.raises(SystemExit):
+            main([
+                "serve", "--store", str(store_dir), "--workers", "-1",
+            ])
+        assert "--workers" in capsys.readouterr().err
+
+    def test_worker_rejects_nonpositive_max_submissions(
+        self, store_dir, capsys
+    ):
+        with pytest.raises(SystemExit):
+            main([
+                "worker", "--store", str(store_dir),
+                "--max-submissions", "0",
+            ])
+        assert "--max-submissions" in capsys.readouterr().err
+
+    def test_worker_rejects_bad_point_workers(self, store_dir):
+        with pytest.raises(SystemExit):
+            main([
+                "worker", "--store", str(store_dir),
+                "--point-workers", "lots",
+            ])

@@ -1,0 +1,210 @@
+"""The in-process worker loop: claim, execute, release, drain.
+
+Subprocess realities (real SIGKILL, lease expiry on the wall clock)
+live in ``test_kill_anywhere.py``; here the loop's control flow is
+pinned deterministically — unresolvable runners, graceful drain
+mid-submission, bounded runs — plus the runner-resolution contract
+and the supervisor's restart bookkeeping.
+"""
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.experiments.sweep import runner_name
+from repro.service import (
+    Worker,
+    WorkerSupervisor,
+    default_worker_id,
+    resolve_runner,
+)
+
+from tests.service.conftest import (
+    COUNTS,
+    CURRENT_WORKER,
+    counting_runner,
+    stopping_runner,
+    subprocess_pythonpath,
+)
+from tests.store.conftest import grid_spec
+
+
+def submit(store, n=3, runner=counting_runner, name="sub"):
+    return store.submit(
+        name, grid_spec(n, experiment_id=f"grid-{name}"),
+        runner_name(runner),
+    )
+
+
+class TestResolveRunner:
+    def test_round_trips_runner_name(self):
+        name = runner_name(counting_runner)
+        assert resolve_runner(name) is counting_runner
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "no-colon",
+            ":dangling",
+            "dangling:",
+            "definitely.not.a.module:fn",
+            "repro.service.workers:no_such_attr",
+            "repro.service.workers:Worker.no_such_attr",
+        ],
+    )
+    def test_unresolvable_references_raise_service_error(self, bad):
+        with pytest.raises(ServiceError):
+            resolve_runner(bad)
+
+    def test_non_callable_target_is_rejected(self):
+        with pytest.raises(ServiceError, match="non-callable"):
+            resolve_runner("repro.store.api:DEFAULT_LEASE_SECONDS")
+
+    def test_dotted_qualname_resolves(self):
+        assert (
+            resolve_runner("repro.service.workers:Worker.run")
+            is Worker.run
+        )
+
+
+class TestDefaultWorkerId:
+    def test_ids_are_distinct_and_carry_the_pid(self):
+        import os
+
+        first, second = default_worker_id(), default_worker_id()
+        assert first != second
+        assert str(os.getpid()) in first
+
+
+class TestWorkerLoop:
+    def test_drains_all_submissions_then_exits(self, store_dir, store):
+        submit(store, name="a")
+        submit(store, name="b")
+        with Worker(
+            store_dir, poll_seconds=0.01, code_version="pinned"
+        ) as worker:
+            executed = worker.run(until_drained=True, timeout=30)
+        assert executed == 2
+        assert [row["state"] for row in store.status()] == [
+            "done", "done",
+        ]
+        assert COUNTS == {0: 2, 1: 2, 2: 2}  # 3 points x 2 submissions
+
+    def test_max_submissions_bounds_the_run(self, store_dir, store):
+        submit(store, name="a")
+        submit(store, name="b")
+        with Worker(
+            store_dir, poll_seconds=0.01, code_version="pinned"
+        ) as worker:
+            assert worker.run(max_submissions=1) == 1
+        states = {row["name"]: row["state"] for row in store.status()}
+        assert states == {"a": "done", "b": "pending"}
+
+    def test_timeout_bounds_an_idle_worker(self, store_dir):
+        with Worker(
+            store_dir, poll_seconds=0.01, code_version="pinned"
+        ) as worker:
+            assert worker.run(timeout=0.2) == 0
+
+    def test_unresolvable_runner_fails_the_submission(
+        self, store_dir, store
+    ):
+        sid = store.submit(
+            "bad", grid_spec(2), "definitely.not.a.module:fn"
+        )
+        with Worker(
+            store_dir, poll_seconds=0.01, code_version="pinned"
+        ) as worker:
+            assert worker.run(until_drained=True, timeout=30) == 1
+        record = store.submission(sid)
+        assert record["state"] == "failed"
+        assert "cannot import runner module" in record["error"]
+
+    def test_stop_mid_submission_requeues_after_current_point(
+        self, store_dir, store
+    ):
+        sid = submit(store, n=4, runner=stopping_runner)
+        with Worker(
+            store_dir, poll_seconds=0.01, code_version="pinned"
+        ) as worker:
+            CURRENT_WORKER.append(worker)
+            executed = worker.run(until_drained=True, timeout=30)
+        # The drain aborted the submission (not counted as executed),
+        # after the in-flight point committed.
+        assert executed == 0
+        record = store.submission(sid)
+        assert record["state"] == "pending"
+        assert record["claimed_by"] is None
+        assert COUNTS == {0: 1}
+
+        # A second worker resumes the remainder: zero re-execution.
+        CURRENT_WORKER.clear()
+        with Worker(
+            store_dir, poll_seconds=0.01, code_version="pinned"
+        ) as worker:
+            assert worker.run(until_drained=True, timeout=30) == 1
+        assert store.submission(sid)["state"] == "done"
+        assert COUNTS == {0: 1, 1: 1, 2: 1, 3: 1}
+
+    def test_stopped_worker_never_claims(self, store_dir, store):
+        submit(store)
+        with Worker(
+            store_dir, poll_seconds=0.01, code_version="pinned"
+        ) as worker:
+            worker.stop()
+            assert worker.run() == 0
+        assert store.status()[0]["state"] == "pending"
+
+
+class TestWorkerSupervisor:
+    def test_rejects_negative_workers(self, tmp_path):
+        with pytest.raises(ServiceError):
+            WorkerSupervisor(tmp_path, workers=-1)
+
+    def test_restart_limit_defaults_scale_with_pool(self, tmp_path):
+        assert WorkerSupervisor(tmp_path, 3).restart_limit == 24
+        assert WorkerSupervisor(
+            tmp_path, 3, restart_limit=1
+        ).restart_limit == 1
+
+    def test_spawn_restart_and_drain(self, store_dir, store, tmp_path):
+        # Workers that die instantly (bad interpreter args are not an
+        # option, so point them at a store and give them nothing to
+        # do; kill them to simulate the crash).
+        supervisor = WorkerSupervisor(
+            store_dir, workers=2, poll_seconds=0.05, restart_limit=2,
+            extra_env={"PYTHONPATH": subprocess_pythonpath()},
+        )
+        supervisor.start()
+        try:
+            assert len(supervisor._procs) == 2
+            supervisor._procs[0].kill()
+            supervisor._procs[0].wait()
+            assert supervisor.poll() == 2  # replaced, still 2 alive
+            assert supervisor.restarts == 1
+            # Exhaust the restart budget: further deaths stay dead.
+            supervisor._procs[0].kill()
+            supervisor._procs[0].wait()
+            supervisor._procs[1].kill()
+            supervisor._procs[1].wait()
+            supervisor.poll()
+            supervisor._procs[0].kill()
+            supervisor._procs[0].wait()
+            assert supervisor.restarts == 2
+            assert supervisor.poll() <= 2
+        finally:
+            supervisor.drain(timeout=15)
+        assert supervisor.alive_count() == 0
+
+    def test_drain_is_idempotent_and_stops_restarts(
+        self, store_dir, store
+    ):
+        supervisor = WorkerSupervisor(
+            store_dir, workers=1, poll_seconds=0.05,
+            extra_env={"PYTHONPATH": subprocess_pythonpath()},
+        )
+        supervisor.start()
+        supervisor.drain(timeout=15)
+        assert supervisor.alive_count() == 0
+        assert supervisor.poll() == 0  # draining: no replacement
+        supervisor.drain(timeout=1)  # second drain is a no-op
+        assert supervisor.restarts == 0
